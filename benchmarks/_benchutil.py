@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite (imported by every bench_*).
+
+Every ``bench_*.py`` regenerates one table/figure-equivalent of the
+paper (see the experiment index in DESIGN.md).  Timing claims are about
+*shape* — linear vs quadratic vs exponential, who wins where — so the
+assertions use generous factors to stay robust on noisy machines, and
+each module prints a small report table (visible with ``-s`` or in
+bench_output.txt).
+"""
+
+from __future__ import annotations
+
+import time
+
+collect_ignore: list[str] = []
+
+
+def timed(fn, *args, repeats: int = 3, **kwargs) -> float:
+    """Median wall-clock seconds of fn(*args)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def report(title: str, headers, rows) -> None:
+    from repro.complexity import format_table
+
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))

@@ -1,0 +1,65 @@
+"""E10 — Corollary 5.2: a fixed positive Boolean FO query is evaluated
+on trees in O(||A||), via the Theorem 5.1 rewriting plus Yannakakis.
+
+The naive FO model checker (quantifier-nested loops, O(n^q)) is the
+contrast baseline.
+"""
+
+import pytest
+
+from repro.complexity import ScalingPoint, fit_loglog_slope
+from repro.cq import parse_cq
+from repro.logic import cq_to_fo, fo_eval
+from repro.rewrite import evaluate_via_rewriting, rewrite_lazy
+from repro.cq.yannakakis import yannakakis
+from repro.trees import random_tree
+
+from _benchutil import report, timed
+
+# a fixed positive Boolean query: an a-node with two Child+-related
+# witnesses below (cyclic as written, rewritten into acyclic disjuncts)
+QUERY = parse_cq(
+    "ans() :- Lab:a(x), Child+(x, y), Child+(x, z), Child+(y, z), Lab:b(z)"
+)
+DISJUNCTS = rewrite_lazy(QUERY)
+
+
+def _evaluate_union(tree) -> bool:
+    return any(yannakakis(d, tree) for d in DISJUNCTS)
+
+
+def test_linear_data_complexity():
+    points = []
+    for n in (500, 1_000, 2_000, 4_000):
+        t = random_tree(n, seed=1)
+        points.append(ScalingPoint(n, timed(_evaluate_union, t)))
+    slope = fit_loglog_slope(points)
+    report(
+        "E10/Cor5.2: fixed positive Boolean query, rewritten once",
+        ["n", "seconds"],
+        [[p.size, f"{p.seconds:.5f}"] for p in points] + [["slope", f"{slope:.2f}"]],
+    )
+    assert slope < 1.8  # linear-ish in ||A|| (Child+ materialization noise)
+
+
+def test_vs_naive_fo_model_checking():
+    formula = cq_to_fo(QUERY)
+    rows = []
+    for n in (30, 60):
+        t = random_tree(n, seed=2, alphabet=("c", "d"))  # no matches: worst case
+        tf = timed(fo_eval, formula, t, repeats=1)
+        tr = timed(_evaluate_union, t, repeats=1)
+        rows.append([n, f"{tr:.4f}", f"{tf:.4f}", f"{tf / max(tr, 1e-9):.0f}x"])
+        assert fo_eval(formula, t) == _evaluate_union(t)
+    report(
+        "E10/Cor5.2: rewriting route vs naive FO evaluation",
+        ["n", "rewrite+Yannakakis", "naive FO", "speedup"],
+        rows,
+    )
+    assert float(rows[-1][1]) < float(rows[-1][2])
+
+
+@pytest.mark.benchmark(group="cor52")
+def test_bench_fixed_positive_query(benchmark):
+    t = random_tree(2_000, seed=3)
+    benchmark(_evaluate_union, t)

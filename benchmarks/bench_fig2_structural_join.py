@@ -1,0 +1,95 @@
+"""E2 — Figure 2 / Example 2.1: structural joins on the XASR.
+
+The paper's claim: on the (pre, post) representation, a descendant join
+is a *single* theta-join ("structural join"), which is "clearly better
+than computing the transitive closure of the Child relation ... or
+storing a quadratically-sized Child+ relation".  We measure:
+
+- stack-based structural join (output-linear),
+- the naive nested-loop theta-join (the literal SQL view),
+- materializing Child+ by iterated joins (the baseline the paper calls
+  out).
+
+Expected shape: the stack join wins by a growing factor; both baselines
+blow up super-linearly.
+"""
+
+import pytest
+
+from repro.storage import (
+    XASR,
+    nested_loop_join,
+    stack_structural_join,
+    transitive_closure_pairs,
+)
+from repro.trees import random_tree
+
+from _benchutil import report, timed
+
+
+def _labels(tree, label):
+    return [(v, tree.post[v]) for v in tree.nodes_with_label(label)]
+
+
+def test_who_wins_and_by_how_much():
+    rows = []
+    for n in (500, 1_000, 2_000, 4_000):
+        t = random_tree(n, seed=1)
+        ancestors = _labels(t, "a")
+        descendants = _labels(t, "b")
+        t_stack = timed(stack_structural_join, ancestors, descendants)
+        t_nested = timed(nested_loop_join, ancestors, descendants)
+        t_closure = timed(transitive_closure_pairs, t)
+        rows.append(
+            [
+                n,
+                f"{t_stack:.5f}",
+                f"{t_nested:.5f}",
+                f"{t_closure:.5f}",
+                f"{t_nested / max(t_stack, 1e-9):.1f}x",
+            ]
+        )
+    report(
+        "E2/Fig2: descendant join (label a // label b)",
+        ["n", "stack join", "nested loop", "materialize Child+", "nested/stack"],
+        rows,
+    )
+    # at the largest size the structural join must beat both baselines
+    assert float(rows[-1][1]) < float(rows[-1][2])
+    assert float(rows[-1][1]) < float(rows[-1][3])
+
+
+def test_representation_size_vs_closure_size():
+    """XASR rows are Θ(n); the materialized Child+ is Θ(n · depth)."""
+    rows = []
+    for n in (1_000, 2_000, 4_000):
+        t = random_tree(n, seed=2)
+        xasr_rows = XASR.from_tree(t).size()
+        closure_rows = len(transitive_closure_pairs(t))
+        rows.append([n, xasr_rows, closure_rows, f"{closure_rows / xasr_rows:.1f}x"])
+    report(
+        "E2/Fig2: representation sizes",
+        ["n", "XASR rows", "Child+ rows", "ratio"],
+        rows,
+    )
+    assert rows[-1][2] > rows[-1][1]
+
+
+def test_example_2_1_views_agree():
+    t = random_tree(300, seed=3)
+    x = XASR.from_tree(t)
+    view = {(a - 1, d - 1) for a, d in x.descendant_pairs().rows}
+    assert view == transitive_closure_pairs(t)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_stack_join(benchmark):
+    t = random_tree(8_000, seed=4)
+    everything = [(v, t.post[v]) for v in t.nodes()]
+    benchmark(stack_structural_join, everything, _labels(t, "b"))
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_transitive_closure(benchmark):
+    t = random_tree(8_000, seed=4)
+    benchmark(transitive_closure_pairs, t)

@@ -1,0 +1,102 @@
+"""E11 — Figure 5 / Theorem 6.5: arc-consistency evaluation on
+X-property signatures.
+
+- Proposition 6.6 regenerated as an empirical table (which axis has the
+  X-property under which order),
+- CQ evaluation over τ1 via arc-consistency: linear-ish data scaling,
+  Horn-SAT encoding vs direct worklist (ablation A1),
+- the backtracking baseline for contrast.
+"""
+
+import pytest
+
+from repro.complexity import ScalingPoint, fit_loglog_slope
+from repro.consistency import (
+    arc_consistency_hornsat,
+    arc_consistency_worklist,
+    evaluate_boolean_xproperty,
+    x_property_table,
+)
+from repro.consistency.xproperty import PROP_6_6
+from repro.cq import evaluate_backtracking
+from repro.trees import random_tree
+from repro.trees.axes import Axis
+from repro.workloads import random_cq
+
+from _benchutil import report, timed
+
+TAU1_AXES = (Axis.CHILD_PLUS.value, Axis.CHILD_STAR.value)
+
+
+def _query(seed: int):
+    return random_cq(5, 4, axes=TAU1_AXES, seed=seed, head_arity=0)
+
+
+def test_regenerate_proposition_6_6():
+    witnesses = [random_tree(12, seed=s) for s in range(6)]
+    table = x_property_table(witnesses)
+    rows = []
+    for (axis, order), holds in sorted(
+        table.items(), key=lambda kv: (kv[0][1], kv[0][0].value)
+    ):
+        claim = axis in PROP_6_6[order]
+        rows.append([axis.value, order, "X" if holds else "-", "X" if claim else "-"])
+        assert holds == claim
+    report(
+        "E11/Prop6.6: empirical X-property table (X = holds)",
+        ["axis", "order", "empirical", "paper"],
+        rows,
+    )
+
+
+def test_ablation_hornsat_vs_worklist():
+    rows = []
+    for n in (100, 200, 400):
+        t = random_tree(n, seed=1)
+        q = _query(3)
+        th = timed(arc_consistency_hornsat, q, t)
+        tw = timed(arc_consistency_worklist, q, t)
+        assert arc_consistency_hornsat(q, t) == arc_consistency_worklist(q, t)
+        rows.append([n, f"{th:.4f}", f"{tw:.4f}", f"{th / max(tw, 1e-9):.1f}x"])
+    report(
+        "E11/A1: arc-consistency via Horn-SAT vs direct worklist",
+        ["n", "hornsat", "worklist", "hornsat/worklist"],
+        rows,
+    )
+
+
+def test_scaling_and_vs_backtracking():
+    points, rows = [], []
+    for n in (100, 200, 400, 800):
+        t = random_tree(n, seed=2)
+        q = _query(5)
+        ta = timed(evaluate_boolean_xproperty, q, t)
+        points.append(ScalingPoint(n, ta))
+        tb = timed(
+            lambda: bool(evaluate_backtracking(q, t, first_only=True)), repeats=1
+        )
+        assert evaluate_boolean_xproperty(q, t) == bool(
+            evaluate_backtracking(q, t, first_only=True)
+        )
+        rows.append([n, f"{ta:.4f}", f"{tb:.4f}"])
+    slope = fit_loglog_slope(points)
+    report(
+        "E11/Thm6.5: Boolean CQ[τ1] via arc-consistency",
+        ["n", "AC (Thm 6.5)", "backtracking"],
+        rows + [["slope", f"{slope:.2f}", ""]],
+    )
+    assert slope < 2.2  # ||A|| itself grows superlinearly with Child+
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_ac_worklist(benchmark):
+    t = random_tree(500, seed=4)
+    q = _query(7)
+    benchmark.pedantic(arc_consistency_worklist, args=(q, t), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_ac_hornsat(benchmark):
+    t = random_tree(500, seed=4)
+    q = _query(7)
+    benchmark.pedantic(arc_consistency_hornsat, args=(q, t), rounds=3, iterations=1)

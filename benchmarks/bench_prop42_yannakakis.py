@@ -1,0 +1,76 @@
+"""E7 — Proposition 4.2: unary conjunctive Core XPath via Yannakakis in
+O(||A|| · |Q|): linear in the data and linear in the query, with the
+exponential backtracking baseline for contrast.
+"""
+
+import pytest
+
+from repro.complexity import ScalingPoint, fit_loglog_slope
+from repro.cq import evaluate_backtracking, yannakakis_unary
+from repro.trees import random_tree
+from repro.workloads import xmark_like
+from repro.xpath import parse_xpath, xpath_to_cq
+
+from _benchutil import report, timed
+
+TWIG = parse_xpath(
+    "Child*[lab() = item][Child[lab() = payment]]/Child[lab() = description]"
+)
+TWIG_CQ = xpath_to_cq(TWIG)
+
+
+def _chain_cq(k: int):
+    from repro.cq import parse_cq
+
+    atoms = ", ".join(f"Child+(v{i}, v{i+1})" for i in range(k))
+    return parse_cq(f"ans(v{k}) :- {atoms}, Lab:a(v0)")
+
+
+def test_linear_in_data():
+    points = []
+    for items in (50, 100, 200, 400):
+        t = xmark_like(items, seed=1)
+        points.append(ScalingPoint(t.n, timed(yannakakis_unary, TWIG_CQ, t)))
+    slope = fit_loglog_slope(points)
+    report(
+        "E7/Prop4.2: Yannakakis, fixed twig query on XMark-like data",
+        ["||A||", "seconds"],
+        [[p.size, f"{p.seconds:.5f}"] for p in points] + [["slope", f"{slope:.2f}"]],
+    )
+    assert slope < 1.7
+
+
+def test_polynomial_in_query():
+    t = random_tree(250, seed=2)
+    points = []
+    for k in (2, 4, 8):
+        q = _chain_cq(k)
+        points.append(ScalingPoint(k, timed(yannakakis_unary, q, t)))
+    report(
+        "E7/Prop4.2: Yannakakis, growing chain query",
+        ["|Q| chain length", "seconds"],
+        [[p.size, f"{p.seconds:.5f}"] for p in points],
+    )
+    # growing the query 4x should not grow time by more than ~8x
+    assert points[-1].seconds < 10 * points[0].seconds + 0.05
+
+
+def test_beats_backtracking():
+    rows = []
+    t = random_tree(300, seed=3, alphabet=("a", "b"))
+    q = _chain_cq(4)
+    ty = timed(yannakakis_unary, q, t, repeats=1)
+    tb = timed(evaluate_backtracking, q, t, repeats=1)
+    rows.append([300, f"{ty:.4f}", f"{tb:.4f}", f"{tb / max(ty, 1e-9):.1f}x"])
+    report(
+        "E7/Prop4.2: Yannakakis vs backtracking (Child+ chain)",
+        ["n", "yannakakis", "backtracking", "speedup"],
+        rows,
+    )
+    assert {r[0] for r in evaluate_backtracking(q, t)} == yannakakis_unary(q, t)
+
+
+@pytest.mark.benchmark(group="prop42")
+def test_bench_yannakakis_twig(benchmark):
+    t = xmark_like(300, seed=4)
+    benchmark(yannakakis_unary, TWIG_CQ, t)

@@ -1,0 +1,153 @@
+"""E15 — streaming memory (Section 5 / the §7 lower-bound discussion).
+
+Claims regenerated:
+
+- peak memory of the streaming evaluators grows *linearly with depth*
+  (the [40] lower bound is Ω(depth); the [60, 70] recognizers meet it),
+- at fixed depth, memory is flat no matter how large the document gets,
+- throughput is linear in document size.
+"""
+
+import pytest
+
+from repro.complexity import ScalingPoint, fit_loglog_slope
+from repro.streaming import MemoryMeter, stream_match_twig, stream_select, tree_events
+from repro.trees import caterpillar_tree, path_tree
+from repro.twigjoin import parse_twig
+from repro.xpath import parse_xpath
+
+from _benchutil import report, timed
+
+QUERY = parse_xpath("Child*[lab() = a]/Child[lab() = b]")
+TWIG = parse_twig("//a//b")
+
+
+def _peak_select(tree) -> int:
+    meter = MemoryMeter()
+    for _ in stream_select(QUERY, tree_events(tree), meter=meter):
+        pass
+    return meter.peak_units
+
+
+def test_memory_linear_in_depth():
+    points, rows = [], []
+    for depth in (250, 500, 1_000, 2_000):
+        t = path_tree(depth)
+        peak = _peak_select(t)
+        points.append(ScalingPoint(depth, max(peak, 1) * 1e-6))
+        rows.append([depth, peak])
+    slope = fit_loglog_slope(points)
+    report(
+        "E15: peak memory vs depth (path documents)",
+        ["depth", "peak units"],
+        rows + [["slope", f"{slope:.2f}"]],
+    )
+    assert 0.8 < slope < 1.2
+
+
+def test_memory_flat_in_size_at_fixed_depth():
+    rows, peaks = [], []
+    for legs in (10, 100, 1_000):
+        t = caterpillar_tree(spine=12, legs=legs)
+        peak = _peak_select(t)
+        peaks.append(peak)
+        rows.append([t.n, peak])
+    report(
+        "E15: peak memory vs size at fixed depth (caterpillars)",
+        ["n", "peak units"],
+        rows,
+    )
+    assert max(peaks) <= 2 * min(peaks)
+
+
+def test_twig_matching_memory_profile():
+    rows = []
+    deep = MemoryMeter()
+    stream_match_twig(TWIG, tree_events(path_tree(1_500)), meter=deep)
+    wide = MemoryMeter()
+    stream_match_twig(TWIG, tree_events(caterpillar_tree(10, 150)), meter=wide)
+    rows.append(["path depth 1500", deep.peak_units])
+    rows.append(["caterpillar depth 11", wide.peak_units])
+    report("E15: Boolean twig matching peak memory", ["document", "peak units"], rows)
+    assert deep.peak_units > 20 * wide.peak_units
+
+
+def test_throughput_linear():
+    points = []
+    for legs in (200, 400, 800, 1_600):
+        t = caterpillar_tree(spine=10, legs=legs)
+        points.append(
+            ScalingPoint(t.n, timed(lambda: list(stream_select(QUERY, tree_events(t)))))
+        )
+    slope = fit_loglog_slope(points)
+    report(
+        "E15: streaming throughput",
+        ["n", "seconds"],
+        [[p.size, f"{p.seconds:.5f}"] for p in points] + [["slope", f"{slope:.2f}"]],
+    )
+    assert slope < 1.5
+
+
+def test_concurrency_forces_buffering():
+    """[Bar-Yossef et al., PODS'04] / §7: lookahead qualifiers make peak
+    memory scale with the number of concurrently alive candidates — on a
+    depth-1 document, far beyond the O(depth) of the pure fragment."""
+    from repro.streaming import stream_select_lookahead
+    from repro.trees.generate import tree_from_parents
+
+    expr = parse_xpath("Child[lab() = a][NextSibling+[lab() = b]]")
+    rows = []
+    peaks = []
+    for n in (500, 1_000, 2_000):
+        wide = tree_from_parents(
+            [-1] + [0] * (n - 1), ["r"] + ["a"] * (n - 2) + ["b"]
+        )
+        meter = MemoryMeter()
+        matched = sum(
+            1 for _ in stream_select_lookahead(expr, tree_events(wide), meter=meter)
+        )
+        peaks.append(meter.peak_units)
+        rows.append([n, wide.height(), matched, meter.peak_units])
+    report(
+        "E15: lookahead buffering — candidates, not depth, drive memory",
+        ["n", "depth", "matches", "peak units"],
+        rows,
+    )
+    assert peaks[-1] > 3 * peaks[0]  # grows with concurrency at fixed depth
+
+
+def test_counting_vs_enumeration_cost():
+    """Companion to E13: counting solutions (one AC + one bottom-up pass)
+    vs materializing them all (Prop. 6.10 enumeration)."""
+    from repro.consistency import count_solutions, solutions_with_pointers
+    from repro.cq import parse_cq
+    from repro.trees import path_tree
+
+    query = parse_cq("ans(x) :- Child+(x, y), Child+(y, z)")
+    rows = []
+    for n in (40, 80, 160):
+        t = path_tree(n)
+        tc = timed(count_solutions, query, t)
+        te = timed(solutions_with_pointers, query, t, repeats=1)
+        count = count_solutions(query, t)
+        assert count == len(solutions_with_pointers(query, t, project_to_head=False))
+        rows.append([n, count, f"{tc:.4f}", f"{te:.4f}"])
+    report(
+        "E13+: count vs enumerate (x < y < z chains on a path)",
+        ["n", "|solutions|", "count", "enumerate"],
+        rows,
+    )
+    # counting must not pay for the (cubically growing) output
+    assert float(rows[-1][2]) < float(rows[-1][3])
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_bench_stream_select(benchmark):
+    t = caterpillar_tree(spine=20, legs=500)
+    benchmark(lambda: list(stream_select(QUERY, tree_events(t))))
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_bench_stream_match_twig(benchmark):
+    t = caterpillar_tree(spine=20, legs=500)
+    benchmark(lambda: stream_match_twig(TWIG, tree_events(t)))

@@ -1,0 +1,99 @@
+"""E6 — Theorem 4.1 / Figure 4: bounded tree-width CQ evaluation in
+O((|A|^{k+1} + ||A||) · |Q|).
+
+Queries of tree-width 1 (paths) and 2 (cycles) over growing trees: the
+fitted exponent should track k+1 (up to join pruning), and the bounded-
+tree-width evaluator should dominate plain backtracking on the cyclic
+query.  Also re-certifies the Figure 4 claim that (Child, NextSibling)-
+trees have tree-width 2.
+"""
+
+import pytest
+
+from repro.complexity import ScalingPoint, fit_loglog_slope
+from repro.cq import (
+    evaluate_backtracking,
+    evaluate_bounded_treewidth,
+    parse_cq,
+    query_treewidth,
+)
+from repro.cq.treewidth import graph_treewidth, tree_structure_graph
+from repro.trees import random_tree
+
+from _benchutil import report, timed
+
+PATH_QUERY = parse_cq("ans(x) :- Child(x, y), Child(y, z), Lab:a(z)")
+CYCLE_QUERY = parse_cq(
+    "ans() :- Child+(x, y), Child+(y, z), Child+(x, z), Lab:a(z)"
+)
+
+
+def test_figure_4_treewidth_two():
+    rows = []
+    for seed in range(5):
+        t = random_tree(13, seed=seed)
+        width = graph_treewidth(tree_structure_graph(t))
+        rows.append([seed, t.n, width])
+        assert width <= 2
+    report("E6/Fig4: tree-width of (Child,NextSibling)-trees", ["seed", "n", "tw"], rows)
+
+
+def test_query_widths():
+    assert query_treewidth(PATH_QUERY) == 1
+    assert query_treewidth(CYCLE_QUERY) == 2
+
+
+def test_scaling_by_width():
+    rows = []
+    slopes = {}
+    for name, query, sizes in (
+        ("tw=1 path", PATH_QUERY, (100, 200, 400)),
+        ("tw=2 cycle", CYCLE_QUERY, (50, 100, 200)),
+    ):
+        points = []
+        for n in sizes:
+            t = random_tree(n, seed=1)
+            points.append(
+                ScalingPoint(n, timed(evaluate_bounded_treewidth, query, t))
+            )
+            rows.append([name, n, f"{points[-1].seconds:.5f}"])
+        slopes[name] = fit_loglog_slope(points)
+        rows.append([name, "slope", f"{slopes[name]:.2f}"])
+    report("E6/Thm4.1: evaluation by query tree-width", ["query", "n", "sec"], rows)
+    # the O(|A|^{k+1}) upper bound: exponent <= k+1 (plus fit noise);
+    # constraint pruning often lands the cyclic query well below n^3
+    assert slopes["tw=1 path"] < 2.5
+    assert slopes["tw=2 cycle"] < 3.5
+
+
+def test_bounded_tw_beats_backtracking_on_cyclic_query():
+    rows = []
+    for n in (60, 120):
+        t = random_tree(n, seed=2, alphabet=("a", "b"))
+        tb = timed(evaluate_backtracking, CYCLE_QUERY, t, repeats=1)
+        tw = timed(evaluate_bounded_treewidth, CYCLE_QUERY, t, repeats=1)
+        assert evaluate_backtracking(CYCLE_QUERY, t) == evaluate_bounded_treewidth(
+            CYCLE_QUERY, t
+        )
+        rows.append([n, f"{tw:.4f}", f"{tb:.4f}"])
+    report(
+        "E6/Thm4.1: tw-evaluator vs backtracking (cyclic query)",
+        ["n", "bounded-tw", "backtracking"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="thm41")
+def test_bench_bounded_tw_path(benchmark):
+    t = random_tree(250, seed=3)
+    benchmark.pedantic(
+        evaluate_bounded_treewidth, args=(PATH_QUERY, t), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="thm41")
+def test_bench_bounded_tw_cycle(benchmark):
+    t = random_tree(120, seed=3)
+    benchmark.pedantic(
+        evaluate_bounded_treewidth, args=(CYCLE_QUERY, t), rounds=3, iterations=1
+    )

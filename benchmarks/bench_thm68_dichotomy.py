@@ -1,0 +1,99 @@
+"""E12 — Theorem 6.8 (Dichotomy): CQ over an axis signature is in P iff
+the signature fits τ1, τ2, or τ3; otherwise NP-complete.
+
+- the classifier verdict for every subset of a representative axis set,
+- solver behaviour across the frontier: polynomial arc-consistency on
+  the P side vs exponentially-growing backtracking effort on crafted
+  instances of the NP-complete side.
+"""
+
+import itertools
+
+import pytest
+
+from repro.consistency import classify_signature, evaluate_boolean_xproperty
+from repro.cq import evaluate_backtracking
+from repro.cq.naive import BacktrackStats
+from repro.trees import balanced_tree, random_tree
+from repro.trees.axes import Axis
+from repro.workloads import hard_instance_mixed_axes, random_cq
+
+from _benchutil import report, timed
+
+REPRESENTATIVE = [
+    Axis.CHILD,
+    Axis.CHILD_PLUS,
+    Axis.NEXT_SIBLING,
+    Axis.NEXT_SIBLING_PLUS,
+    Axis.FOLLOWING,
+]
+
+
+def test_classification_table():
+    rows = []
+    p_count = np_count = 0
+    for r in range(1, len(REPRESENTATIVE) + 1):
+        for subset in itertools.combinations(REPRESENTATIVE, r):
+            verdict, order = classify_signature(subset)
+            if verdict == "P":
+                p_count += 1
+            else:
+                np_count += 1
+            rows.append(
+                ["{" + ", ".join(a.value for a in subset) + "}", verdict, order or "-"]
+            )
+    report(
+        "E12/Thm6.8: dichotomy verdicts for all signature subsets",
+        ["signature", "verdict", "X-order"],
+        rows,
+    )
+    # sanity: the frontier is non-trivial in both directions
+    assert p_count >= 5 and np_count >= 10
+
+
+def test_p_side_stays_polynomial():
+    rows = []
+    for n in (200, 400, 800):
+        t = random_tree(n, seed=1)
+        q = random_cq(5, 4, axes=(Axis.CHILD_PLUS.value,), seed=2, head_arity=0)
+        ta = timed(evaluate_boolean_xproperty, q, t)
+        rows.append([n, f"{ta:.4f}"])
+    report("E12: P side (CQ[Child+] via Theorem 6.5)", ["n", "seconds"], rows)
+    assert float(rows[-1][1]) < 60 * float(rows[0][1]) + 0.05
+
+
+def test_np_side_search_effort_grows_exponentially():
+    """Backtracking effort on the mixed {Child+, Following} family grows
+    much faster than the query size."""
+    t = balanced_tree(2, 5, alphabet=("a", "b"), seed=3)
+    rows = []
+    efforts = []
+    for k in (3, 5, 7, 9):
+        q = hard_instance_mixed_axes(k)
+        assert classify_signature(q.signature())[0] == "NP-complete"
+        stats = BacktrackStats()
+        evaluate_backtracking(q, t, stats=stats)
+        efforts.append(stats.nodes_expanded)
+        rows.append([k, stats.nodes_expanded])
+    report(
+        "E12: NP-complete side, backtracking search-tree size",
+        ["k (variables)", "nodes expanded"],
+        rows,
+    )
+    # explosive growth in k on a fixed structure
+    assert efforts[-1] > 3 * efforts[-2]
+    assert efforts[-1] > 20 * efforts[0]
+
+
+@pytest.mark.benchmark(group="thm68")
+def test_bench_p_side(benchmark):
+    t = random_tree(400, seed=4)
+    q = random_cq(5, 4, axes=(Axis.CHILD_PLUS.value,), seed=5, head_arity=0)
+    benchmark.pedantic(evaluate_boolean_xproperty, args=(q, t), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="thm68")
+def test_bench_np_side(benchmark):
+    t = balanced_tree(2, 5, alphabet=("a", "b"), seed=3)
+    q = hard_instance_mixed_axes(6)
+    benchmark.pedantic(evaluate_backtracking, args=(q, t), rounds=2, iterations=1)

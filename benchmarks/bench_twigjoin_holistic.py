@@ -1,0 +1,185 @@
+"""E14 — holistic twig joins (Section 6, [13]/[48]) vs binary
+structural-join plans.
+
+The holistic algorithms never materialize edge-join intermediates; the
+binary plan does.  On patterns whose early joins are unselective, the
+binary plan's peak intermediate dwarfs both the output and the holistic
+state — that size gap is the experiment's headline number.  The AC-based
+generalization (Prop. 6.10) is measured alongside (ablation A4).
+"""
+
+import pytest
+
+from repro.twigjoin import (
+    JoinPlanStats,
+    binary_join_plan,
+    holistic_via_arc_consistency,
+    parse_twig,
+    twig_stack,
+    twig_stack_optimal,
+)
+from repro.twigjoin.twigstack import TwigStats
+from repro.trees.generate import tree_from_parents
+from repro.workloads import xmark_like
+
+from _benchutil import report, timed
+
+#: A pattern whose (item, description) join is big but whose keyword
+#: branch is selective: binary plans pay for the big join first.
+PATTERN = parse_twig("//item[.//keyword]//description")
+
+
+def _skewed_tree(blocks: int, block_size: int):
+    """Many a/b chains, few of which carry the selective c leaf —
+    maximal intermediate-vs-output skew for //a[c]//b."""
+    parents = [-1]
+    labels = ["r"]
+    for block in range(blocks):
+        a = len(parents)
+        parents.append(0)
+        labels.append("a")
+        cursor = a
+        for _ in range(block_size):
+            b = len(parents)
+            parents.append(cursor)
+            labels.append("b")
+            cursor = b
+        if block == 0:  # only the first block matches the twig fully
+            c = len(parents)
+            parents.append(a)
+            labels.append("c")
+    return tree_from_parents(parents, labels)
+
+
+def test_intermediate_size_gap():
+    t = _skewed_tree(blocks=30, block_size=30)
+    # the unselective //b branch precedes the selective /c branch in the
+    # pattern's (fixed) join order: binary plans materialize the big
+    # a//b join before c can prune it
+    pattern = parse_twig("//a[.//b]/c")
+    bj_stats = JoinPlanStats()
+    ts_stats = TwigStats()
+    out_binary = binary_join_plan(pattern, t, stats=bj_stats)
+    out_twig = twig_stack(pattern, t, stats=ts_stats)
+    out_ac = holistic_via_arc_consistency(pattern, t)
+    assert out_binary == out_twig == out_ac
+    rows = [
+        ["output size", len(out_twig)],
+        ["binary plan max intermediate", bj_stats.max_intermediate],
+        ["binary plan total intermediate", bj_stats.total_intermediate],
+        ["twig_stack path solutions", ts_stats.path_solutions],
+        ["arc-consistency solutions touched", len(out_ac)],
+    ]
+    report(
+        "E14: intermediate results, //a[.//b]/c on skewed data",
+        ["metric", "value"],
+        rows,
+    )
+    # the binary plan materializes far more than the output...
+    assert bj_stats.max_intermediate > 10 * max(len(out_binary), 1)
+    # ...while the AC-based holistic evaluation is output-sensitive
+    # (Prop. 6.10: its enumeration work tracks |Q(A)|).
+    assert len(out_ac) == len(out_binary)
+    # Honest ablation: the stack-based variant without the getNext
+    # support filter also over-produces path solutions on /-edges —
+    # the known TwigStack suboptimality for child edges.
+    assert ts_stats.path_solutions >= len(out_twig)
+
+
+def test_times_on_xmark():
+    t = xmark_like(250, seed=1)
+    rows = []
+    t_twig = timed(twig_stack, PATTERN, t)
+    t_ac = timed(holistic_via_arc_consistency, PATTERN, t)
+    t_binary = timed(binary_join_plan, PATTERN, t)
+    assert (
+        twig_stack(PATTERN, t)
+        == holistic_via_arc_consistency(PATTERN, t)
+        == binary_join_plan(PATTERN, t)
+    )
+    rows.append(
+        [t.n, f"{t_twig:.4f}", f"{t_ac:.4f}", f"{t_binary:.4f}"]
+    )
+    report(
+        "E14: //item[.//keyword]//description on XMark-like data",
+        ["n", "twig_stack", "arc-consistency", "binary joins"],
+        rows,
+    )
+
+
+def test_holistic_state_bounded_on_skew():
+    """On the skewed workload the binary plan's work is dominated by
+    doomed partial matches; holistic wins in wall clock as skew grows."""
+    rows = []
+    for blocks in (20, 40):
+        t = _skewed_tree(blocks=blocks, block_size=40)
+        pattern = parse_twig("//a[c]//b")
+        tt = timed(twig_stack, pattern, t, repeats=1)
+        tb = timed(binary_join_plan, pattern, t, repeats=1)
+        rows.append([blocks, f"{tt:.4f}", f"{tb:.4f}"])
+    report(
+        "E14: skew sweep //a[c]//b",
+        ["blocks", "twig_stack", "binary joins"],
+        rows,
+    )
+
+
+def test_getnext_filter_optimality():
+    """The full TwigStack getNext head ([13]) vs the unfiltered stack
+    sweep: on //-only twigs with unproductive regions, the filter cuts
+    pushes and path solutions to (near) the useful ones."""
+    from repro.trees.generate import tree_from_parents
+
+    parents, labels = [-1], ["r"]
+    for block in range(200):
+        a = len(parents)
+        parents.append(0)
+        labels.append("a")
+        parents.append(a)
+        labels.append("b")
+        if block % 50 == 0:
+            parents.append(a)
+            labels.append("c")
+    t = tree_from_parents(parents, labels)
+    pattern = parse_twig("//a[.//b][.//c]")
+    plain, filtered = TwigStats(), TwigStats()
+    out_plain = twig_stack(pattern, t, stats=plain)
+    out_filtered = twig_stack_optimal(pattern, t, stats=filtered)
+    assert out_plain == out_filtered
+    rows = [
+        ["output size", len(out_plain), len(out_filtered)],
+        ["pushes", plain.pushes, filtered.pushes],
+        ["path solutions", plain.path_solutions, filtered.path_solutions],
+    ]
+    report(
+        "E14: TwigStack getNext filter (//a[.//b][.//c], 4/200 productive)",
+        ["metric", "no filter", "getNext filter"],
+        rows,
+    )
+    assert filtered.pushes < plain.pushes / 5
+
+
+@pytest.mark.benchmark(group="twig")
+def test_bench_twig_stack_optimal(benchmark):
+    t = xmark_like(300, seed=2)
+    benchmark.pedantic(twig_stack_optimal, args=(PATTERN, t), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="twig")
+def test_bench_twig_stack(benchmark):
+    t = xmark_like(300, seed=2)
+    benchmark.pedantic(twig_stack, args=(PATTERN, t), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="twig")
+def test_bench_arc_consistency(benchmark):
+    t = xmark_like(300, seed=2)
+    benchmark.pedantic(
+        holistic_via_arc_consistency, args=(PATTERN, t), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="twig")
+def test_bench_binary_plan(benchmark):
+    t = xmark_like(300, seed=2)
+    benchmark.pedantic(binary_join_plan, args=(PATTERN, t), rounds=3, iterations=1)

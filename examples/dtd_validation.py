@@ -1,0 +1,66 @@
+"""DTD validation, in memory and streaming (reference [70] of the paper:
+Segoufin & Vianu, "Validating Streaming XML Documents").
+
+Run:  python examples/dtd_validation.py
+"""
+
+from repro.automata import DTD
+from repro.streaming import MemoryMeter, tree_events
+from repro.trees import parse_xml
+from repro.workloads import xmark_like
+
+AUCTION_DTD = DTD(
+    {
+        "site": "regions, people, closed_auctions",
+        "regions": "(africa | asia | europe | namerica)*",
+        "africa": "item*",
+        "asia": "item*",
+        "europe": "item*",
+        "namerica": "item*",
+        "item": "name, description, payment?, shipping?",
+        "description": "text?",
+        "text": "parlist?, keyword?",
+        "parlist": "listitem",
+        "listitem": "parlist?, keyword?",
+        "keyword": "EMPTY",
+        "name": "EMPTY",
+        "payment": "EMPTY",
+        "shipping": "EMPTY",
+        "people": "person*",
+        "person": "name, emailaddress?, profile?",
+        "emailaddress": "EMPTY",
+        "profile": "interest, education?",
+        "interest": "EMPTY",
+        "education": "EMPTY",
+        "closed_auctions": "closed_auction*",
+        "closed_auction": "buyer, itemref, price, annotation?",
+        "buyer": "EMPTY",
+        "itemref": "EMPTY",
+        "price": "EMPTY",
+        "annotation": "description",
+    },
+    root="site",
+)
+
+
+def main() -> None:
+    document = xmark_like(60, seed=11)
+    print(f"document: {document.n} nodes")
+
+    verdict = AUCTION_DTD.validate(document)
+    print("in-memory validation :", "valid" if verdict is None else verdict)
+
+    meter = MemoryMeter()
+    ok = AUCTION_DTD.stream_validate(tree_events(document), meter=meter)
+    print(
+        f"streaming validation : {'valid' if ok else 'INVALID'} "
+        f"(peak {meter.peak_units} state units over {meter.events_seen} events, "
+        f"depth {document.height()})"
+    )
+
+    broken = parse_xml("<site><people/><regions/><closed_auctions/></site>")
+    print("reordered children   :", AUCTION_DTD.validate(broken))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: one tour through the library's main entry points.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.consistency import evaluate_boolean_xproperty
+from repro.cq import parse_cq, yannakakis_unary
+from repro.datalog import evaluate as datalog_evaluate, parse_program
+from repro.rewrite import evaluate_via_rewriting
+from repro.trees import parse_xml
+from repro.twigjoin import parse_twig, twig_stack
+from repro.xpath import evaluate_query_linear, parse_xpath
+
+DOCUMENT = """
+<library>
+  <shelf topic="databases">
+    <book><title/><author/><author/></book>
+    <book><title/><award/></book>
+  </shelf>
+  <shelf topic="logic">
+    <book><title/><author/></book>
+    <journal><title/></journal>
+  </shelf>
+</library>
+"""
+
+
+def main() -> None:
+    tree = parse_xml(DOCUMENT)
+    print(f"parsed {tree.n} nodes, height {tree.height()}")
+
+    # --- Core XPath (linear-time evaluator) -------------------------------
+    query = parse_xpath("Child*[lab() = book][Child[lab() = author]]/Child[lab() = title]")
+    titles = evaluate_query_linear(query, tree)
+    print("titles of books with authors:", sorted(titles))
+
+    # --- conjunctive queries via Yannakakis' algorithm ---------------------
+    cq = parse_cq("ans(b) :- Child+(s, b), Lab:shelf(s), Lab:book(b)")
+    books = yannakakis_unary(cq, tree)
+    print("books on shelves:         ", sorted(books))
+
+    # --- the same query through the Theorem 5.1 rewriting ------------------
+    via_rewriting = {v for (v,) in evaluate_via_rewriting(cq, tree)}
+    assert via_rewriting == books
+
+    # --- monadic datalog (TMNF -> Horn-SAT -> Minoux) ----------------------
+    program = parse_program(
+        """
+        OnShelf(x) :- Lab:shelf(x).
+        OnShelf(x) :- Child(y, x), OnShelf(y).
+        Titled(x) :- OnShelf(x), Lab:title(x).
+        % query: Titled
+        """
+    )
+    print("titles under shelves:     ", sorted(datalog_evaluate(program, tree)))
+
+    # --- holistic twig join -------------------------------------------------
+    twig = parse_twig("//shelf/book[author]")
+    matches = twig_stack(twig, tree)
+    print(f"twig //shelf/book[author]: {len(matches)} matches")
+
+    # --- Boolean CQ via arc-consistency (Theorem 6.5) ----------------------
+    boolean = parse_cq("ans() :- Child+(x, y), Lab:book(x), Lab:award(y)")
+    print("some book holds an award? ", evaluate_boolean_xproperty(boolean, tree))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Selective dissemination of information (SDI): filter a stream of
+documents against many standing subscriptions, in one pass per document
+and with memory proportional to document depth only (Section 5 of the
+paper; the XFilter/YFilter-style scenario of its introduction).
+
+Run:  python examples/stream_filtering.py
+"""
+
+from repro.streaming import MemoryMeter, stream_match_twig, stream_select, tree_events
+from repro.twigjoin import parse_twig
+from repro.workloads import xmark_like
+from repro.xpath import parse_xpath
+
+SUBSCRIPTIONS = {
+    "auction watchers": "//closed_auction//price",
+    "keyword diggers": "//item[.//keyword]",
+    "profile scouts": "//person[profile]",
+    "shipping fans": "//item[shipping][payment]",
+    "nonexistent tag": "//zeppelin",
+}
+
+SELECTION = "Child*[lab() = item]/Child[lab() = name]"
+
+
+def main() -> None:
+    documents = [xmark_like(40, seed=s) for s in range(5)]
+    compiled = {name: parse_twig(text) for name, text in SUBSCRIPTIONS.items()}
+
+    print("document  matching subscriptions")
+    print("--------  ----------------------")
+    for i, doc in enumerate(documents):
+        hits = [
+            name
+            for name, pattern in compiled.items()
+            if stream_match_twig(pattern, tree_events(doc))
+        ]
+        print(f"doc {i} ({doc.n:4d} nodes)  {', '.join(hits) or '-'}")
+
+    # node-selecting subscription with memory instrumentation
+    query = parse_xpath(SELECTION)
+    meter = MemoryMeter()
+    selected = list(stream_select(query, tree_events(documents[0]), meter=meter))
+    print(
+        f"\nselection {SELECTION!r}: {len(selected)} nodes; "
+        f"peak memory {meter.peak_units} units over {meter.events_seen} events "
+        f"(document depth {documents[0].height()})"
+    )
+
+
+if __name__ == "__main__":
+    main()

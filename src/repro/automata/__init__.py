@@ -1,0 +1,48 @@
+"""Tree automata over the (FirstChild, NextSibling) binary encoding
+(§4 "Tree Data": Boolean MSO queries on trees = tree automata, with
+linear-time data complexity [71, 24]; Theorem 4.4).
+
+The encoding is Figure 1(b) of the paper: every node's left pointer is
+its first child, its right pointer its next sibling.  A deterministic
+bottom-up automaton assigns each node a state from the states of its
+encoded left/right children; acceptance looks at the root state.  Runs
+are a single reverse-document-order array pass — O(||A||) with a tiny
+constant, which experiment E16 measures.
+"""
+
+from repro.automata.bottomup import (
+    BottomUpTreeAutomaton,
+    run_automaton,
+    accepts,
+    selecting_run,
+)
+from repro.automata.dtd import DTD, ContentModel
+from repro.automata.twopass import (
+    context_run,
+    select_two_pass,
+    has_marked_ancestor_query,
+)
+from repro.automata.library import (
+    label_exists_automaton,
+    label_count_mod_automaton,
+    child_pattern_automaton,
+    product_automaton,
+    complement_automaton,
+)
+
+__all__ = [
+    "BottomUpTreeAutomaton",
+    "run_automaton",
+    "accepts",
+    "selecting_run",
+    "label_exists_automaton",
+    "label_count_mod_automaton",
+    "child_pattern_automaton",
+    "product_automaton",
+    "complement_automaton",
+    "DTD",
+    "ContentModel",
+    "context_run",
+    "select_two_pass",
+    "has_marked_ancestor_query",
+]

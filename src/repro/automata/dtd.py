@@ -1,0 +1,261 @@
+"""DTD validation — in memory and streaming ([Segoufin & Vianu,
+PODS'02], reference [70] of the paper).
+
+A DTD maps each element label to a *content model*: a regular expression
+over child-label sequences.  Validation checks every node's child
+sequence against its label's model.  The streaming validator keeps one
+automaton state per open element — memory O(depth · |DTD|), the [70]
+upper bound the paper quotes for streaming recognizers of MSO-definable
+tree languages (DTDs are a special case).
+
+Content-model syntax::
+
+    "a, b?, c*"        sequence with optional / starred items
+    "(a | b)+"         alternation, one or more
+    "EMPTY"            no children allowed
+    "ANY"              anything allowed
+
+Content models compile to Glushkov position automata (epsilon-free NFAs
+with one state per label occurrence), simulated with state sets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.errors import ParseError
+from repro.streaming.events import Event
+from repro.streaming.memory import MemoryMeter
+from repro.trees.tree import Tree
+
+__all__ = ["DTD", "ContentModel"]
+
+_TOKEN = re.compile(r"\s*([\w.\-]+|[(),|?*+])")
+_START = -1  # the pre-first-symbol NFA state
+
+
+class _Node:
+    """Regex AST node carrying its Glushkov attributes."""
+
+    __slots__ = ("kind", "label", "children", "nullable", "first", "last")
+
+    def __init__(self, kind: str, label=None, children=()):
+        self.kind = kind  # "sym" | "seq" | "alt" | "star" | "plus" | "opt"
+        self.label = label
+        self.children = list(children)
+        self.nullable = False
+        self.first: set[int] = set()
+        self.last: set[int] = set()
+
+
+def _parse_regex(text: str) -> _Node:
+    tokens = _TOKEN.findall(text)
+    pos = 0
+
+    def peek():
+        return tokens[pos] if pos < len(tokens) else None
+
+    def take(expected=None):
+        nonlocal pos
+        if pos >= len(tokens):
+            raise ParseError(f"content model ended early: {text!r}")
+        token = tokens[pos]
+        if expected is not None and token != expected:
+            raise ParseError(f"expected {expected!r} in content model {text!r}")
+        pos += 1
+        return token
+
+    def parse_alt() -> _Node:
+        node = parse_seq()
+        while peek() == "|":
+            take("|")
+            node = _Node("alt", children=[node, parse_seq()])
+        return node
+
+    def parse_seq() -> _Node:
+        node = parse_postfix()
+        while peek() == ",":
+            take(",")
+            node = _Node("seq", children=[node, parse_postfix()])
+        return node
+
+    def parse_postfix() -> _Node:
+        node = parse_atom()
+        while peek() in ("*", "+", "?"):
+            kind = {"*": "star", "+": "plus", "?": "opt"}[take()]
+            node = _Node(kind, children=[node])
+        return node
+
+    def parse_atom() -> _Node:
+        token = peek()
+        if token == "(":
+            take("(")
+            node = parse_alt()
+            take(")")
+            return node
+        if token is None or token in ("|", ",", ")", "*", "+", "?"):
+            raise ParseError(f"bad content model {text!r}")
+        return _Node("sym", label=take())
+
+    node = parse_alt()
+    if pos != len(tokens):
+        raise ParseError(f"trailing input in content model {text!r}")
+    return node
+
+
+class ContentModel:
+    """A compiled content model (Glushkov position automaton)."""
+
+    def __init__(self, text: str):
+        self.text = text.strip()
+        self.is_any = self.text == "ANY"
+        self.positions: list[str] = []
+        self.follow: list[set[int]] = []
+        self.first: set[int] = set()
+        self.last: set[int] = set()
+        self.nullable = True
+        if self.is_any or self.text in ("EMPTY", ""):
+            return
+        ast = _parse_regex(self.text)
+        self._glushkov(ast)
+        self.first = ast.first
+        self.last = ast.last
+        self.nullable = ast.nullable
+
+    def _glushkov(self, node: _Node) -> None:
+        if node.kind == "sym":
+            index = len(self.positions)
+            self.positions.append(node.label)
+            self.follow.append(set())
+            node.first = {index}
+            node.last = {index}
+            node.nullable = False
+            return
+        for child in node.children:
+            self._glushkov(child)
+        if node.kind == "seq":
+            left, right = node.children
+            node.nullable = left.nullable and right.nullable
+            node.first = set(left.first) | (right.first if left.nullable else set())
+            node.last = set(right.last) | (left.last if right.nullable else set())
+            for p in left.last:
+                self.follow[p] |= right.first
+        elif node.kind == "alt":
+            left, right = node.children
+            node.nullable = left.nullable or right.nullable
+            node.first = left.first | right.first
+            node.last = left.last | right.last
+        elif node.kind in ("star", "plus"):
+            (child,) = node.children
+            node.nullable = child.nullable or node.kind == "star"
+            node.first = set(child.first)
+            node.last = set(child.last)
+            for p in child.last:
+                self.follow[p] |= child.first
+        elif node.kind == "opt":
+            (child,) = node.children
+            node.nullable = True
+            node.first = set(child.first)
+            node.last = set(child.last)
+        else:  # pragma: no cover
+            raise AssertionError(node.kind)
+
+    # -- NFA simulation (state = last matched position, or _START) -------------
+
+    def start_states(self) -> set[int]:
+        return {_START}
+
+    def step(self, states: set[int], label: str) -> set[int]:
+        """One child label; empty result means mismatch."""
+        nxt: set[int] = set()
+        for s in states:
+            candidates = self.first if s == _START else self.follow[s]
+            for p in candidates:
+                if self.positions[p] == label:
+                    nxt.add(p)
+        return nxt
+
+    def accepts_states(self, states: set[int]) -> bool:
+        if _START in states and self.nullable:
+            return True
+        return bool(states & self.last)
+
+    def matches(self, labels: Iterable[str]) -> bool:
+        if self.is_any:
+            return True
+        states = self.start_states()
+        for label in labels:
+            states = self.step(states, label)
+            if not states:
+                return False
+        return self.accepts_states(states)
+
+
+class DTD:
+    """A document type definition: label → content model, plus an
+    optional required root label."""
+
+    def __init__(self, rules: dict[str, str], root: "str | None" = None):
+        self.models = {label: ContentModel(text) for label, text in rules.items()}
+        self.root = root
+
+    # -- in-memory validation -------------------------------------------------
+
+    def validate(self, tree: Tree) -> "str | None":
+        """None if valid, else a human-readable violation message."""
+        if self.root is not None and tree.label[tree.root] != self.root:
+            return f"root is <{tree.label[tree.root]}>, expected <{self.root}>"
+        for v in tree.nodes():
+            label = tree.label[v]
+            model = self.models.get(label)
+            if model is None:
+                return f"undeclared element <{label}> (node {v})"
+            child_labels = [tree.label[c] for c in tree.children[v]]
+            if not model.matches(child_labels):
+                return (
+                    f"children of <{label}> (node {v}) violate "
+                    f"{model.text!r}: {child_labels}"
+                )
+        return None
+
+    def is_valid(self, tree: Tree) -> bool:
+        return self.validate(tree) is None
+
+    # -- streaming validation ([70]) -------------------------------------------
+
+    def stream_validate(
+        self, events: Iterable[Event], meter: MemoryMeter | None = None
+    ) -> bool:
+        """One-pass validation: one NFA state-set per open element."""
+        # frame: (model, states) — states is None for ANY
+        stack: list[tuple[ContentModel, "set[int] | None"]] = []
+        for event in events:
+            if meter is not None:
+                meter.tick()
+            kind, _node, label = event[0], event[1], event[2]
+            if kind == "start":
+                if not stack and self.root is not None and label != self.root:
+                    return False
+                model = self.models.get(label)
+                if model is None:
+                    return False
+                if stack:
+                    parent_model, parent_states = stack[-1]
+                    if parent_states is not None:
+                        advanced = parent_model.step(parent_states, label)
+                        if not advanced:
+                            return False
+                        parent_states.clear()
+                        parent_states.update(advanced)
+                states = None if model.is_any else model.start_states()
+                stack.append((model, states))
+                if meter is not None:
+                    meter.push(1 + (len(states) if states else 0))
+            else:
+                model, states = stack.pop()
+                if meter is not None:
+                    meter.pop(1 + (len(states) if states else 0))
+                if states is not None and not model.accepts_states(states):
+                    return False
+        return True

@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+::
+
+    python -m repro stats    doc.xml
+    python -m repro xpath    "Child*[lab() = a]/Child[lab() = b]" doc.xml
+    python -m repro cq       "ans(x) :- Child+(y, x), Lab:a(y)" doc.xml
+    python -m repro twig     "//a[b]//c" doc.xml
+    python -m repro datalog  program.dl doc.xml
+    python -m repro convert  doc.xml doc.rtre        (and back: .rtre -> .xml)
+    python -m repro classify Child+ Following        (Theorem 6.8 verdict)
+
+Each query command accepts ``--engine`` to pick among the
+implementations the paper surveys (and cross-checks them with
+``--engine all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+
+from repro.trees import Tree, parse_xml, to_xml
+from repro.trees.tree import Tree as _Tree
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_document(path: str, attributes_as_labels: bool = False) -> Tree:
+    if path.endswith(".rtre"):
+        from repro.storage.diskstore import load_tree
+
+        return load_tree(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_xml(fh.read(), attributes_as_labels=attributes_as_labels)
+
+
+def _print_nodes(tree: Tree, nodes, show_paths: bool) -> None:
+    for v in sorted(nodes):
+        if show_paths:
+            chain = [v, *tree.ancestors(v)]
+            path = "/".join(tree.label[u] for u in reversed(chain))
+            print(f"{v}\t{path}")
+        else:
+            print(v)
+
+
+def cmd_stats(args) -> int:
+    tree = _load_document(args.document, args.attr_labels)
+    print(f"nodes   : {tree.n}")
+    print(f"height  : {tree.height()}")
+    print(f"leaves  : {sum(1 for _ in tree.leaves())}")
+    histogram = Counter(tree.label)
+    print("labels  :")
+    for label, count in histogram.most_common(args.top):
+        print(f"  {label:20s} {count}")
+    return 0
+
+
+def cmd_xpath(args) -> int:
+    from repro.xpath import (
+        evaluate_query,
+        evaluate_query_linear,
+        parse_xpath,
+        xpath_to_datalog,
+    )
+    from repro.xpath.translate import evaluate_datalog_translation
+
+    tree = _load_document(args.document, args.attr_labels)
+    expr = parse_xpath(args.query)
+    engines = {
+        "linear": lambda: evaluate_query_linear(expr, tree),
+        "denotational": lambda: evaluate_query(expr, tree),
+        "datalog": lambda: evaluate_datalog_translation(
+            xpath_to_datalog(expr), tree
+        ),
+    }
+    return _run_engines(args, engines, tree)
+
+
+def cmd_cq(args) -> int:
+    from repro.cq import (
+        evaluate_backtracking,
+        evaluate_bounded_treewidth,
+        is_acyclic,
+        parse_cq,
+        yannakakis,
+    )
+    from repro.rewrite import evaluate_via_rewriting
+
+    tree = _load_document(args.document, args.attr_labels)
+    query = parse_cq(args.query)
+    engines = {
+        "backtracking": lambda: evaluate_backtracking(query, tree),
+        "rewrite": lambda: evaluate_via_rewriting(query, tree),
+        "treewidth": lambda: evaluate_bounded_treewidth(query, tree),
+    }
+    if is_acyclic(query):
+        engines["yannakakis"] = lambda: yannakakis(query, tree)
+    return _run_engines(args, engines, tree, tuples=True)
+
+
+def cmd_twig(args) -> int:
+    from repro.twigjoin import (
+        binary_join_plan,
+        holistic_via_arc_consistency,
+        parse_twig,
+        twig_stack,
+    )
+
+    tree = _load_document(args.document, args.attr_labels)
+    pattern = parse_twig(args.query)
+    engines = {
+        "twigstack": lambda: twig_stack(pattern, tree),
+        "ac": lambda: holistic_via_arc_consistency(pattern, tree),
+        "binary": lambda: binary_join_plan(pattern, tree),
+    }
+    return _run_engines(args, engines, tree, tuples=True)
+
+
+def cmd_datalog(args) -> int:
+    from repro.datalog import evaluate, parse_program
+
+    tree = _load_document(args.document, args.attr_labels)
+    with open(args.program, "r", encoding="utf-8") as fh:
+        program = parse_program(fh.read(), query_pred=args.query_pred)
+    start = time.perf_counter()
+    result = evaluate(program, tree)
+    elapsed = time.perf_counter() - start
+    _print_nodes(tree, result, args.paths)
+    print(f"# {len(result)} nodes in {elapsed * 1e3:.1f} ms", file=sys.stderr)
+    return 0
+
+
+def cmd_convert(args) -> int:
+    from repro.storage.diskstore import dump_tree
+
+    tree = _load_document(args.source, args.attr_labels)
+    if args.target.endswith(".rtre"):
+        size = dump_tree(tree, args.target)
+        print(f"wrote {args.target}: {tree.n} nodes, {size} bytes", file=sys.stderr)
+    else:
+        with open(args.target, "w", encoding="utf-8") as fh:
+            fh.write(to_xml(tree, indent=2))
+        print(f"wrote {args.target}: {tree.n} nodes", file=sys.stderr)
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from repro.consistency import classify_signature
+
+    verdict, order = classify_signature(args.axes)
+    if verdict == "P":
+        print(f"P  (X-property w.r.t. <{order})")
+    else:
+        print("NP-complete (Theorem 6.8)")
+    return 0
+
+
+def _run_engines(args, engines: dict, tree: Tree, tuples: bool = False) -> int:
+    chosen = args.engine
+    if chosen != "all" and chosen not in engines:
+        print(
+            f"engine {chosen!r} not applicable; options: "
+            f"{', '.join(engines)} or all",
+            file=sys.stderr,
+        )
+        return 2
+    results = {}
+    for name, fn in engines.items():
+        if chosen not in ("all", name):
+            continue
+        start = time.perf_counter()
+        results[name] = fn()
+        elapsed = time.perf_counter() - start
+        print(f"# {name}: {elapsed * 1e3:.1f} ms", file=sys.stderr)
+    values = list(results.values())
+    if len(values) > 1 and any(v != values[0] for v in values[1:]):
+        print("ENGINE DISAGREEMENT — this is a bug", file=sys.stderr)
+        return 1
+    answer = values[0]
+    if tuples:
+        for row in sorted(answer):
+            print("\t".join(map(str, row)))
+        print(f"# {len(answer)} tuples", file=sys.stderr)
+    else:
+        _print_nodes(tree, answer, args.paths)
+        print(f"# {len(answer)} nodes", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="query processing on tree-structured data (Koch, PODS 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_engine=None):
+        p.add_argument("document", help="XML file or .rtre store")
+        p.add_argument(
+            "--attr-labels",
+            action="store_true",
+            help="expose attributes as @name / @name=value labels",
+        )
+        p.add_argument(
+            "--paths", action="store_true", help="print label paths, not just ids"
+        )
+        if with_engine:
+            p.add_argument(
+                "--engine", default=with_engine, help="engine name or 'all'"
+            )
+
+    p = sub.add_parser("stats", help="document statistics")
+    p.add_argument("document")
+    p.add_argument("--attr-labels", action="store_true")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("xpath", help="evaluate a Core XPath query")
+    p.add_argument("query")
+    common(p, with_engine="linear")
+    p.set_defaults(func=cmd_xpath)
+
+    p = sub.add_parser("cq", help="evaluate a conjunctive query")
+    p.add_argument("query")
+    common(p, with_engine="backtracking")
+    p.set_defaults(func=cmd_cq)
+
+    p = sub.add_parser("twig", help="evaluate a twig pattern")
+    p.add_argument("query")
+    common(p, with_engine="twigstack")
+    p.set_defaults(func=cmd_twig)
+
+    p = sub.add_parser("datalog", help="evaluate a monadic datalog program")
+    p.add_argument("program", help="datalog program file")
+    common(p)
+    p.add_argument("--query-pred", default=None)
+    p.set_defaults(func=cmd_datalog)
+
+    p = sub.add_parser("convert", help="convert between XML and .rtre store")
+    p.add_argument("source")
+    p.add_argument("target")
+    p.add_argument("--attr-labels", action="store_true")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("classify", help="Theorem 6.8 verdict for an axis set")
+    p.add_argument("axes", nargs="+")
+    p.set_defaults(func=cmd_classify)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

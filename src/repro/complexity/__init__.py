@@ -1,0 +1,23 @@
+"""Empirical scaling-law harness (methodology for Section 7 / Figure 7).
+
+The paper's claims are asymptotic; the benchmarks validate *shapes*:
+linear vs quadratic vs exponential growth, and who wins where.  This
+package provides timing sweeps, log-log slope fits, and a growth-class
+classifier shared by every ``benchmarks/bench_*.py``.
+"""
+
+from repro.complexity.scaling import (
+    ScalingPoint,
+    measure_scaling,
+    fit_loglog_slope,
+    classify_growth,
+    format_table,
+)
+
+__all__ = [
+    "ScalingPoint",
+    "measure_scaling",
+    "fit_loglog_slope",
+    "classify_growth",
+    "format_table",
+]

@@ -1,0 +1,108 @@
+"""Timing sweeps and growth classification.
+
+``measure_scaling`` runs a callable over a size sweep (median of
+repeats, garbage-collection disabled around samples);
+``fit_loglog_slope`` least-squares-fits log(time) against log(size), so
+slope ≈ 1 means linear, ≈ 2 quadratic; ``classify_growth`` buckets the
+slope.  Exponential growth shows up as a slope that keeps climbing with
+size — callers detect it by fitting on suffixes or by ratio tests.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "ScalingPoint",
+    "measure_scaling",
+    "fit_loglog_slope",
+    "classify_growth",
+    "format_table",
+    "ratio_test",
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    size: int
+    seconds: float
+    extra: float = 0.0  # free slot: output size, memory units, ...
+
+
+def measure_scaling(
+    make_input: Callable[[int], object],
+    run: Callable[[object], object],
+    sizes: Iterable[int],
+    repeats: int = 3,
+) -> list[ScalingPoint]:
+    """Median wall-clock time of ``run(make_input(n))`` per size."""
+    points: list[ScalingPoint] = []
+    for n in sizes:
+        payload = make_input(n)
+        samples: list[float] = []
+        for _ in range(repeats):
+            gc.disable()
+            start = time.perf_counter()
+            run(payload)
+            samples.append(time.perf_counter() - start)
+            gc.enable()
+        samples.sort()
+        points.append(ScalingPoint(n, samples[len(samples) // 2]))
+    return points
+
+
+def fit_loglog_slope(points: Sequence[ScalingPoint]) -> float:
+    """Least-squares slope of log(seconds) vs log(size)."""
+    xs = [math.log(p.size) for p in points]
+    ys = [math.log(max(p.seconds, 1e-9)) for p in points]
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points to fit a slope")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den
+
+
+def classify_growth(points: Sequence[ScalingPoint]) -> str:
+    """Bucket the fitted slope into a growth class."""
+    slope = fit_loglog_slope(points)
+    if slope < 0.5:
+        return "constant-ish"
+    if slope < 1.5:
+        return "linear"
+    if slope < 2.5:
+        return "quadratic"
+    if slope < 3.5:
+        return "cubic"
+    return "superpolynomial"
+
+
+def ratio_test(points: Sequence[ScalingPoint]) -> list[float]:
+    """Successive time ratios — exponential growth keeps the ratio far
+    above the size ratio."""
+    return [
+        points[i + 1].seconds / max(points[i].seconds, 1e-9)
+        for i in range(len(points) - 1)
+    ]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table rendering for benchmark reports."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""The X-underbar property (Definition 6.3, Figure 5, Proposition 6.6).
+
+A binary relation R has the X-property w.r.t. a total order < iff for
+all n0 < n1 and n2 < n3:  R(n1, n2) ∧ R(n0, n3) ⇒ R(n0, n2)
+("crossing arcs imply the underbar arc").
+
+Proposition 6.6 lists which axes have it w.r.t. which of the three tree
+orders — :data:`PROP_6_6` records the claim, :func:`axis_has_x_property`
+checks it on a concrete tree (experiment E11 verifies the claim
+exhaustively over small trees and falsifies all other combinations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.trees.axes import Axis, axis_holds, axis_pairs, resolve_axis
+from repro.trees.tree import Tree
+
+__all__ = [
+    "ORDERS",
+    "PROP_6_6",
+    "has_x_property",
+    "axis_has_x_property",
+    "x_property_table",
+    "order_position",
+]
+
+#: The three total orders of Section 2, as position-array factories.
+ORDERS: dict[str, Callable[[Tree], list[int]]] = {
+    "pre": lambda tree: list(range(tree.n)),
+    "post": lambda tree: list(tree.post),
+    "bflr": lambda tree: list(tree.bflr),
+}
+
+#: Proposition 6.6 — the axes claimed to have the X-property per order.
+PROP_6_6: dict[str, frozenset[Axis]] = {
+    "pre": frozenset({Axis.CHILD_PLUS, Axis.CHILD_STAR}),
+    "post": frozenset({Axis.FOLLOWING}),
+    "bflr": frozenset(
+        {
+            Axis.CHILD,
+            Axis.NEXT_SIBLING,
+            Axis.NEXT_SIBLING_STAR,
+            Axis.NEXT_SIBLING_PLUS,
+        }
+    ),
+}
+
+
+def order_position(tree: Tree, order: str) -> list[int]:
+    """position[v] = rank of node v in the named order."""
+    try:
+        return ORDERS[order](tree)
+    except KeyError:
+        raise ValueError(f"unknown order {order!r}; use pre/post/bflr") from None
+
+
+def has_x_property(
+    pairs: Iterable[tuple[int, int]],
+    position: Sequence[int],
+    holds: Callable[[int, int], bool],
+) -> bool:
+    """Check Definition 6.3 for an explicit relation.
+
+    ``pairs`` enumerates R, ``position`` gives the order, and ``holds``
+    answers membership.  Checks all pairs of arcs: O(|R|²).
+    """
+    arcs = list(pairs)
+    for n1, n2 in arcs:
+        for n0, n3 in arcs:
+            if position[n0] < position[n1] and position[n2] < position[n3]:
+                if not holds(n0, n2):
+                    return False
+    return True
+
+
+def axis_has_x_property(tree: Tree, axis: "str | Axis", order: str) -> bool:
+    """Does the axis relation of ``tree`` have the X-property w.r.t. the
+    named order?  (Exhaustive check — meant for small trees.)"""
+    axis = resolve_axis(axis)
+    position = order_position(tree, order)
+    return has_x_property(
+        axis_pairs(tree, axis),
+        position,
+        lambda u, v: axis_holds(tree, axis, u, v),
+    )
+
+
+def x_property_table(
+    trees: Iterable[Tree],
+    axes: Iterable["str | Axis"] = (
+        Axis.CHILD,
+        Axis.CHILD_PLUS,
+        Axis.CHILD_STAR,
+        Axis.NEXT_SIBLING,
+        Axis.NEXT_SIBLING_PLUS,
+        Axis.NEXT_SIBLING_STAR,
+        Axis.FOLLOWING,
+    ),
+    orders: Iterable[str] = ("pre", "post", "bflr"),
+) -> dict[tuple[Axis, str], bool]:
+    """Empirical Proposition 6.6: for each (axis, order), True iff the
+    X-property held on *every* supplied tree."""
+    axes = [resolve_axis(a) for a in axes]
+    table = {(axis, order): True for axis in axes for order in orders}
+    for tree in trees:
+        for axis in axes:
+            for order in orders:
+                if table[(axis, order)] and not axis_has_x_property(
+                    tree, axis, order
+                ):
+                    table[(axis, order)] = False
+    return table

@@ -1,0 +1,47 @@
+"""Conjunctive queries over trees (Section 4 of the paper).
+
+- :class:`~repro.cq.query.ConjunctiveQuery` — k-ary CQs over unary label
+  predicates and binary axis relations,
+- :mod:`~repro.cq.acyclic` — GYO reduction, acyclicity test, join trees,
+- :mod:`~repro.cq.yannakakis` — Yannakakis' algorithm [77]: full reducer
+  plus eager-projection joins, O(||A|| · |Q|) for Boolean/unary queries,
+- :mod:`~repro.cq.treewidth` — query tree-width (exact for small queries,
+  min-fill heuristic beyond) and tree decompositions,
+- :mod:`~repro.cq.boundedtw` — the bounded-tree-width evaluation of
+  Theorem 4.1: O((|A|^{k+1} + ||A||) · |Q|),
+- :mod:`~repro.cq.naive` — exponential backtracking baseline.
+"""
+
+from repro.cq.query import ConjunctiveQuery, parse_cq
+from repro.cq.acyclic import is_acyclic, gyo_reduction, build_join_tree, JoinTree
+from repro.cq.yannakakis import yannakakis, yannakakis_boolean, yannakakis_unary
+from repro.cq.treewidth import query_treewidth, tree_decomposition, is_valid_decomposition
+from repro.cq.boundedtw import evaluate_bounded_treewidth
+from repro.cq.naive import evaluate_backtracking
+from repro.cq.containment import (
+    contained_by_homomorphism,
+    decide_containment_sampled,
+    homomorphism,
+    refute_containment,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "parse_cq",
+    "is_acyclic",
+    "gyo_reduction",
+    "build_join_tree",
+    "JoinTree",
+    "yannakakis",
+    "yannakakis_boolean",
+    "yannakakis_unary",
+    "query_treewidth",
+    "tree_decomposition",
+    "is_valid_decomposition",
+    "evaluate_bounded_treewidth",
+    "evaluate_backtracking",
+    "contained_by_homomorphism",
+    "decide_containment_sampled",
+    "homomorphism",
+    "refute_containment",
+]

@@ -1,0 +1,148 @@
+"""Acyclicity of conjunctive queries: GYO reduction and join trees.
+
+A CQ is (α-)acyclic iff the GYO reduction — repeatedly removing *ears*
+(hyperedges whose private part is covered by another edge) — empties its
+hypergraph.  Recording which edge absorbs each ear yields a *join tree*:
+a tree over the atoms such that for every variable, the atoms containing
+it form a connected subtree.  Yannakakis' algorithm runs over this tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cq.query import ConjunctiveQuery
+from repro.datalog.syntax import Atom, is_variable
+from repro.errors import NotAcyclicError
+
+__all__ = ["is_acyclic", "gyo_reduction", "build_join_tree", "JoinTree"]
+
+
+def _edge_vars(atom: Atom) -> frozenset[str]:
+    return frozenset(t for t in atom.args if is_variable(t))
+
+
+def gyo_reduction(
+    query: ConjunctiveQuery,
+) -> tuple[bool, list[tuple[int, int]]]:
+    """Run the GYO reduction.
+
+    Returns ``(acyclic, absorptions)`` where ``absorptions`` is a list of
+    ``(ear_index, witness_index)`` pairs in removal order (the witness of
+    the very last surviving edge is itself).
+    """
+    edges: dict[int, frozenset[str]] = {
+        i: _edge_vars(a) for i, a in enumerate(query.atoms)
+    }
+    absorptions: list[tuple[int, int]] = []
+    changed = True
+    while changed and len(edges) > 1:
+        changed = False
+        for i in list(edges):
+            if len(edges) == 1:
+                break
+            vars_i = edges[i]
+            # variables of i occurring in some other edge
+            shared = {
+                v
+                for v in vars_i
+                if any(j != i and v in edges[j] for j in edges)
+            }
+            witness = None
+            if not shared:
+                # isolated edge: absorbed by an arbitrary survivor
+                witness = next(j for j in edges if j != i)
+            else:
+                for j in edges:
+                    if j != i and shared <= edges[j]:
+                        witness = j
+                        break
+            if witness is not None:
+                absorptions.append((i, witness))
+                del edges[i]
+                changed = True
+    return len(edges) <= 1, absorptions
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Is the query α-acyclic?  (Conjunctive Core XPath queries always
+    are — Proposition 4.2 builds on that.)"""
+    acyclic, _ = gyo_reduction(query)
+    return acyclic
+
+
+@dataclass
+class JoinTree:
+    """A rooted join tree over atom indices of a query."""
+
+    query: ConjunctiveQuery
+    root: int
+    children: dict[int, list[int]] = field(default_factory=dict)
+    parent: dict[int, int] = field(default_factory=dict)
+
+    def postorder(self) -> list[int]:
+        """Atom indices, children before parents."""
+        order: list[int] = []
+        stack = [self.root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(self.children.get(v, ()))
+        order.reverse()
+        return order
+
+    def preorder(self) -> list[int]:
+        order: list[int] = []
+        stack = [self.root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(self.children.get(v, ()))
+        return order
+
+
+def build_join_tree(
+    query: ConjunctiveQuery, root_var: str | None = None
+) -> JoinTree:
+    """Build a join tree, rooted — when ``root_var`` is given — at an atom
+    containing that variable (Section 4: "for unary queries, the join
+    tree has to be oriented so the output is a subset of a column of the
+    relation at the root").
+
+    Raises :class:`NotAcyclicError` for cyclic queries.
+    """
+    if not query.atoms:
+        raise NotAcyclicError("empty query has no join tree")
+    acyclic, absorptions = gyo_reduction(query)
+    if not acyclic:
+        raise NotAcyclicError(f"query is cyclic: {query}")
+    # undirected join tree from the absorption edges
+    neighbours: dict[int, list[int]] = {i: [] for i in range(len(query.atoms))}
+    for ear, witness in absorptions:
+        neighbours[ear].append(witness)
+        neighbours[witness].append(ear)
+    # pick the root
+    root = 0
+    if root_var is not None:
+        for i, atom in enumerate(query.atoms):
+            if root_var in atom.variables():
+                root = i
+                break
+        else:
+            raise NotAcyclicError(
+                f"no atom contains the requested root variable {root_var!r}"
+            )
+    tree = JoinTree(query, root)
+    seen = {root}
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        for w in neighbours[v]:
+            if w not in seen:
+                seen.add(w)
+                tree.parent[w] = v
+                tree.children.setdefault(v, []).append(w)
+                stack.append(w)
+    if len(seen) != len(query.atoms):  # pragma: no cover - gyo guarantees this
+        raise NotAcyclicError("join tree does not span all atoms")
+    return tree

@@ -1,0 +1,35 @@
+"""Monadic datalog over trees (Section 3 of the paper).
+
+Pipeline reproduced here::
+
+    program over τ⁺ (+ arbitrary axes)
+        --to_tmnf-->   TMNF program over τ⁺      (Definition 3.4, [31])
+        --ground-->    propositional Horn program (Theorem 3.2)
+        --minoux-->    minimal model              (Figure 3)
+
+giving O(|P| · |Dom|) combined complexity.  A naive rule-matching
+evaluator (:func:`evaluate_naive`) serves as the baseline for E4/E5.
+"""
+
+from repro.datalog.syntax import Atom, Rule, Program, var, is_variable
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.tmnf import to_tmnf, is_tmnf, is_tmnf_rule
+from repro.datalog.ground import ground
+from repro.datalog.evaluate import evaluate, evaluate_naive, evaluate_program
+
+__all__ = [
+    "Atom",
+    "Rule",
+    "Program",
+    "var",
+    "is_variable",
+    "parse_program",
+    "parse_rule",
+    "to_tmnf",
+    "is_tmnf",
+    "is_tmnf_rule",
+    "ground",
+    "evaluate",
+    "evaluate_naive",
+    "evaluate_program",
+]

@@ -1,0 +1,94 @@
+"""A small concrete syntax for datalog programs.
+
+Grammar (one rule per ``.``; ``%`` starts a line comment)::
+
+    P(x) :- FirstChild(x, y), P0(y).
+    P0(x) :- Lab:a(x).
+    Q(x).                         % a ground fact needs int constants
+    % query: P
+
+Variables are lowercase identifiers, constants are integers, predicate
+names are anything else (including ``Lab:a`` label predicates and axis
+names with an optional ``^-1`` suffix).  The final ``% query: P`` comment
+sets the program's query predicate.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datalog.syntax import Atom, Program, Rule
+from repro.errors import ParseError
+
+__all__ = ["parse_program", "parse_rule"]
+
+_ATOM = re.compile(r"\s*([\w:+*\-^@=]+)\s*\(\s*([^()]*)\s*\)\s*")
+
+
+def _parse_term(text: str) -> "str | int":
+    text = text.strip()
+    if not text:
+        raise ParseError("empty term")
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    if not re.fullmatch(r"[a-z_]\w*", text):
+        raise ParseError(f"bad term {text!r} (variables are lowercase identifiers)")
+    return text
+
+
+def _parse_atom(text: str, offset: int = 0) -> tuple[Atom, int]:
+    match = _ATOM.match(text, offset)
+    if match is None:
+        raise ParseError(f"expected atom in {text[offset:offset + 40]!r}", offset)
+    pred = match.group(1)
+    args_text = match.group(2).strip()
+    args: tuple[str | int, ...] = ()
+    if args_text:
+        args = tuple(_parse_term(part) for part in args_text.split(","))
+    return Atom(pred, args), match.end()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (without the trailing ``.``)."""
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+    else:
+        head_text, body_text = text, ""
+    head, end = _parse_atom(head_text)
+    if head_text[end:].strip():
+        raise ParseError(f"trailing junk after head in {text!r}")
+    body: list[Atom] = []
+    pos = 0
+    body_text = body_text.strip()
+    while pos < len(body_text):
+        atom, pos = _parse_atom(body_text, pos)
+        body.append(atom)
+        rest = body_text[pos:].lstrip()
+        if rest.startswith(","):
+            pos = len(body_text) - len(rest) + 1
+        elif rest:
+            raise ParseError(f"expected ',' in rule body of {text!r}")
+        else:
+            break
+    return Rule(head, tuple(body))
+
+
+def parse_program(text: str, query_pred: str | None = None) -> Program:
+    """Parse a whole program; ``% query: P`` comments set the query
+    predicate (an explicit ``query_pred`` argument wins)."""
+    program = Program()
+    stripped_lines: list[str] = []
+    for raw_line in text.splitlines():
+        comment = raw_line.find("%")
+        if comment >= 0:
+            comment_text = raw_line[comment + 1:].strip()
+            if comment_text.lower().startswith("query:"):
+                program.query_pred = comment_text.split(":", 1)[1].strip()
+            raw_line = raw_line[:comment]
+        stripped_lines.append(raw_line)
+    for part in " ".join(stripped_lines).split("."):
+        if part.strip():
+            program.rules.append(parse_rule(part.strip()))
+    if query_pred is not None:
+        program.query_pred = query_pred
+    return program.canonicalized().validate()

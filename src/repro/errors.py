@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library-level failure while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "QueryError",
+    "NotAcyclicError",
+    "UnsupportedAxisError",
+    "EvaluationError",
+    "IntractableSignatureError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when a query string or document cannot be parsed.
+
+    Carries the offending position when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryError(ReproError):
+    """Raised when a query is structurally invalid (unknown relation,
+    arity mismatch, unsafe rule, ...)."""
+
+
+class NotAcyclicError(QueryError):
+    """Raised when an algorithm that requires an acyclic query is handed
+    a cyclic one (e.g. Yannakakis' algorithm)."""
+
+
+class UnsupportedAxisError(QueryError):
+    """Raised when an axis name is not recognised or not supported by the
+    requested algorithm."""
+
+
+class EvaluationError(ReproError):
+    """Raised when query evaluation fails for reasons other than the
+    query being unsatisfiable (which is a regular empty result)."""
+
+
+class IntractableSignatureError(QueryError):
+    """Raised when a polynomial-time algorithm is asked to run over an
+    axis signature for which the problem is NP-complete (Theorem 6.8)
+    and the caller did not opt into the exponential fallback."""

@@ -1,0 +1,20 @@
+"""Linear-time propositional Horn-SAT — the "datalog technique" (§3).
+
+The paper reproduces Minoux' algorithm verbatim in its Figure 3; this
+package implements it (:func:`minoux`) along with the quadratic naive
+fixpoint iteration (:func:`naive_fixpoint`) used as the baseline in
+experiment E3, and a :class:`HornProgram` container shared with the
+datalog grounder and the arc-consistency encoder.
+"""
+
+from repro.hornsat.program import HornClause, HornProgram
+from repro.hornsat.minoux import minoux, MinouxTrace
+from repro.hornsat.naive import naive_fixpoint
+
+__all__ = [
+    "HornClause",
+    "HornProgram",
+    "minoux",
+    "MinouxTrace",
+    "naive_fixpoint",
+]

@@ -1,0 +1,38 @@
+"""Naive fixpoint evaluation of Horn programs — the baseline for E3.
+
+Repeatedly scans the whole clause list, firing every clause whose body is
+already known true, until a full pass derives nothing new.  Worst case
+this makes O(#atoms) passes of O(||Φ||) work each — the quadratic
+behaviour that Minoux' algorithm (Figure 3) eliminates.  The benchmark
+``bench_fig3_minoux.py`` exhibits the separation on derivation chains.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.hornsat.program import HornProgram
+
+__all__ = ["naive_fixpoint"]
+
+Atom = Hashable
+
+
+def naive_fixpoint(program: HornProgram) -> tuple[set[Atom], bool]:
+    """Compute the minimal model by repeated whole-program scans.
+
+    Same contract as :func:`repro.hornsat.minoux.minoux`.
+    """
+    true_atoms: set[Atom] = set()
+    changed = True
+    while changed:
+        changed = False
+        for clause in program.clauses:
+            if clause.head is not None and clause.head in true_atoms:
+                continue
+            if all(atom in true_atoms for atom in clause.body):
+                if clause.head is None:
+                    return true_atoms, False
+                true_atoms.add(clause.head)
+                changed = True
+    return true_atoms, True

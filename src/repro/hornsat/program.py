@@ -1,0 +1,93 @@
+"""Propositional Horn programs.
+
+A definite Horn clause is ``head <- body_1, ..., body_k`` (k >= 0);
+facts are clauses with an empty body.  Atoms may be any hashable Python
+values — the datalog grounder uses tuples like ``("P", 3)`` and the
+arc-consistency encoder uses ``("Theta", x, v)``.
+
+A clause may also be a *goal constraint* with ``head=None``
+(``<- body``): if its body becomes derivable the program is
+unsatisfiable.  The paper's Figure 3 deals with definite programs only;
+constraints are a strict extension used by a few tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["HornClause", "HornProgram"]
+
+Atom = Hashable
+
+
+@dataclass(frozen=True)
+class HornClause:
+    """One propositional Horn clause ``head <- body``.
+
+    ``head is None`` encodes a negative clause (goal constraint).
+    """
+
+    head: Atom | None
+    body: tuple[Atom, ...] = ()
+
+    def is_fact(self) -> bool:
+        return self.head is not None and not self.body
+
+    def is_constraint(self) -> bool:
+        return self.head is None
+
+    def __str__(self) -> str:
+        head = "" if self.head is None else repr(self.head)
+        if not self.body:
+            return f"{head} <-"
+        return f"{head} <- " + ", ".join(repr(b) for b in self.body)
+
+
+@dataclass
+class HornProgram:
+    """A list of Horn clauses with convenience constructors and stats."""
+
+    clauses: list[HornClause] = field(default_factory=list)
+
+    def fact(self, head: Atom) -> "HornProgram":
+        """Append a fact ``head <-`` (chainable)."""
+        self.clauses.append(HornClause(head))
+        return self
+
+    def rule(self, head: Atom, *body: Atom) -> "HornProgram":
+        """Append a rule ``head <- body`` (chainable)."""
+        self.clauses.append(HornClause(head, tuple(body)))
+        return self
+
+    def constraint(self, *body: Atom) -> "HornProgram":
+        """Append a negative clause ``<- body`` (chainable)."""
+        self.clauses.append(HornClause(None, tuple(body)))
+        return self
+
+    def extend(self, clauses: Iterable[HornClause]) -> "HornProgram":
+        self.clauses.extend(clauses)
+        return self
+
+    def atoms(self) -> set[Atom]:
+        """All atoms mentioned anywhere in the program."""
+        result: set[Atom] = set()
+        for clause in self.clauses:
+            if clause.head is not None:
+                result.add(clause.head)
+            result.update(clause.body)
+        return result
+
+    def size(self) -> int:
+        """||P|| — total number of atom occurrences (the size measure the
+        linear-time bound of Figure 3 is stated against)."""
+        return sum(
+            (0 if clause.head is None else 1) + len(clause.body)
+            for clause in self.clauses
+        )
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[HornClause]:
+        return iter(self.clauses)

@@ -1,0 +1,233 @@
+"""First-order formulas over tree signatures and naive model checking.
+
+Formulas are built from relation atoms (unary predicates such as
+``Lab:a``/``Root``/``Leaf`` and binary axis relations), equality, the
+boolean connectives, and quantifiers.  :func:`fo_eval` is the textbook
+recursive evaluator: data complexity O(n^q) for quantifier rank q —
+the expensive general case that Sections 4–6 improve on for fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.cq.query import ConjunctiveQuery
+from repro.datalog.syntax import is_variable
+from repro.errors import EvaluationError
+from repro.trees.structure import TreeStructure
+from repro.trees.tree import Tree
+
+__all__ = [
+    "FO",
+    "RelAtom",
+    "Eq",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "Forall",
+    "fo_eval",
+    "fo_query",
+    "variable_width",
+    "is_positive",
+    "cq_to_fo",
+]
+
+
+@dataclass(frozen=True)
+class RelAtom:
+    """``pred(t1, ..., tk)`` over the tree signature (terms: variable
+    names or node-id constants)."""
+
+    pred: str
+    args: tuple
+
+    def __str__(self) -> str:
+        return f"{self.pred}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Eq:
+    left: "str | int"
+    right: "str | int"
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "FO"
+    right: "FO"
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "FO"
+    right: "FO"
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "FO"
+
+    def __str__(self) -> str:
+        return f"¬{self.operand}"
+
+
+@dataclass(frozen=True)
+class Exists:
+    var: str
+    body: "FO"
+
+    def __str__(self) -> str:
+        return f"∃{self.var} {self.body}"
+
+
+@dataclass(frozen=True)
+class Forall:
+    var: str
+    body: "FO"
+
+    def __str__(self) -> str:
+        return f"∀{self.var} {self.body}"
+
+
+FO = Union[RelAtom, Eq, And, Or, Not, Exists, Forall]
+
+
+def fo_eval(
+    formula: FO,
+    tree: Tree,
+    assignment: dict[str, int] | None = None,
+    structure: TreeStructure | None = None,
+) -> bool:
+    """Naive model checking of an FO sentence (or formula under a given
+    assignment of its free variables)."""
+    structure = structure or TreeStructure(tree)
+    assignment = dict(assignment or {})
+    domain = range(tree.n)
+
+    def value(t):
+        if is_variable(t):
+            if t not in assignment:
+                raise EvaluationError(f"unbound variable {t}")
+            return assignment[t]
+        return t
+
+    def rec(f: FO) -> bool:
+        if isinstance(f, RelAtom):
+            args = [value(t) for t in f.args]
+            if len(args) == 1:
+                return structure.holds_unary(f.pred, args[0])
+            if len(args) == 2:
+                return structure.holds_binary(f.pred, args[0], args[1])
+            raise EvaluationError(f"bad arity in {f}")
+        if isinstance(f, Eq):
+            return value(f.left) == value(f.right)
+        if isinstance(f, And):
+            return rec(f.left) and rec(f.right)
+        if isinstance(f, Or):
+            return rec(f.left) or rec(f.right)
+        if isinstance(f, Not):
+            return not rec(f.operand)
+        if isinstance(f, Exists):
+            # save/restore: re-quantifying a bound name (FO² shadowing)
+            # must not clobber the outer binding
+            sentinel = object()
+            saved = assignment.get(f.var, sentinel)
+            result = False
+            for v in domain:
+                assignment[f.var] = v
+                if rec(f.body):
+                    result = True
+                    break
+            if saved is sentinel:
+                assignment.pop(f.var, None)
+            else:
+                assignment[f.var] = saved
+            return result
+        if isinstance(f, Forall):
+            sentinel = object()
+            saved = assignment.get(f.var, sentinel)
+            result = True
+            for v in domain:
+                assignment[f.var] = v
+                if not rec(f.body):
+                    result = False
+                    break
+            if saved is sentinel:
+                assignment.pop(f.var, None)
+            else:
+                assignment[f.var] = saved
+            return result
+        raise TypeError(f"not an FO formula: {f!r}")
+
+    return rec(formula)
+
+
+def fo_query(formula: FO, tree: Tree, free_var: str) -> set[int]:
+    """The unary FO query {v : A ⊨ φ[v]}."""
+    return {
+        v for v in tree.nodes() if fo_eval(formula, tree, {free_var: v})
+    }
+
+
+def variable_width(formula: FO) -> int:
+    """The number of distinct variable *names* — the k of FOᵏ.
+
+    [54]: conjunctive FOᵏ⁺¹ queries have tree-width ≤ k; Core XPath
+    translates into FO² (hence Boolean Core XPath is O(||A||² · |Q|)).
+    """
+    names: set[str] = set()
+
+    def rec(f: FO) -> None:
+        if isinstance(f, RelAtom):
+            names.update(t for t in f.args if is_variable(t))
+        elif isinstance(f, Eq):
+            names.update(t for t in (f.left, f.right) if is_variable(t))
+        elif isinstance(f, (And, Or)):
+            rec(f.left)
+            rec(f.right)
+        elif isinstance(f, Not):
+            rec(f.operand)
+        elif isinstance(f, (Exists, Forall)):
+            names.add(f.var)
+            rec(f.body)
+
+    rec(formula)
+    return len(names)
+
+
+def is_positive(formula: FO) -> bool:
+    """No negation and no universal quantification (the fragment of
+    Theorem 5.1 / Corollary 5.2)."""
+    if isinstance(formula, (RelAtom, Eq)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return is_positive(formula.left) and is_positive(formula.right)
+    if isinstance(formula, Exists):
+        return is_positive(formula.body)
+    return False
+
+
+def cq_to_fo(query: ConjunctiveQuery) -> FO:
+    """The CQ as an FO formula: existentially quantify every non-head
+    variable over the conjunction of atoms."""
+    atoms = [RelAtom(a.pred, tuple(a.args)) for a in query.atoms]
+    if not atoms:
+        raise EvaluationError("empty query")
+    body: FO = atoms[0]
+    for atom in atoms[1:]:
+        body = And(body, atom)
+    bound = [v for v in query.variables() if v not in query.head]
+    for v in reversed(bound):
+        body = Exists(v, body)
+    return body

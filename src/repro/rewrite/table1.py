@@ -1,0 +1,69 @@
+"""Table 1 of the paper: satisfiability of R(x, z) ∧ S(y, z) ∧ x <pre y.
+
+Rows are the axis R of the x-atom (x the <pre-smaller source), columns
+the axis S of the y-atom; both atoms share the target z::
+
+    R \\ S          Child   Child+  NextSibling  NextSibling+
+    Child          unsat   unsat   sat          sat
+    Child+         sat     sat     sat          sat
+    NextSibling    unsat   unsat   unsat        unsat
+    NextSibling+   unsat   unsat   sat          sat
+
+In every satisfiable case, R(x, z) may be replaced by R(x, y) — an
+equivalent rewriting (see the case analysis in the proof of Theorem
+5.1).  Experiment E8 certifies the whole matrix by exhaustive search
+over all small ordered trees.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.trees.axes import Axis
+
+__all__ = ["TABLE_1", "axis_pair_satisfiable", "replacement_axis", "REWRITE_AXES"]
+
+#: The four axes Table 1 (and the Theorem 5.1 core loop) ranges over.
+REWRITE_AXES: tuple[Axis, ...] = (
+    Axis.CHILD,
+    Axis.CHILD_PLUS,
+    Axis.NEXT_SIBLING,
+    Axis.NEXT_SIBLING_PLUS,
+)
+
+#: TABLE_1[(R, S)] — is R(x, z) ∧ S(y, z) ∧ x <pre y satisfiable?
+TABLE_1: dict[tuple[Axis, Axis], bool] = {
+    (Axis.CHILD, Axis.CHILD): False,
+    (Axis.CHILD, Axis.CHILD_PLUS): False,
+    (Axis.CHILD, Axis.NEXT_SIBLING): True,
+    (Axis.CHILD, Axis.NEXT_SIBLING_PLUS): True,
+    (Axis.CHILD_PLUS, Axis.CHILD): True,
+    (Axis.CHILD_PLUS, Axis.CHILD_PLUS): True,
+    (Axis.CHILD_PLUS, Axis.NEXT_SIBLING): True,
+    (Axis.CHILD_PLUS, Axis.NEXT_SIBLING_PLUS): True,
+    (Axis.NEXT_SIBLING, Axis.CHILD): False,
+    (Axis.NEXT_SIBLING, Axis.CHILD_PLUS): False,
+    (Axis.NEXT_SIBLING, Axis.NEXT_SIBLING): False,
+    (Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS): False,
+    (Axis.NEXT_SIBLING_PLUS, Axis.CHILD): False,
+    (Axis.NEXT_SIBLING_PLUS, Axis.CHILD_PLUS): False,
+    (Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING): True,
+    (Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_PLUS): True,
+}
+
+
+def axis_pair_satisfiable(r: Axis, s: Axis) -> bool:
+    """Look up Table 1."""
+    try:
+        return TABLE_1[(r, s)]
+    except KeyError:
+        raise QueryError(
+            f"Table 1 is only defined for {', '.join(a.value for a in REWRITE_AXES)}"
+        ) from None
+
+
+def replacement_axis(r: Axis, s: Axis) -> Axis:
+    """In the satisfiable cases, R(x, z) is replaced by R(x, y): the new
+    atom keeps the axis R (proof of Theorem 5.1, case analysis)."""
+    if not axis_pair_satisfiable(r, s):
+        raise QueryError(f"pair ({r}, {s}) is unsatisfiable — nothing to replace")
+    return r

@@ -1,0 +1,41 @@
+"""Relational storage of trees: orders, labeling schemes, structural joins.
+
+Section 2 of the paper: a node-labeled tree is completely represented by
+one (pre, post, label) triple per node; the XASR of [Fiebig & Moerkotte]
+adds the parent's pre index.  On this representation the transitive axes
+become single *theta-joins* (structural joins) instead of transitive-
+closure computations — the asymmetry experiment E2 measures.
+"""
+
+from repro.storage.relational import Table
+from repro.storage.xasr import XASR, descendant_view, child_view
+from repro.storage.structural_join import (
+    stack_structural_join,
+    merge_structural_join,
+    nested_loop_join,
+    transitive_closure_pairs,
+)
+from repro.storage.labeling import (
+    IntervalLabeling,
+    OrdpathLabeling,
+    DietzLabeling,
+)
+from repro.storage.diskstore import dump_tree, dumps_tree, load_tree, loads_tree
+
+__all__ = [
+    "Table",
+    "XASR",
+    "descendant_view",
+    "child_view",
+    "stack_structural_join",
+    "merge_structural_join",
+    "nested_loop_join",
+    "transitive_closure_pairs",
+    "IntervalLabeling",
+    "OrdpathLabeling",
+    "DietzLabeling",
+    "dump_tree",
+    "dumps_tree",
+    "load_tree",
+    "loads_tree",
+]

@@ -1,0 +1,162 @@
+"""Node labeling schemes (Section 2: "Orders and Labeling Schemes").
+
+The paper surveys labeling schemes that decide axis relationships from
+labels alone ([74, 66, 63, 75, 23]).  Three representatives:
+
+- :class:`IntervalLabeling` — the (pre, post) scheme of [43/Grust]: a
+  node is labeled ``(pre, post, level)``; every axis of the paper is
+  decidable by integer comparisons,
+- :class:`DietzLabeling` — Dietz-Sleator style gapped pre/post numbers
+  that leave room for a bounded number of insertions without global
+  renumbering [23],
+- :class:`OrdpathLabeling` — ORDPATH-style dotted-decimal labels [63]:
+  ancestor tests by prefix, document order lexicographic, and
+  insert-friendly "careting in" between siblings using even components.
+
+All schemes implement the same protocol: ``label_of(v)``,
+``is_ancestor(l1, l2)``, ``is_following(l1, l2)``, ``document_order_key``.
+"""
+
+from __future__ import annotations
+
+from repro.trees.tree import Tree
+
+__all__ = ["IntervalLabeling", "DietzLabeling", "OrdpathLabeling"]
+
+
+class IntervalLabeling:
+    """(pre, post, level) labels; all axis checks are O(1) comparisons."""
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self._labels = [
+            (v, tree.post[v], tree.depth[v]) for v in tree.nodes()
+        ]
+
+    def label_of(self, v: int) -> tuple[int, int, int]:
+        return self._labels[v]
+
+    @staticmethod
+    def is_ancestor(a: tuple, d: tuple) -> bool:
+        """Child+(a, d) from labels alone: a.pre < d.pre and d.post < a.post."""
+        return a[0] < d[0] and d[1] < a[1]
+
+    @staticmethod
+    def is_parent(a: tuple, d: tuple) -> bool:
+        return IntervalLabeling.is_ancestor(a, d) and d[2] == a[2] + 1
+
+    @staticmethod
+    def is_following(left: tuple, right: tuple) -> bool:
+        return left[0] < right[0] and left[1] < right[1]
+
+    @staticmethod
+    def document_order_key(label: tuple) -> int:
+        return label[0]
+
+    def bits_per_label(self) -> int:
+        """Labels cost O(log |A|) bits each, giving the O(||A|| log |A|)
+        total representation size quoted in Section 2."""
+        n = max(self.tree.n, 2)
+        return 3 * max(1, (n - 1).bit_length())
+
+
+class DietzLabeling:
+    """Gapped (pre, post) numbering in the spirit of Dietz & Sleator [23].
+
+    Pre/post indexes are multiplied by a gap factor so that up to
+    ``gap - 1`` nodes can later be inserted between any two existing
+    nodes without renumbering; :meth:`insert_leaf_label` demonstrates
+    the update path by synthesizing a fresh label inside a parent's
+    interval."""
+
+    def __init__(self, tree: Tree, gap: int = 16):
+        if gap < 2:
+            raise ValueError("gap must be at least 2")
+        self.tree = tree
+        self.gap = gap
+        self._labels = [
+            ((v + 1) * gap, (tree.post[v] + 1) * gap) for v in tree.nodes()
+        ]
+
+    def label_of(self, v: int) -> tuple[int, int]:
+        return self._labels[v]
+
+    @staticmethod
+    def is_ancestor(a: tuple, d: tuple) -> bool:
+        return a[0] < d[0] and d[1] < a[1]
+
+    @staticmethod
+    def is_following(left: tuple, right: tuple) -> bool:
+        return left[0] < right[0] and left[1] < right[1]
+
+    @staticmethod
+    def document_order_key(label: tuple) -> int:
+        return label[0]
+
+    def insert_leaf_label(self, parent: int) -> tuple[int, int] | None:
+        """A label for a new last child of ``parent``, or None if the gap
+        under the parent is exhausted (a real system would then locally
+        renumber)."""
+        p_pre, p_post = self._labels[parent]
+        kids = self.tree.children[parent]
+        if kids:
+            last_pre, last_post = self._labels[kids[-1]]
+            lo_pre, lo_post = last_pre, last_post
+        else:
+            lo_pre, lo_post = p_pre, p_pre
+        new_pre = lo_pre + (self.gap // 2)
+        new_post = (lo_post + p_post) // 2
+        if new_post <= lo_post or new_post >= p_post:
+            return None
+        return (new_pre, new_post)
+
+
+class OrdpathLabeling:
+    """ORDPATH [63]: the root is ``(1,)``; the i-th child of a node with
+    label L is ``L + (2*i + 1,)``.  Ancestry is label-prefix testing and
+    document order is lexicographic order; even components ("carets")
+    can be interposed to insert between siblings without relabeling."""
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        labels: list[tuple[int, ...]] = [()] * tree.n
+        labels[tree.root] = (1,)
+        # ids are pre-order, so parents are labeled before children
+        for v in tree.nodes():
+            for i, c in enumerate(tree.children[v]):
+                labels[c] = labels[v] + (2 * i + 1,)
+        self._labels = labels
+
+    def label_of(self, v: int) -> tuple[int, ...]:
+        return self._labels[v]
+
+    @staticmethod
+    def is_ancestor(a: tuple, d: tuple) -> bool:
+        """Strict prefix test on the component sequences."""
+        return len(a) < len(d) and d[: len(a)] == a
+
+    @staticmethod
+    def is_following(left: tuple, right: tuple) -> bool:
+        """Document order is lexicographic; following additionally
+        excludes the ancestor case."""
+        return left < right and not OrdpathLabeling.is_ancestor(left, right)
+
+    @staticmethod
+    def document_order_key(label: tuple) -> tuple:
+        return label
+
+    @staticmethod
+    def between(left: tuple, right: tuple) -> tuple[int, ...]:
+        """A fresh sibling label strictly between two sibling labels,
+        without touching any existing label (the ORDPATH insert trick:
+        descend through an even caret when the integer gap is closed)."""
+        head, l_last = left[:-1], left[-1]
+        r_last = right[-1]
+        if r_last - l_last > 1:
+            mid = l_last + 1
+            if mid % 2 == 0:
+                # even value: legal only as caret, extend with odd 1
+                return head + (mid, 1)
+            return head + (mid,)
+        # adjacent odd values: caret in below the left label
+        return head + (l_last + 1, 1)

@@ -1,0 +1,137 @@
+"""A minimal in-memory relational engine.
+
+Just enough relational algebra to express the SQL views of Example 2.1
+(and to host the XASR): named columns, selection, projection, theta-join,
+equi-join via sort-merge, and ordering.  Rows are plain tuples; a
+:class:`Table` is immutable from the caller's perspective.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import QueryError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named-column relation over tuple rows."""
+
+    __slots__ = ("columns", "rows", "_index")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[tuple] = ()):
+        self.columns = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise QueryError(f"duplicate column names: {columns}")
+        self.rows = [tuple(r) for r in rows]
+        for r in self.rows:
+            if len(r) != len(self.columns):
+                raise QueryError(
+                    f"row arity {len(r)} != schema arity {len(self.columns)}"
+                )
+        self._index: dict[tuple[str, ...], dict] | None = None
+
+    def col(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise QueryError(f"no column {name!r} in {self.columns}") from None
+
+    # -- algebra -------------------------------------------------------------
+
+    def select(self, predicate: Callable[[dict], bool]) -> "Table":
+        """σ — keep rows whose column dict satisfies ``predicate``."""
+        cols = self.columns
+        return Table(
+            cols, (r for r in self.rows if predicate(dict(zip(cols, r))))
+        )
+
+    def project(self, names: Sequence[str], dedup: bool = True) -> "Table":
+        """π — keep the given columns (deduplicating by default)."""
+        idx = [self.col(n) for n in names]
+        projected = (tuple(r[i] for i in idx) for r in self.rows)
+        if dedup:
+            seen: set[tuple] = set()
+            rows = []
+            for row in projected:
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+            return Table(names, rows)
+        return Table(names, projected)
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        return Table(
+            [mapping.get(c, c) for c in self.columns], self.rows
+        )
+
+    def theta_join(
+        self, other: "Table", predicate: Callable[[dict, dict], bool]
+    ) -> "Table":
+        """Nested-loop θ-join; output columns are the disjoint union
+        (``other``'s clashing columns get an ``_r`` suffix)."""
+        right_cols = [
+            c + "_r" if c in self.columns else c for c in other.columns
+        ]
+        out_cols = list(self.columns) + right_cols
+        rows = []
+        left_cols, orig_right = self.columns, other.columns
+        for lrow in self.rows:
+            ldict = dict(zip(left_cols, lrow))
+            for rrow in other.rows:
+                if predicate(ldict, dict(zip(orig_right, rrow))):
+                    rows.append(lrow + rrow)
+        return Table(out_cols, rows)
+
+    def equi_join(self, other: "Table", left_on: str, right_on: str) -> "Table":
+        """Hash equi-join (linear plus output)."""
+        right_cols = [
+            c + "_r" if c in self.columns else c for c in other.columns
+        ]
+        out_cols = list(self.columns) + right_cols
+        li, ri = self.col(left_on), other.col(right_on)
+        buckets: dict = {}
+        for rrow in other.rows:
+            buckets.setdefault(rrow[ri], []).append(rrow)
+        rows = []
+        for lrow in self.rows:
+            for rrow in buckets.get(lrow[li], ()):
+                rows.append(lrow + rrow)
+        return Table(out_cols, rows)
+
+    def order_by(self, *names: str) -> "Table":
+        idx = [self.col(n) for n in names]
+        return Table(
+            self.columns, sorted(self.rows, key=lambda r: tuple(r[i] for i in idx))
+        )
+
+    def distinct(self) -> "Table":
+        return Table(self.columns, dict.fromkeys(self.rows))
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.columns}, {len(self.rows)} rows)"
+
+    def pretty(self, limit: int = 20) -> str:
+        """A fixed-width rendering like the paper's Figure 2(b)."""
+        header = [list(map(str, self.columns))]
+        body = [[str(x) for x in row] for row in self.rows[:limit]]
+        widths = [
+            max(len(line[i]) for line in header + body)
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+            for line in header + body
+        ]
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Structural joins and their baselines (Section 2, [Al-Khalifa et al.]).
+
+Given two node lists A ("ancestor side") and D ("descendant side"), the
+structural join computes all pairs (a, d) with a an ancestor of d.  On
+(pre, post)-labeled inputs sorted by pre this is:
+
+- :func:`stack_structural_join` — the stack-based Stack-Tree-Desc
+  algorithm: O(|A| + |D| + |output|),
+- :func:`merge_structural_join` — a simpler merge variant that skips
+  A-nodes that can no longer match (same asymptotics on tree inputs),
+- :func:`nested_loop_join` — the O(|A| · |D|) baseline,
+- :func:`transitive_closure_pairs` — the baseline the paper calls out:
+  materialize Child+ by iterating Child-joins, "performing an arbitrary
+  number of joins" (quadratic output in the worst case).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.trees.tree import Tree
+
+__all__ = [
+    "stack_structural_join",
+    "merge_structural_join",
+    "nested_loop_join",
+    "transitive_closure_pairs",
+    "following_join",
+]
+
+# Nodes enter the joins as (pre, post) pairs; a is an ancestor of d iff
+# a.pre < d.pre and d.post < a.post.
+
+Label = tuple[int, int]
+
+
+def stack_structural_join(
+    ancestors: Sequence[Label], descendants: Sequence[Label]
+) -> list[tuple[Label, Label]]:
+    """Stack-Tree-Desc: both inputs sorted by pre; output sorted by the
+    descendant's pre.  Runs in O(|A| + |D| + |output|)."""
+    out: list[tuple[Label, Label]] = []
+    stack: list[Label] = []
+    ai = 0
+    n_anc = len(ancestors)
+    for d in descendants:
+        d_pre, d_post = d
+        # Push every ancestor-side node that starts before d, popping the
+        # ones whose interval closed already.  Because the inputs come
+        # from one tree, the stack is always a chain of nested intervals.
+        while ai < n_anc and ancestors[ai][0] < d_pre:
+            a = ancestors[ai]
+            while stack and stack[-1][1] < a[1]:
+                stack.pop()
+            stack.append(a)
+            ai += 1
+        # Pop ancestors that do not contain d.
+        while stack and stack[-1][1] < d_post:
+            stack.pop()
+        for a in stack:
+            out.append((a, d))
+    return out
+
+
+def _contains(a: Label, d: Label) -> bool:
+    return a[0] < d[0] and d[1] < a[1]
+
+
+def merge_structural_join(
+    ancestors: Sequence[Label], descendants: Sequence[Label]
+) -> list[tuple[Label, Label]]:
+    """A simpler two-cursor variant: for each d, scan the currently-open
+    ancestors.  On tree-shaped inputs the open set is a chain, so the
+    cost matches the stack algorithm; kept as the ablation partner."""
+    out: list[tuple[Label, Label]] = []
+    open_anc: list[Label] = []
+    ai = 0
+    n_anc = len(ancestors)
+    for d in descendants:
+        d_pre, _d_post = d
+        while ai < n_anc and ancestors[ai][0] < d_pre:
+            open_anc.append(ancestors[ai])
+            ai += 1
+        # prune closed ancestors (post < d_pre means the interval ended)
+        open_anc = [a for a in open_anc if a[1] > d_pre or _contains(a, d)]
+        for a in open_anc:
+            if _contains(a, d):
+                out.append((a, d))
+    return out
+
+
+def nested_loop_join(
+    ancestors: Sequence[Label], descendants: Sequence[Label]
+) -> list[tuple[Label, Label]]:
+    """The quadratic baseline."""
+    return [
+        (a, d) for a in ancestors for d in descendants if _contains(a, d)
+    ]
+
+
+def following_join(
+    lefts: Sequence[Label], rights: Sequence[Label]
+) -> list[tuple[Label, Label]]:
+    """All pairs (l, r) with Following(l, r): l.pre < r.pre, l.post < r.post."""
+    return [
+        (left, right)
+        for left in lefts
+        for right in rights
+        if left[0] < right[0] and left[1] < right[1]
+    ]
+
+
+def transitive_closure_pairs(tree: Tree) -> set[tuple[int, int]]:
+    """Materialize Child+ from the Child relation by iterated joins
+    (semi-naive).  This is the approach the structural join replaces:
+    its output alone is Θ(n·depth), and computing it performs one join
+    round per tree level."""
+    closure: set[tuple[int, int]] = set(tree.child_pairs())
+    frontier = set(closure)
+    while frontier:
+        next_frontier: set[tuple[int, int]] = set()
+        for u, v in frontier:
+            for w in tree.children[v]:
+                pair = (u, w)
+                if pair not in closure:
+                    closure.add(pair)
+                    next_frontier.add(pair)
+        frontier = next_frontier
+    return closure

@@ -1,0 +1,167 @@
+"""Buffered streaming: lookahead qualifiers and the concurrency bound.
+
+§7 of the paper discusses memory *lower bounds* for streaming XPath:
+[40] proves Ω(depth), and [Bar-Yossef et al., PODS'04] show memory must
+also grow with the number of *concurrently alive candidate answers*.
+The pure O(depth) evaluators of :mod:`repro.streaming.engine` only
+support qualifiers decidable at the start tag; this module adds the
+simplest qualifier that *forces* buffering:
+
+    ...final-step[ NextSibling+[lab() = L] ]
+
+A node matching the final step cannot be emitted until a later sibling
+labeled L arrives (or its parent closes, discarding it).  All pending
+candidates under an open parent must be buffered — so on flat documents
+the peak memory is Θ(#concurrent candidates), not Θ(depth), which the
+extended experiment E15 measures.
+
+:func:`stream_select_lookahead` evaluates a downward path query (the
+:func:`~repro.streaming.engine.stream_select` fragment) whose *final*
+step may additionally carry following-sibling-existence qualifiers.
+Results are emitted as soon as confirmed (possibly out of document
+order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.streaming.engine import compile_path_nfa
+from repro.streaming.events import Event
+from repro.streaming.memory import MemoryMeter
+from repro.trees.axes import Axis
+from repro.xpath.ast import (
+    AxisStep,
+    LabelTest,
+    Path,
+    PathQualifier,
+    XPathExpr,
+)
+
+__all__ = ["stream_select_lookahead", "split_lookahead"]
+
+
+def split_lookahead(expr: XPathExpr) -> tuple[XPathExpr, frozenset[str]]:
+    """Separate following-sibling lookahead qualifiers off the final step.
+
+    Returns (downward core query, labels that must each occur on some
+    later sibling of a result node).  Raises :class:`QueryError` if a
+    lookahead qualifier appears on a non-final step or has an
+    unsupported shape.
+    """
+    def last_step(e: XPathExpr) -> AxisStep:
+        if isinstance(e, AxisStep):
+            return e
+        if isinstance(e, Path):
+            return last_step(e.right)
+        raise QueryError("lookahead streaming needs a union-free path")
+
+    def rebuild(e: XPathExpr, new_last: AxisStep) -> XPathExpr:
+        if isinstance(e, AxisStep):
+            return new_last
+        assert isinstance(e, Path)
+        return Path(e.left, rebuild(e.right, new_last))
+
+    final = last_step(expr)
+    lookahead: set[str] = set()
+    kept = []
+    for q in final.qualifiers:
+        if (
+            isinstance(q, PathQualifier)
+            and isinstance(q.path, AxisStep)
+            and q.path.axis is Axis.NEXT_SIBLING_PLUS
+            and len(q.path.qualifiers) == 1
+            and isinstance(q.path.qualifiers[0], LabelTest)
+        ):
+            lookahead.add(q.path.qualifiers[0].label)
+        else:
+            kept.append(q)
+    core = rebuild(expr, AxisStep(final.axis, tuple(kept)))
+    return core, frozenset(lookahead)
+
+
+def stream_select_lookahead(
+    expr: XPathExpr,
+    events: Iterable[Event],
+    meter: MemoryMeter | None = None,
+) -> Iterator[int]:
+    """Yield the ids of nodes selected by a downward path query whose
+    final step may carry ``[NextSibling+[lab() = L]]`` qualifiers.
+
+    Candidates are buffered inside their parent's frame until a later
+    sibling carries every required label; unresolved candidates die when
+    the parent closes.  Peak buffered state is Θ(concurrent candidates).
+    """
+    core, lookahead = split_lookahead(expr)
+    steps = compile_path_nfa(core)
+    k = len(steps)
+    if not lookahead:
+        from repro.streaming.engine import stream_select
+
+        yield from stream_select(core, events, meter=meter)
+        return
+
+    def labels_ok(required: frozenset[str], label: str) -> bool:
+        return all(r == label for r in required)
+
+    # frames: (S, C, pending, missing) — pending[node_id] = set of labels
+    # still awaited among later siblings of node_id
+    stack: list[tuple[set[int], set[int], dict[int, set[str]]]] = []
+    for event in events:
+        if meter is not None:
+            meter.tick()
+        kind, node_id, label = event[0], event[1], event[2]
+        if kind == "end":
+            s, c, pending = stack.pop()
+            if meter is not None:
+                meter.pop(2 + len(s) + len(c) + sum(len(m) for m in pending.values()) + len(pending))
+            continue
+        if stack:
+            parent_s, parent_c, pending = stack[-1]
+            # this start tag is a new sibling: it may discharge waiting
+            # candidates in the parent's buffer
+            resolved = []
+            for cand, missing in pending.items():
+                if label in missing:
+                    missing.discard(label)
+                    if meter is not None:
+                        meter.pop(1)
+                    if not missing:
+                        resolved.append(cand)
+            for cand in resolved:
+                del pending[cand]
+                if meter is not None:
+                    meter.pop(1)
+                yield cand
+            s: set[int] = set()
+        else:
+            parent_s, parent_c = set(), set()
+            s = {0}
+        for i in range(k):
+            axis, required = steps[i]
+            if not labels_ok(required, label):
+                continue
+            if axis is Axis.CHILD:
+                if i in parent_s:
+                    s.add(i + 1)
+            elif axis is Axis.CHILD_PLUS:
+                if i in parent_c:
+                    s.add(i + 1)
+            elif axis is Axis.CHILD_STAR:
+                if i in parent_c or i in s:
+                    s.add(i + 1)
+            else:  # Self
+                if i in s:
+                    s.add(i + 1)
+        c = parent_c | s
+        if k in s:
+            if stack:
+                # buffer in the parent frame until the lookahead resolves
+                stack[-1][2][node_id] = set(lookahead)
+                if meter is not None:
+                    meter.push(1 + len(lookahead))
+            # a root-level candidate has no later siblings: it dies
+        stack.append((s, c, {}))
+        if meter is not None:
+            meter.push(2 + len(s) + len(c))

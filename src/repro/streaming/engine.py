@@ -1,0 +1,190 @@
+"""One-pass streaming evaluators with O(depth · |Q|) memory (Section 5).
+
+:func:`stream_select` handles *downward* forward path queries — steps
+over Child / Child+ / Child* / Self with label-test qualifiers — by
+maintaining, per open element, two position sets of the step automaton
+(the transducer-network idea of [61, 65] with the automata kept apart,
+not multiplied out).  Selection is decided at the start tag, so results
+stream out with no buffering.
+
+:func:`stream_match_twig` decides Boolean twig matching (``/`` and ``//``
+edges) bottom-up: each open element carries two pattern-node sets —
+"matched at some child" and "matched at some strict descendant" — and a
+pattern node is recognized when its element closes.  This is the shape
+of the O(depth) streaming recognizers for MSO-definable tree languages
+implicit in [60, 70].
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.streaming.events import Event
+from repro.streaming.memory import MemoryMeter
+from repro.trees.axes import Axis
+from repro.twigjoin.pattern import TwigPattern
+from repro.xpath.ast import AxisStep, LabelTest, Path, XPathExpr
+
+__all__ = ["stream_select", "stream_match_twig", "compile_path_nfa"]
+
+_DOWNWARD = {Axis.CHILD, Axis.CHILD_PLUS, Axis.CHILD_STAR, Axis.SELF}
+
+
+def compile_path_nfa(expr: XPathExpr) -> list[tuple[Axis, frozenset[str]]]:
+    """Flatten a downward path query into (axis, required-labels) steps.
+
+    Raises :class:`QueryError` on anything but Child/Child+/Child*/Self
+    steps with label-test qualifiers (the streamable fragment of
+    :func:`stream_select`).
+    """
+    steps: list[tuple[Axis, frozenset[str]]] = []
+
+    def visit(e: XPathExpr) -> None:
+        if isinstance(e, Path):
+            visit(e.left)
+            visit(e.right)
+            return
+        if not isinstance(e, AxisStep):
+            raise QueryError("stream_select needs a union-free path query")
+        if e.axis not in _DOWNWARD:
+            raise QueryError(
+                f"stream_select supports downward axes only, got {e.axis}"
+            )
+        labels = []
+        for q in e.qualifiers:
+            if not isinstance(q, LabelTest):
+                raise QueryError(
+                    "stream_select supports label-test qualifiers only"
+                )
+            labels.append(q.label)
+        steps.append((e.axis, frozenset(labels)))
+
+    visit(expr)
+    return steps
+
+
+def stream_select(
+    expr: XPathExpr,
+    events: Iterable[Event],
+    meter: MemoryMeter | None = None,
+) -> Iterator[int]:
+    """Yield the ids of selected nodes, in document order.
+
+    Each open element carries two automaton position sets (position i =
+    "the first i steps are consumed"):
+
+    - ``S`` — positions realizable standing exactly at this element,
+    - ``C`` — positions realizable at some ancestor-or-self (the carry
+      that lets Child+/Child* steps fire arbitrarily deep).
+
+    Both sets have at most |Q|+1 members, so memory is O(depth · |Q|).
+    An element is selected iff the final position k lands in its ``S``.
+    """
+    steps = compile_path_nfa(expr)
+    k = len(steps)
+
+    def labels_ok(required: frozenset[str], label: str) -> bool:
+        return all(r == label for r in required)
+
+    # stack of (S, C) per open element
+    stack: list[tuple[set[int], set[int]]] = []
+    for event in events:
+        if meter is not None:
+            meter.tick()
+        kind, node_id, label = event[0], event[1], event[2]
+        if kind == "end":
+            s, c = stack.pop()
+            if meter is not None:
+                meter.pop(2 + len(s) + len(c))
+            continue
+        if stack:
+            parent_s, parent_c = stack[-1]
+            s: set[int] = set()
+        else:
+            parent_s, parent_c = set(), set()
+            s = {0}  # the context node: zero steps consumed at the root
+        for i in range(k):
+            axis, required = steps[i]
+            ok = labels_ok(required, label)
+            if not ok:
+                continue
+            if axis is Axis.CHILD:
+                if i in parent_s:
+                    s.add(i + 1)
+            elif axis is Axis.CHILD_PLUS:
+                if i in parent_c:
+                    s.add(i + 1)
+            elif axis is Axis.CHILD_STAR:
+                if i in parent_c or i in s:
+                    s.add(i + 1)
+            else:  # Self
+                if i in s:
+                    s.add(i + 1)
+        c = parent_c | s
+        stack.append((s, c))
+        if meter is not None:
+            meter.push(2 + len(s) + len(c))
+        if k in s:
+            yield node_id
+
+
+def stream_match_twig(
+    pattern: TwigPattern,
+    events: Iterable[Event],
+    meter: MemoryMeter | None = None,
+) -> bool:
+    """Decide whether the document matches the Boolean twig query."""
+    nodes = pattern.nodes
+    by_label: dict[str, list[int]] = {}
+    wildcard: list[int] = []
+    for q in nodes:
+        if q.label == "*":
+            wildcard.append(q.index)
+        else:
+            by_label.setdefault(q.label, []).append(q.index)
+
+    # stack frames: (matched_at_child, matched_at_strict_descendant)
+    stack: list[tuple[set[int], set[int]]] = []
+    root_edge = pattern.root.edge
+    root_idx = pattern.root.index
+    found = False
+    for event in events:
+        if meter is not None:
+            meter.tick()
+        kind, _node_id, label = event[0], event[1], event[2]
+        if kind == "start":
+            stack.append((set(), set()))
+            if meter is not None:
+                meter.push(2)
+            continue
+        child_set, desc_set = stack.pop()
+        if meter is not None:
+            meter.pop(2 + len(child_set) + len(desc_set))
+        matched_here: set[int] = set()
+        for q_idx in by_label.get(label, []) + wildcard:
+            q = nodes[q_idx]
+            ok = True
+            for child in q.children:
+                if child.edge == "/":
+                    if child.index not in child_set:
+                        ok = False
+                        break
+                elif (
+                    child.index not in child_set
+                    and child.index not in desc_set
+                ):
+                    ok = False
+                    break
+            if ok:
+                matched_here.add(q_idx)
+        if root_idx in matched_here and (root_edge == "//" or not stack):
+            found = True
+        if stack:
+            p_child, p_desc = stack[-1]
+            before = len(p_child) + len(p_desc)
+            p_child |= matched_here
+            p_desc |= child_set | desc_set | matched_here
+            if meter is not None:
+                meter.push(len(p_child) + len(p_desc) - before)
+    return found

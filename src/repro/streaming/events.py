@@ -1,0 +1,46 @@
+"""SAX-style event streams.
+
+An event is ``("start", node_id, label)`` or ``("end", node_id, label)``
+where node ids are assigned in document order (pre-order) — exactly what
+a SAX parser provides, and all the streaming evaluators may look at.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trees.tree import Tree
+from repro.trees.xmlio import iter_xml_events
+
+__all__ = ["Event", "tree_events", "xml_events"]
+
+Event = tuple[str, int, str]
+
+
+def tree_events(tree: Tree) -> Iterator[Event]:
+    """Stream a materialized tree (used by tests and benchmarks; the
+    evaluators never touch the tree object itself)."""
+    # iterative pre-order with explicit close events
+    stack: list[tuple[int, bool]] = [(tree.root, False)]
+    while stack:
+        v, closing = stack.pop()
+        if closing:
+            yield ("end", v, tree.label[v])
+            continue
+        yield ("start", v, tree.label[v])
+        stack.append((v, True))
+        for child in reversed(tree.children[v]):
+            stack.append((child, False))
+
+
+def xml_events(text: str) -> Iterator[Event]:
+    """Stream an XML document without building the tree."""
+    counter = 0
+    open_ids: list[int] = []
+    for event in iter_xml_events(text):
+        if event[0] == "start":
+            yield ("start", counter, event[1])
+            open_ids.append(counter)
+            counter += 1
+        else:
+            yield ("end", open_ids.pop(), event[1])

@@ -1,0 +1,35 @@
+"""Memory instrumentation for the streaming evaluators.
+
+The paper (§7, citing [40]): any streaming algorithm for Boolean Core
+XPath needs memory at least linear in the tree depth, and O(depth) is
+achievable for MSO-definable (hence Core XPath) properties.  The meters
+here count *live state units* — stack frames weighted by their state
+size — so experiment E15 can plot peak memory against depth and size.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemoryMeter"]
+
+
+class MemoryMeter:
+    """Tracks current and peak live state of a streaming run."""
+
+    def __init__(self):
+        self.current_units = 0
+        self.peak_units = 0
+        self.events_seen = 0
+
+    def push(self, units: int = 1) -> None:
+        self.current_units += units
+        if self.current_units > self.peak_units:
+            self.peak_units = self.current_units
+
+    def pop(self, units: int = 1) -> None:
+        self.current_units -= units
+
+    def tick(self) -> None:
+        self.events_seen += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MemoryMeter(peak={self.peak_units}, events={self.events_seen})"

@@ -1,0 +1,76 @@
+"""Unranked ordered labeled trees — the data model of the paper (Section 2).
+
+This package provides:
+
+- :class:`~repro.trees.node.Node` / :class:`~repro.trees.tree.Tree` — the
+  in-memory tree representation with precomputed pre/post/bflr orders,
+- :mod:`~repro.trees.axes` — the XPath axis relations (Child, Child+,
+  Child*, NextSibling, NextSibling+, NextSibling*, Following, Self and all
+  their inverses) with O(1) membership tests via order arithmetic,
+- :mod:`~repro.trees.orders` — the three total orders <pre, <post, <bflr,
+- :mod:`~repro.trees.xmlio` — a parser/serializer for the XML subset the
+  paper's data model captures (element structure only),
+- :mod:`~repro.trees.generate` — deterministic random tree generators,
+- :class:`~repro.trees.structure.TreeStructure` — the relational-structure
+  view (signature of unary label predicates and binary axis relations) that
+  logic-based evaluators consume.
+"""
+
+from repro.trees.node import Node
+from repro.trees.tree import Tree
+from repro.trees.axes import (
+    AXES,
+    FORWARD_AXES,
+    REVERSE_AXES,
+    Axis,
+    axis_holds,
+    axis_pairs,
+    axis_targets,
+    inverse_axis,
+)
+from repro.trees.orders import bflr_order, post_order, pre_order
+from repro.trees.xmlio import parse_xml, to_xml
+from repro.trees.generate import (
+    balanced_tree,
+    flat_tree,
+    path_tree,
+    random_tree,
+    caterpillar_tree,
+)
+from repro.trees.structure import TreeStructure
+from repro.trees.edit import (
+    delete_subtree,
+    insert_leaf,
+    insert_subtree,
+    relabel,
+    splice,
+)
+
+__all__ = [
+    "Node",
+    "Tree",
+    "Axis",
+    "AXES",
+    "FORWARD_AXES",
+    "REVERSE_AXES",
+    "axis_holds",
+    "axis_targets",
+    "axis_pairs",
+    "inverse_axis",
+    "pre_order",
+    "post_order",
+    "bflr_order",
+    "parse_xml",
+    "to_xml",
+    "random_tree",
+    "path_tree",
+    "flat_tree",
+    "balanced_tree",
+    "caterpillar_tree",
+    "TreeStructure",
+    "insert_leaf",
+    "insert_subtree",
+    "delete_subtree",
+    "relabel",
+    "splice",
+]

@@ -1,0 +1,103 @@
+"""Mutable tree nodes used while *constructing* trees.
+
+A :class:`Node` is a lightweight builder object.  Algorithms never touch
+nodes directly: once a tree is assembled it is frozen into a
+:class:`repro.trees.tree.Tree`, which exposes integer node identifiers and
+precomputed index arrays.
+
+The paper allows nodes to carry *multiple* labels (Section 2: "We allow
+for tree nodes to be labeled with multiple labels").  A node therefore has
+a primary ``label`` (used when serializing to XML) plus an optional set of
+``extra_labels``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A node of an unranked ordered tree under construction.
+
+    Parameters
+    ----------
+    label:
+        The primary label (the XML tag name when round-tripping).
+    children:
+        Optional iterable of child nodes, in sibling order.
+    extra_labels:
+        Additional labels beyond the primary one; the relational view
+        exposes ``Lab_a(v)`` for the primary label and every extra label.
+    """
+
+    __slots__ = ("label", "children", "extra_labels")
+
+    def __init__(
+        self,
+        label: str,
+        children: Iterable["Node"] | None = None,
+        extra_labels: Iterable[str] | None = None,
+    ):
+        self.label = label
+        self.children: list[Node] = list(children) if children is not None else []
+        self.extra_labels: frozenset[str] = (
+            frozenset(extra_labels) if extra_labels is not None else frozenset()
+        )
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """All labels of this node (primary plus extras)."""
+        if not self.extra_labels:
+            return frozenset((self.label,))
+        return self.extra_labels | {self.label}
+
+    def add(self, child: "Node") -> "Node":
+        """Append ``child`` as the rightmost child and return it (for chaining)."""
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in pre-order (iteratively,
+        so arbitrarily deep trees are safe)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.walk())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.label!r}, {len(self.children)} children)"
+
+    @staticmethod
+    def from_tuple(spec: tuple | str) -> "Node":
+        """Build a node tree from a nested ``(label, [children...])`` spec.
+
+        A bare string is shorthand for a leaf.  Examples::
+
+            Node.from_tuple(("a", ["b", ("c", ["d"])]))
+        """
+        # Iterative construction to support deep specs.
+        if isinstance(spec, str):
+            return Node(spec)
+        label, child_specs = spec
+        root = Node(label)
+        stack: list[tuple[Node, list]] = [(root, list(child_specs))]
+        while stack:
+            parent, specs = stack[-1]
+            if not specs:
+                stack.pop()
+                continue
+            head = specs.pop(0)
+            if isinstance(head, str):
+                parent.add(Node(head))
+            else:
+                child_label, grandchildren = head
+                child = parent.add(Node(child_label))
+                stack.append((child, list(grandchildren)))
+        return root

@@ -1,0 +1,91 @@
+"""The three total node orders of Section 2: <pre, <post, <bflr.
+
+The paper defines them via the axes::
+
+    x <pre  y  :<=>  Child+(x, y) or Following(x, y)
+    x <post y  :<=>  Child+(y, x) or Following(x, y)
+
+and shows the converse definability::
+
+    Child+(x, y)    :<=>  x <pre y  and  y <post x
+    Following(x, y) :<=>  x <pre y  and  x <post y
+
+Both directions are verified by the test suite and by experiment E1.
+<bflr is the breadth-first left-to-right visiting order.
+"""
+
+from __future__ import annotations
+
+from repro.trees.tree import Tree
+
+__all__ = [
+    "pre_order",
+    "post_order",
+    "bflr_order",
+    "pre_lt",
+    "post_lt",
+    "bflr_lt",
+    "pre_lt_from_axes",
+    "post_lt_from_axes",
+    "descendant_from_orders",
+    "following_from_orders",
+]
+
+
+def pre_order(tree: Tree) -> list[int]:
+    """Node ids sorted by <pre (this is just 0..n-1 by construction)."""
+    return list(range(tree.n))
+
+
+def post_order(tree: Tree) -> list[int]:
+    """Node ids sorted by <post."""
+    order = [0] * tree.n
+    for v in range(tree.n):
+        order[tree.post[v]] = v
+    return order
+
+
+def bflr_order(tree: Tree) -> list[int]:
+    """Node ids sorted by <bflr."""
+    order = [0] * tree.n
+    for v in range(tree.n):
+        order[tree.bflr[v]] = v
+    return order
+
+
+def pre_lt(tree: Tree, u: int, v: int) -> bool:
+    """u <pre v (document order)."""
+    return u < v
+
+
+def post_lt(tree: Tree, u: int, v: int) -> bool:
+    """u <post v."""
+    return tree.post[u] < tree.post[v]
+
+
+def bflr_lt(tree: Tree, u: int, v: int) -> bool:
+    """u <bflr v."""
+    return tree.bflr[u] < tree.bflr[v]
+
+
+# -- the interdefinability equations of Section 2, as executable code ----
+
+
+def pre_lt_from_axes(tree: Tree, u: int, v: int) -> bool:
+    """x <pre y  :<=>  Child+(x, y) or Following(x, y)  (Section 2)."""
+    return tree.is_descendant(u, v) or tree.is_following(u, v)
+
+
+def post_lt_from_axes(tree: Tree, u: int, v: int) -> bool:
+    """x <post y  :<=>  Child+(y, x) or Following(x, y)  (Section 2)."""
+    return tree.is_descendant(v, u) or tree.is_following(u, v)
+
+
+def descendant_from_orders(tree: Tree, u: int, v: int) -> bool:
+    """Child+(x, y)  :<=>  x <pre y and y <post x  (Section 2)."""
+    return u < v and tree.post[v] < tree.post[u]
+
+
+def following_from_orders(tree: Tree, u: int, v: int) -> bool:
+    """Following(x, y)  :<=>  x <pre y and x <post y  (Section 2)."""
+    return u < v and tree.post[u] < tree.post[v]

@@ -1,0 +1,282 @@
+"""The frozen :class:`Tree` structure.
+
+A :class:`Tree` assigns every node an integer identifier equal to its
+position in the pre-order traversal (so ``pre(v) == v``) and precomputes
+the index arrays that make all axis checks O(1):
+
+- ``parent[v]`` — parent id, ``-1`` for the root,
+- ``children[v]`` — list of child ids in sibling order,
+- ``post[v]`` — position in post-order,
+- ``bflr[v]`` — position in the breadth-first left-to-right order,
+- ``depth[v]`` — root depth 0,
+- ``sibling_index[v]`` — position among the parent's children,
+- ``next_sibling[v]`` / ``prev_sibling[v]`` — sibling links (-1 if none),
+- ``subtree_end[v]`` — one past the largest pre-index in v's subtree, so
+  the descendants of ``v`` are exactly ``range(v + 1, subtree_end[v])``.
+
+This is precisely the (<pre, <post, label) triple representation of
+Section 2 of the paper, augmented with the sibling structure needed for
+the NextSibling axes and <bflr.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Sequence
+
+from repro.trees.node import Node
+
+__all__ = ["Tree"]
+
+
+class Tree:
+    """An immutable unranked ordered labeled tree over node ids 0..n-1.
+
+    Construct with :meth:`Tree.build` from a root :class:`Node`, or with
+    :meth:`Tree.from_tuple` / :func:`repro.trees.xmlio.parse_xml`.
+    """
+
+    __slots__ = (
+        "n",
+        "label",
+        "labels",
+        "parent",
+        "children",
+        "post",
+        "bflr",
+        "depth",
+        "sibling_index",
+        "next_sibling",
+        "prev_sibling",
+        "subtree_end",
+        "_label_index",
+    )
+
+    def __init__(
+        self,
+        label: Sequence[str],
+        labels: Sequence[frozenset[str]],
+        parent: Sequence[int],
+        children: Sequence[list[int]],
+    ):
+        self.n = len(label)
+        if self.n == 0:
+            raise ValueError("a tree must have at least one node (the root)")
+        self.label = list(label)
+        self.labels = list(labels)
+        self.parent = list(parent)
+        self.children = [list(c) for c in children]
+        self._derive_indexes()
+        self._label_index: dict[str, list[int]] | None = None
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, root: Node) -> "Tree":
+        """Freeze a :class:`Node` tree into a :class:`Tree` (pre-order ids)."""
+        label: list[str] = []
+        labels: list[frozenset[str]] = []
+        parent: list[int] = []
+        children: list[list[int]] = []
+        # Iterative pre-order numbering.
+        stack: list[tuple[Node, int]] = [(root, -1)]
+        while stack:
+            node, parent_id = stack.pop()
+            my_id = len(label)
+            label.append(node.label)
+            labels.append(node.labels)
+            parent.append(parent_id)
+            children.append([])
+            if parent_id >= 0:
+                children[parent_id].append(my_id)
+            for child in reversed(node.children):
+                stack.append((child, my_id))
+        return cls(label, labels, parent, children)
+
+    @classmethod
+    def from_tuple(cls, spec: tuple | str) -> "Tree":
+        """Build directly from a nested ``(label, [children...])`` spec."""
+        return cls.build(Node.from_tuple(spec))
+
+    def _derive_indexes(self) -> None:
+        n = self.n
+        parent = self.parent
+        children = self.children
+        # post-order and subtree extents via an iterative DFS.
+        self.post = [0] * n
+        self.depth = [0] * n
+        self.subtree_end = [0] * n
+        post_counter = 0
+        pre_counter = 1  # the root (id 0) is pre-visited implicitly
+        # state: (node, child cursor)
+        stack: list[int] = [0]
+        cursor = [0] * n
+        while stack:
+            v = stack[-1]
+            if cursor[v] < len(children[v]):
+                child = children[v][cursor[v]]
+                cursor[v] += 1
+                if child != pre_counter:
+                    raise ValueError(
+                        "node ids must equal pre-order positions "
+                        f"(node {child} visited at pre-position {pre_counter})"
+                    )
+                pre_counter += 1
+                self.depth[child] = self.depth[v] + 1
+                stack.append(child)
+            else:
+                stack.pop()
+                self.post[v] = post_counter
+                post_counter += 1
+                end = v + 1
+                if children[v]:
+                    end = self.subtree_end[children[v][-1]]
+                self.subtree_end[v] = end
+        # sibling structure
+        self.sibling_index = [0] * n
+        self.next_sibling = [-1] * n
+        self.prev_sibling = [-1] * n
+        for v in range(n):
+            kids = children[v]
+            for i, c in enumerate(kids):
+                self.sibling_index[c] = i
+                if i + 1 < len(kids):
+                    self.next_sibling[c] = kids[i + 1]
+                if i > 0:
+                    self.prev_sibling[c] = kids[i - 1]
+        # breadth-first left-to-right order
+        self.bflr = [0] * n
+        order = 0
+        queue: deque[int] = deque([0])
+        while queue:
+            v = queue.popleft()
+            self.bflr[v] = order
+            order += 1
+            queue.extend(children[v])
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        """The root node id (always 0: the root is first in pre-order)."""
+        return 0
+
+    def pre(self, v: int) -> int:
+        """The <pre index of ``v`` (equals the node id by construction)."""
+        return v
+
+    def height(self) -> int:
+        """Maximum depth over all nodes (a single-node tree has height 0)."""
+        return max(self.depth)
+
+    def nodes(self) -> range:
+        """All node ids in pre-order (document order)."""
+        return range(self.n)
+
+    def is_leaf(self, v: int) -> bool:
+        return not self.children[v]
+
+    def leaves(self) -> Iterator[int]:
+        return (v for v in range(self.n) if not self.children[v])
+
+    def first_child(self, v: int) -> int:
+        """The first child of ``v``, or -1 if ``v`` is a leaf."""
+        kids = self.children[v]
+        return kids[0] if kids else -1
+
+    def last_child(self, v: int) -> int:
+        kids = self.children[v]
+        return kids[-1] if kids else -1
+
+    def has_label(self, v: int, a: str) -> bool:
+        """Lab_a(v): does node ``v`` carry label ``a``?"""
+        return a in self.labels[v]
+
+    def nodes_with_label(self, a: str) -> list[int]:
+        """All node ids carrying label ``a``, in document order (cached)."""
+        if self._label_index is None:
+            index: dict[str, list[int]] = {}
+            for v in range(self.n):
+                for lab in self.labels[v]:
+                    index.setdefault(lab, []).append(v)
+            self._label_index = index
+        return self._label_index.get(a, [])
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of labels occurring in this tree."""
+        result: set[str] = set()
+        for labs in self.labels:
+            result.update(labs)
+        return frozenset(result)
+
+    # -- structural predicates (O(1) each) --------------------------------
+
+    def is_descendant(self, u: int, v: int) -> bool:
+        """Child+(u, v): is ``v`` a proper descendant of ``u``?
+
+        Uses the interval characterization from Section 2 of the paper:
+        ``u <pre v  and  v <post u``.
+        """
+        return u < v < self.subtree_end[u]
+
+    def is_following(self, u: int, v: int) -> bool:
+        """Following(u, v): ``u <pre v and u <post v`` (Section 2)."""
+        return u < v and self.post[u] < self.post[v]
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor of ``u`` and ``v`` (by depth walking)."""
+        while u != v:
+            if self.depth[u] >= self.depth[v]:
+                u = self.parent[u]
+            else:
+                v = self.parent[v]
+        return u
+
+    # -- relation enumeration ---------------------------------------------
+
+    def child_pairs(self) -> Iterator[tuple[int, int]]:
+        """All (u, v) with Child(u, v)."""
+        for v in range(1, self.n):
+            yield self.parent[v], v
+
+    def next_sibling_pairs(self) -> Iterator[tuple[int, int]]:
+        """All (u, v) with NextSibling(u, v)."""
+        for u in range(self.n):
+            v = self.next_sibling[u]
+            if v >= 0:
+                yield u, v
+
+    # -- misc --------------------------------------------------------------
+
+    def subtree_size(self, v: int) -> int:
+        return self.subtree_end[v] - v
+
+    def descendants(self, v: int) -> range:
+        """Proper descendants of ``v`` — a contiguous pre-order range."""
+        return range(v + 1, self.subtree_end[v])
+
+    def ancestors(self, v: int) -> Iterator[int]:
+        """Proper ancestors of ``v``, nearest first."""
+        v = self.parent[v]
+        while v >= 0:
+            yield v
+            v = self.parent[v]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tree(n={self.n}, height={self.height()})"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same shape and same label sets."""
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.parent == other.parent
+            and self.labels == other.labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, tuple(self.parent), tuple(self.labels)))

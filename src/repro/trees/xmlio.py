@@ -1,0 +1,134 @@
+"""Parser and serializer for the XML subset the paper's data model uses.
+
+The paper studies "the bare tree structures of the parse trees of XML
+documents" (Section 2): element nesting and tag names only.  The parser
+here accepts well-formed element-only XML — open tags (optionally with
+attributes, which are preserved as extra labels of the form ``@name``),
+close tags, self-closing tags, comments, processing instructions, and a
+prolog.  Character data is skipped, matching the navigational model.
+
+The parser is a hand-rolled single-pass scanner (no recursion, no
+external dependencies) so that arbitrarily deep documents parse fine.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.trees.node import Node
+from repro.trees.tree import Tree
+
+__all__ = ["parse_xml", "to_xml", "iter_xml_events"]
+
+_NAME = r"[A-Za-z_][\w.\-]*"
+_TOKEN = re.compile(
+    r"<\?.*?\?>"                # processing instruction / prolog
+    r"|<!--.*?-->"              # comment
+    r"|<!\[CDATA\[.*?\]\]>"     # CDATA (skipped)
+    r"|<!DOCTYPE[^>]*>"         # doctype
+    rf"|<\s*(?P<close>/)?\s*(?P<name>{_NAME})(?P<attrs>[^<>]*?)(?P<selfclose>/)?\s*>"
+    r"|(?P<text>[^<]+)",
+    re.DOTALL,
+)
+_ATTR = re.compile(rf"({_NAME})\s*=\s*(\"[^\"]*\"|'[^']*')")
+
+
+def iter_xml_events(text: str):
+    """Yield SAX-like events ``("start", name, attrs)``, ``("end", name)``.
+
+    Used both by :func:`parse_xml` and by the streaming evaluators of
+    :mod:`repro.streaming`, which consume documents without ever
+    materializing the tree.
+    """
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ParseError("malformed XML", position=pos)
+        pos = match.end()
+        name = match.group("name")
+        if name is None:
+            continue  # comment / PI / text / doctype
+        if match.group("close"):
+            yield ("end", name)
+            continue
+        attrs = dict(
+            (key, value[1:-1]) for key, value in _ATTR.findall(match.group("attrs"))
+        )
+        yield ("start", name, attrs)
+        if match.group("selfclose"):
+            yield ("end", name)
+
+
+def parse_xml(text: str, attributes_as_labels: bool = False) -> Tree:
+    """Parse an element-only XML document into a :class:`Tree`.
+
+    Parameters
+    ----------
+    text:
+        The document.  Must contain exactly one root element.
+    attributes_as_labels:
+        When true, an attribute ``id="x7"`` adds the extra labels
+        ``@id`` and ``@id=x7`` to the node, so that label predicates can
+        select on attribute presence or value.
+    """
+    root: Node | None = None
+    stack: list[Node] = []
+    for event in iter_xml_events(text):
+        if event[0] == "start":
+            _, name, attrs = event
+            extra: list[str] = []
+            if attributes_as_labels:
+                for key, value in attrs.items():
+                    extra.append(f"@{key}")
+                    extra.append(f"@{key}={value}")
+            node = Node(name, extra_labels=extra)
+            if stack:
+                stack[-1].add(node)
+            elif root is None:
+                root = node
+            else:
+                raise ParseError("multiple root elements")
+            stack.append(node)
+        else:
+            _, name = event
+            if not stack:
+                raise ParseError(f"unmatched closing tag </{name}>")
+            if stack[-1].label != name:
+                raise ParseError(
+                    f"mismatched closing tag </{name}> for <{stack[-1].label}>"
+                )
+            stack.pop()
+    if stack:
+        raise ParseError(f"unclosed element <{stack[-1].label}>")
+    if root is None:
+        raise ParseError("empty document")
+    return Tree.build(root)
+
+
+def to_xml(tree: Tree, indent: int | None = None) -> str:
+    """Serialize a :class:`Tree` back to element-only XML.
+
+    Only primary labels are emitted (extra labels have no XML syntax).
+    With ``indent`` set, pretty-prints with that many spaces per level.
+    """
+    out: list[str] = []
+    # Iterative traversal emitting open tags on entry, close tags on exit.
+    stack: list[tuple[int, bool]] = [(tree.root, False)]
+    while stack:
+        v, closing = stack.pop()
+        pad = "" if indent is None else " " * (indent * tree.depth[v])
+        newline = "" if indent is None else "\n"
+        if closing:
+            out.append(f"{pad}</{tree.label[v]}>{newline}")
+            continue
+        if tree.is_leaf(v):
+            out.append(f"{pad}<{tree.label[v]}/>{newline}")
+            continue
+        out.append(f"{pad}<{tree.label[v]}>{newline}")
+        stack.append((v, True))
+        for child in reversed(tree.children[v]):
+            stack.append((child, False))
+    return "".join(out)

@@ -1,0 +1,37 @@
+"""Holistic twig joins (Section 6, [Bruno–Koudas–Srivastava 2002]).
+
+The paper's point: holistic twig joins are a special case of
+arc-consistency-based constraint processing.  This package implements
+both sides of that connection:
+
+- :class:`~repro.twigjoin.pattern.TwigPattern` — tree patterns with
+  ``/`` (Child) and ``//`` (Child+) edges, convertible to CQs,
+- :func:`~repro.twigjoin.pathstack.path_stack` — PathStack for path
+  patterns (stacks of (pre, post) intervals with parent pointers),
+- :func:`~repro.twigjoin.twigstack.twig_stack` — TwigStack with the
+  getNext head that only pushes elements with full twig support on
+  ``//``-edges (the classic suboptimality on ``/``-edges is preserved
+  and measured in experiment E14),
+- :func:`~repro.twigjoin.twigstack.holistic_via_arc_consistency` — the
+  paper's reading: maximal arc-consistent pre-valuation + pointer-based
+  enumeration (Propositions 6.9/6.10),
+- :func:`~repro.twigjoin.binaryjoin.binary_join_plan` — the baseline:
+  one structural join per pattern edge with materialized intermediates.
+"""
+
+from repro.twigjoin.pattern import TwigPattern, parse_twig
+from repro.twigjoin.pathstack import path_stack
+from repro.twigjoin.twigstack import twig_stack, holistic_via_arc_consistency
+from repro.twigjoin.binaryjoin import binary_join_plan, JoinPlanStats
+from repro.twigjoin.optimal import twig_stack_optimal
+
+__all__ = [
+    "TwigPattern",
+    "parse_twig",
+    "path_stack",
+    "twig_stack",
+    "holistic_via_arc_consistency",
+    "binary_join_plan",
+    "JoinPlanStats",
+    "twig_stack_optimal",
+]

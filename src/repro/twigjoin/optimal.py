@@ -1,0 +1,153 @@
+"""TwigStack with the getNext support filter ([13], Algorithm 2).
+
+:func:`twig_stack_optimal` implements the full TwigStack head: an
+element of pattern node q is pushed only when
+
+- its interval can still contain the current head elements of *all* of
+  q's pattern children (the ``getNext`` recursion advances cursors past
+  elements that cannot), and
+- its parent's stack is nonempty (it has ancestor support), unless q is
+  the pattern root.
+
+For twigs whose edges are all ``//``, this makes every pushed element
+part of at least one match — the *optimality* result of [13], which the
+paper's Section 6 reinterprets as arc-consistency.  ``/``-edges are
+checked during path emission, so output is always correct; on them the
+filter is (provably, [13]) not airtight — the suboptimality the E14
+benchmark quantifies against :func:`repro.twigjoin.twigstack.twig_stack`
+(no filter) and the AC evaluator (globally consistent).
+"""
+
+from __future__ import annotations
+
+from repro.twigjoin.pathstack import _streams
+from repro.twigjoin.pattern import TwigPattern
+from repro.twigjoin.twigstack import TwigStats, _merge_paths, _root_path
+from repro.trees.tree import Tree
+
+__all__ = ["twig_stack_optimal"]
+
+_INF = float("inf")
+
+
+def twig_stack_optimal(
+    pattern: TwigPattern, tree: Tree, stats: TwigStats | None = None
+) -> set[tuple[int, ...]]:
+    """All matches of the twig, with the TwigStack getNext filter."""
+    stats = stats if stats is not None else TwigStats()
+    nodes = pattern.nodes
+    n_pat = len(nodes)
+    parent = pattern.parent
+    children: list[list[int]] = [[] for _ in range(n_pat)]
+    for i in range(n_pat):
+        if parent[i] >= 0:
+            children[parent[i]].append(i)
+
+    streams = _streams(pattern, tree)
+    cursors = [0] * n_pat
+    stacks: list[list[tuple[int, int]]] = [[] for _ in range(n_pat)]
+
+    leaf_indices = [i for i in range(n_pat) if not children[i]]
+    paths = {leaf: _root_path(pattern, leaf) for leaf in leaf_indices}
+    path_solutions: dict[int, list[tuple[int, ...]]] = {
+        leaf: [] for leaf in leaf_indices
+    }
+
+    def eof(q: int) -> bool:
+        return cursors[q] >= len(streams[q])
+
+    def next_l(q: int):
+        return streams[q][cursors[q]] if not eof(q) else _INF
+
+    def next_r(q: int):
+        return tree.subtree_end[streams[q][cursors[q]]] if not eof(q) else _INF
+
+    def advance(q: int) -> None:
+        cursors[q] += 1
+
+    def get_next(q: int) -> int:
+        """The TwigStack head: a pattern node whose current element is
+        safe to act on (push or skip).
+
+        An exhausted subtree below qi means no *new* qi element can ever
+        complete a match (the twig is conjunctive), so such a child just
+        contributes next_l = ∞ — which drains q as well — instead of
+        being bubbled up; only if every branch is dead does an exhausted
+        node escape to the main loop (which then stops).
+        """
+        if not children[q]:
+            return q
+        n_min = n_max = -1
+        for qi in children[q]:
+            ni = get_next(qi)
+            if ni != qi and not eof(ni):
+                return ni
+            # ni == qi (extendable) or ni is an exhausted descendant:
+            # either way qi is summarized by its head position (∞ when
+            # dead — get_next(qi) has already drained qi in that case)
+            if n_min < 0 or next_l(qi) < next_l(n_min):
+                n_min = qi
+            if n_max < 0 or next_l(qi) > next_l(n_max):
+                n_max = qi
+        # skip q-elements that close before the farthest child head
+        while next_r(q) < next_l(n_max):
+            advance(q)
+        if next_l(q) < next_l(n_min):
+            return q
+        return n_min
+
+    def clean(stack: list, v: int) -> None:
+        while stack and tree.subtree_end[stack[-1][0]] <= v:
+            stack.pop()
+
+    def emit(leaf: int, elem: int, ptr: int) -> None:
+        path = paths[leaf]
+        k = len(path)
+        partial = [0] * k
+
+        def expand(i: int, e: int, p: int) -> None:
+            partial[i] = e
+            if i == 0:
+                if nodes[path[0]].edge == "/" and e != tree.root:
+                    return
+                path_solutions[leaf].append(tuple(partial))
+                stats.path_solutions += 1
+                return
+            edge = nodes[path[i]].edge
+            parent_stack = stacks[path[i - 1]]
+            for pos in range(p):
+                pe, pp = parent_stack[pos]
+                if pe >= e:
+                    continue
+                if edge == "/" and tree.parent[e] != pe:
+                    continue
+                expand(i - 1, pe, pp)
+
+        expand(k - 1, elem, ptr)
+
+    def end() -> bool:
+        return all(eof(leaf) for leaf in leaf_indices)
+
+    while not end():
+        q = get_next(0)
+        if eof(q):
+            break  # no further progress possible anywhere
+        v = streams[q][cursors[q]]
+        p = parent[q]
+        if p >= 0:
+            clean(stacks[p], v)
+        if p < 0 or stacks[p]:
+            clean(stacks[q], v)
+            ptr = len(stacks[p]) if p >= 0 else 0
+            stats.pushes += 1
+            if q in path_solutions:  # leaf: emit and discard
+                emit(q, v, ptr)
+            else:
+                stacks[q].append((v, ptr))
+        advance(q)
+
+    result = _merge_paths(
+        n_pat, [(paths[leaf], path_solutions[leaf]) for leaf in leaf_indices]
+    )
+    stats.merge_output = len(result)
+    return result

@@ -1,0 +1,158 @@
+"""Twig patterns: node-labeled tree patterns with / and // edges.
+
+Concrete syntax (a subset of conjunctive forward XPath)::
+
+    //a[b]/c[.//d]//e
+
+- ``/x``  — Child edge to a node labeled x,
+- ``//x`` — Child+ (descendant) edge,
+- ``[...]`` — a branch (the twig),
+- a leading ``//`` anchors the root label anywhere in the tree; a
+  leading ``/`` (or nothing) anchors it at the document root's label.
+
+Every pattern node gets an index; matches are tuples of tree nodes, one
+per pattern node, in index order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cq.query import ConjunctiveQuery
+from repro.datalog.syntax import Atom
+from repro.errors import ParseError
+from repro.trees.structure import lab
+from repro.trees.axes import Axis
+
+__all__ = ["TwigPattern", "TwigNode", "parse_twig"]
+
+
+@dataclass
+class TwigNode:
+    """One pattern node: a label test plus the edge type to its parent."""
+
+    label: str
+    edge: str  # "/" (Child) or "//" (Child+); the root's edge anchors it
+    children: list["TwigNode"] = field(default_factory=list)
+    index: int = -1
+
+
+class TwigPattern:
+    """A rooted twig; nodes are indexed in pre-order."""
+
+    def __init__(self, root: TwigNode):
+        self.root = root
+        self.nodes: list[TwigNode] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            node.index = len(self.nodes)
+            self.nodes.append(node)
+            stack.extend(reversed(node.children))
+        self.parent: list[int] = [-1] * len(self.nodes)
+        for node in self.nodes:
+            for child in node.children:
+                self.parent[child.index] = node.index
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def paths(self) -> list[list[int]]:
+        """Root-to-leaf paths as lists of node indices."""
+        out: list[list[int]] = []
+
+        stack: list[tuple[TwigNode, list[int]]] = [(self.root, [self.root.index])]
+        while stack:
+            node, path = stack.pop()
+            if not node.children:
+                out.append(path)
+            for child in reversed(node.children):
+                stack.append((child, path + [child.index]))
+        return out
+
+    def to_cq(self) -> ConjunctiveQuery:
+        """The equivalent conjunctive query (head = all pattern nodes).
+
+        A ``//``-anchored root is unconstrained; a ``/``-anchored root
+        must be the document root.
+        """
+        atoms: list[Atom] = []
+        names = [f"q{i}" for i in range(len(self.nodes))]
+        for node in self.nodes:
+            if node.label != "*":
+                atoms.append(Atom(lab(node.label), (names[node.index],)))
+            p = self.parent[node.index]
+            if p < 0:
+                if node.edge == "/":
+                    atoms.append(Atom("Root", (names[node.index],)))
+                continue
+            axis = Axis.CHILD if node.edge == "/" else Axis.CHILD_PLUS
+            atoms.append(Atom(axis.value, (names[p], names[node.index])))
+        if not atoms:
+            atoms.append(Atom("Dom", (names[0],)))
+        return ConjunctiveQuery(tuple(names), tuple(atoms)).validate()
+
+    def __str__(self) -> str:
+        def render(node: TwigNode) -> str:
+            out = node.edge + node.label
+            branches, spine = node.children[:-1], node.children[-1:]
+            if len(node.children) > 1:
+                branches = node.children[:-1]
+            out += "".join(f"[{render(b).lstrip('/')}]" if b.edge == "/" else f"[.{render(b)}]" for b in branches)
+            for s in spine:
+                out += render(s)
+            return out
+
+        return render(self.root)
+
+
+def parse_twig(text: str) -> TwigPattern:
+    """Parse the twig syntax described in the module docstring."""
+    pos = 0
+    n = len(text)
+
+    def parse_edge(default: str) -> str:
+        nonlocal pos
+        if text.startswith("//", pos):
+            pos += 2
+            return "//"
+        if text.startswith("/", pos):
+            pos += 1
+            return "/"
+        if text.startswith(".//", pos):
+            pos += 3
+            return "//"
+        if text.startswith("./", pos):
+            pos += 2
+            return "/"
+        return default
+
+    def parse_label() -> str:
+        nonlocal pos
+        start = pos
+        while pos < n and (text[pos].isalnum() or text[pos] in "_-*@."):
+            pos += 1
+        if start == pos:
+            raise ParseError(f"expected label in twig", position=pos)
+        return text[start:pos]
+
+    def parse_node(default_edge: str) -> TwigNode:
+        nonlocal pos
+        edge = parse_edge(default_edge)
+        node = TwigNode(parse_label(), edge)
+        # branches
+        while pos < n and text[pos] == "[":
+            pos += 1
+            node.children.append(parse_node("/"))
+            if pos >= n or text[pos] != "]":
+                raise ParseError("unbalanced [ in twig", position=pos)
+            pos += 1
+        # spine continuation
+        if pos < n and text[pos] == "/":
+            node.children.append(parse_node("/"))
+        return node
+
+    root = parse_node("/")
+    if pos != n:
+        raise ParseError(f"trailing twig input {text[pos:]!r}", position=pos)
+    return TwigPattern(root)

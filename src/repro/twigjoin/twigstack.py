@@ -1,0 +1,178 @@
+"""TwigStack-style holistic matching of twig patterns, and the paper's
+arc-consistency reading of it (Section 6).
+
+:func:`twig_stack` follows the two-phase architecture of [13]:
+
+1. a single document-order sweep pushes elements onto one stack per
+   pattern node (pointer to the parent stack top at push time); whenever
+   a *leaf* element is pushed, the solutions of that leaf's root-to-leaf
+   path are emitted through the pointers (as in PathStack),
+2. the per-path solution lists are merge-joined on their shared prefix
+   nodes into full twig matches.
+
+Intermediate state is therefore bounded by the document depth plus the
+per-path output — never by a cross-product of edge joins, which is what
+the binary-join baseline of :mod:`repro.twigjoin.binaryjoin` suffers
+(experiment E14).  ``/``-edges are checked during path emission; as in
+the original TwigStack this can make path lists larger than the final
+output (the known suboptimality for child edges).
+
+:func:`holistic_via_arc_consistency` is the generalization the paper
+advocates: compute the maximal arc-consistent pre-valuation and read the
+matches out backtrack-free (Propositions 6.9/6.10).  It handles *any*
+tree-shaped CQ over any axis signature, not just /-and-// twigs.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.enumerate import solutions_with_pointers
+from repro.twigjoin.pathstack import _streams
+from repro.twigjoin.pattern import TwigPattern
+from repro.trees.tree import Tree
+
+__all__ = ["twig_stack", "holistic_via_arc_consistency", "TwigStats"]
+
+
+class TwigStats:
+    """Counters for experiment E14."""
+
+    def __init__(self):
+        self.path_solutions = 0
+        self.merge_output = 0
+        self.pushes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TwigStats(pushes={self.pushes}, paths={self.path_solutions}, "
+            f"out={self.merge_output})"
+        )
+
+
+def twig_stack(
+    pattern: TwigPattern, tree: Tree, stats: TwigStats | None = None
+) -> set[tuple[int, ...]]:
+    """All matches of the twig (tuples over pattern nodes in index order)."""
+    stats = stats if stats is not None else TwigStats()
+    nodes = pattern.nodes
+    n_pat = len(nodes)
+    parent = pattern.parent
+    streams = _streams(pattern, tree)
+    cursors = [0] * n_pat
+    stacks: list[list[tuple[int, int]]] = [[] for _ in range(n_pat)]
+    leaf_indices = [node.index for node in nodes if not node.children]
+    # per-leaf path solutions, keyed by the path's pattern-node indices
+    paths = {leaf: _root_path(pattern, leaf) for leaf in leaf_indices}
+    path_solutions: dict[int, list[tuple[int, ...]]] = {
+        leaf: [] for leaf in leaf_indices
+    }
+
+    def next_pre(i: int) -> int | None:
+        if cursors[i] >= len(streams[i]):
+            return None
+        return streams[i][cursors[i]]
+
+    def clean(v: int) -> None:
+        for stack in stacks:
+            while stack and tree.subtree_end[stack[-1][0]] <= v:
+                stack.pop()
+
+    def emit(leaf: int, elem: int, ptr: int) -> None:
+        path = paths[leaf]
+        k = len(path)
+        partial = [0] * k
+
+        def expand(i: int, e: int, p: int) -> None:
+            partial[i] = e
+            if i == 0:
+                if nodes[path[0]].edge == "/" and e != tree.root:
+                    return
+                path_solutions[leaf].append(tuple(partial))
+                stats.path_solutions += 1
+                return
+            edge = nodes[path[i]].edge
+            parent_stack = stacks[path[i - 1]]
+            for pos in range(p):
+                pe, pp = parent_stack[pos]
+                if pe >= e:
+                    continue  # same element (pushed at the same pre): // is strict
+                if edge == "/" and tree.parent[e] != pe:
+                    continue
+                expand(i - 1, pe, pp)
+
+        expand(k - 1, elem, ptr)
+
+    while True:
+        best_i, best_v = -1, None
+        for i in range(n_pat):
+            v = next_pre(i)
+            if v is not None and (best_v is None or v < best_v):
+                best_i, best_v = i, v
+        if best_v is None:
+            break
+        clean(best_v)
+        cursors[best_i] += 1
+        p = parent[best_i]
+        ptr = len(stacks[p]) if p >= 0 else 0
+        stats.pushes += 1
+        if best_i in path_solutions:
+            emit(best_i, best_v, ptr)
+            if nodes[best_i].children:  # pragma: no cover - leaves only
+                stacks[best_i].append((best_v, ptr))
+        else:
+            stacks[best_i].append((best_v, ptr))
+
+    # phase 2: merge-join the path solution lists on shared pattern nodes
+    result = _merge_paths(
+        n_pat, [(paths[leaf], path_solutions[leaf]) for leaf in leaf_indices]
+    )
+    stats.merge_output = len(result)
+    return result
+
+
+def _root_path(pattern: TwigPattern, leaf: int) -> list[int]:
+    path = [leaf]
+    while pattern.parent[path[-1]] >= 0:
+        path.append(pattern.parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def _merge_paths(
+    n_pat: int, path_lists: list[tuple[list[int], list[tuple[int, ...]]]]
+) -> set[tuple[int, ...]]:
+    """Join per-path solutions on their shared pattern-node columns."""
+    # accumulate partial assignments as dicts pattern-node -> tree node
+    acc: list[dict[int, int]] = [{}]
+    for path, solutions in path_lists:
+        buckets: dict[tuple, list[tuple[int, ...]]] = {}
+        # join keys: pattern nodes of this path already bound in acc
+        bound = set(acc[0]) if acc else set()
+        keys = [i for i, q in enumerate(path) if q in bound]
+        for sol in solutions:
+            buckets.setdefault(tuple(sol[i] for i in keys), []).append(sol)
+        new_acc: list[dict[int, int]] = []
+        for assignment in acc:
+            key = tuple(assignment[path[i]] for i in keys)
+            for sol in buckets.get(key, ()):
+                extended = dict(assignment)
+                ok = True
+                for q, e in zip(path, sol):
+                    if extended.get(q, e) != e:
+                        ok = False
+                        break
+                    extended[q] = e
+                if ok:
+                    new_acc.append(extended)
+        acc = new_acc
+        if not acc:
+            return set()
+    return {tuple(a[i] for i in range(n_pat)) for a in acc}
+
+
+def holistic_via_arc_consistency(
+    pattern: TwigPattern, tree: Tree
+) -> set[tuple[int, ...]]:
+    """Twig matching as the paper frames it: a maximal arc-consistent
+    pre-valuation plus backtrack-free pointer enumeration (§6)."""
+    cq = pattern.to_cq()
+    return solutions_with_pointers(cq, tree)

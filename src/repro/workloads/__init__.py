@@ -1,0 +1,21 @@
+"""Workload generators: documents and queries for tests and benchmarks."""
+
+from repro.workloads.documents import xmark_like, dblp_like, deep_sections
+from repro.workloads.queries import (
+    random_cq,
+    random_twig,
+    random_xpath,
+    random_horn_program,
+    hard_instance_mixed_axes,
+)
+
+__all__ = [
+    "xmark_like",
+    "dblp_like",
+    "deep_sections",
+    "random_cq",
+    "random_twig",
+    "random_xpath",
+    "random_horn_program",
+    "hard_instance_mixed_axes",
+]

@@ -1,0 +1,106 @@
+"""Synthetic document generators.
+
+The paper motivates with Web/XML data management; since the original
+XMark/DBLP corpora are not shipped here, these generators produce
+documents with the same *shape characteristics* (schema-like label
+structure, heavy fan-out at collection elements, shallow depth with
+recursive pockets) — see the substitution note in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.trees.node import Node
+from repro.trees.tree import Tree
+
+__all__ = ["xmark_like", "dblp_like", "deep_sections"]
+
+
+def xmark_like(n_items: int = 50, seed: int = 0) -> Tree:
+    """An auction-site document in the style of XMark.
+
+    ``site`` has ``regions`` (items with descriptions, sometimes nested
+    parlists), ``people`` (persons with optional profiles), and
+    ``closed_auctions`` referencing buyers and items.
+    """
+    rng = random.Random(seed)
+    site = Node("site")
+    regions = site.add(Node("regions"))
+    for region_name in ("africa", "asia", "europe", "namerica"):
+        region = regions.add(Node(region_name))
+        for _ in range(max(1, n_items // 4)):
+            item = region.add(Node("item"))
+            item.add(Node("name"))
+            desc = item.add(Node("description"))
+            text = desc.add(Node("text"))
+            # recursive parlist pockets (the deep part of XMark)
+            depth = rng.randint(0, 3)
+            cursor = text
+            for _ in range(depth):
+                parlist = cursor.add(Node("parlist"))
+                listitem = parlist.add(Node("listitem"))
+                cursor = listitem
+            cursor.add(Node("keyword"))
+            if rng.random() < 0.5:
+                item.add(Node("payment"))
+            if rng.random() < 0.3:
+                item.add(Node("shipping"))
+    people = site.add(Node("people"))
+    for _ in range(n_items):
+        person = people.add(Node("person"))
+        person.add(Node("name"))
+        if rng.random() < 0.6:
+            person.add(Node("emailaddress"))
+        if rng.random() < 0.4:
+            profile = person.add(Node("profile"))
+            profile.add(Node("interest"))
+            if rng.random() < 0.5:
+                profile.add(Node("education"))
+    auctions = site.add(Node("closed_auctions"))
+    for _ in range(n_items // 2):
+        auction = auctions.add(Node("closed_auction"))
+        auction.add(Node("buyer"))
+        auction.add(Node("itemref"))
+        auction.add(Node("price"))
+        if rng.random() < 0.5:
+            annotation = auction.add(Node("annotation"))
+            annotation.add(Node("description"))
+    return Tree.build(site)
+
+
+def dblp_like(n_pubs: int = 100, seed: int = 0) -> Tree:
+    """A bibliography document: flat, wide, and regular."""
+    rng = random.Random(seed)
+    dblp = Node("dblp")
+    for _ in range(n_pubs):
+        kind = rng.choice(("article", "inproceedings", "book"))
+        pub = dblp.add(Node(kind))
+        for _ in range(rng.randint(1, 4)):
+            pub.add(Node("author"))
+        pub.add(Node("title"))
+        pub.add(Node("year"))
+        if kind == "article":
+            pub.add(Node("journal"))
+        elif kind == "inproceedings":
+            pub.add(Node("booktitle"))
+    return Tree.build(dblp)
+
+
+def deep_sections(depth: int, width: int = 2, seed: int = 0) -> Tree:
+    """A document-structure tree of nested sections — the deep workload
+    for the streaming-memory experiment E15."""
+    rng = random.Random(seed)
+    book = Node("book")
+    cursor = book
+    for level in range(depth):
+        section = Node("section")
+        cursor.add(section)
+        section.add(Node("title"))
+        for _ in range(width - 1):
+            para = section.add(Node("para"))
+            if rng.random() < 0.2:
+                para.add(Node("emph"))
+        cursor = section
+    cursor.add(Node("para"))
+    return Tree.build(book)

@@ -1,0 +1,179 @@
+"""Random query generators for fuzzing and benchmark sweeps."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.cq.query import ConjunctiveQuery
+from repro.datalog.syntax import Atom
+from repro.hornsat.program import HornProgram
+from repro.trees.axes import Axis
+from repro.trees.structure import lab
+from repro.twigjoin.pattern import TwigPattern, parse_twig
+
+__all__ = [
+    "random_cq",
+    "random_twig",
+    "random_xpath",
+    "random_horn_program",
+    "hard_instance_mixed_axes",
+]
+
+DEFAULT_AXES: tuple[str, ...] = (
+    Axis.CHILD.value,
+    Axis.CHILD_PLUS.value,
+    Axis.CHILD_STAR.value,
+    Axis.NEXT_SIBLING.value,
+    Axis.NEXT_SIBLING_PLUS.value,
+    Axis.NEXT_SIBLING_STAR.value,
+    Axis.FOLLOWING.value,
+)
+
+
+def random_cq(
+    n_vars: int,
+    n_binary: int,
+    axes: Sequence[str] = DEFAULT_AXES,
+    labels: Sequence[str] = ("a", "b", "c", "d"),
+    label_prob: float = 0.5,
+    head_arity: int = 1,
+    seed: int = 0,
+    connected: bool = True,
+) -> ConjunctiveQuery:
+    """A random CQ over the given axis signature.
+
+    With ``connected``, every new binary atom touches an already-used
+    variable, so the query graph is connected (the common case in the
+    paper's examples and required by some evaluators)."""
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(n_vars)]
+    atoms: list[Atom] = []
+    used = [variables[0]]
+    remaining = variables[1:]
+    for _ in range(n_binary):
+        axis = rng.choice(list(axes))
+        if connected and remaining:
+            x = rng.choice(used)
+            y = remaining.pop(rng.randrange(len(remaining)))
+            used.append(y)
+        else:
+            x, y = rng.sample(variables, 2)
+            for v in (x, y):
+                if v not in used:
+                    used.append(v)
+                    if v in remaining:
+                        remaining.remove(v)
+        if rng.random() < 0.5:
+            x, y = y, x
+        atoms.append(Atom(axis, (x, y)))
+    for v in used:
+        if rng.random() < label_prob:
+            atoms.append(Atom(lab(rng.choice(list(labels))), (v,)))
+    head = tuple(used[:head_arity])
+    occurring = {t for a in atoms for t in a.variables()}
+    for v in head:
+        if v not in occurring:
+            atoms.append(Atom("Dom", (v,)))
+            occurring.add(v)
+    if not atoms:
+        atoms.append(Atom("Dom", (variables[0],)))
+    return ConjunctiveQuery(head, tuple(atoms)).canonicalized().validate()
+
+
+def random_twig(
+    n_nodes: int,
+    labels: Sequence[str] = ("a", "b", "c", "d"),
+    desc_prob: float = 0.5,
+    seed: int = 0,
+) -> TwigPattern:
+    """A random twig pattern with / and // edges."""
+    rng = random.Random(seed)
+
+    def render(remaining: list[int]) -> str:
+        label = rng.choice(list(labels))
+        out = label
+        while remaining and rng.random() < 0.6:
+            remaining.pop()
+            edge = "//" if rng.random() < desc_prob else "/"
+            sub = render(remaining)
+            if remaining and rng.random() < 0.4:
+                out += f"[{'.' + edge if edge == '//' else ''}{sub if edge == '//' else sub}]"
+            else:
+                out += edge + sub
+                break
+        return out
+
+    budget = list(range(n_nodes - 1))
+    text = ("//" if rng.random() < desc_prob else "/") + render(budget)
+    return parse_twig(text)
+
+
+def random_xpath(
+    n_steps: int,
+    labels: Sequence[str] = ("a", "b", "c", "d"),
+    axes: Sequence[str] = ("Child", "Child+", "Child*"),
+    qualifier_prob: float = 0.4,
+    negation_prob: float = 0.15,
+    seed: int = 0,
+) -> str:
+    """A random Core XPath expression (returned as concrete syntax)."""
+    rng = random.Random(seed)
+
+    def step(depth: int) -> str:
+        axis = rng.choice(list(axes))
+        out = axis
+        if rng.random() < 0.7:
+            out += f"[lab() = {rng.choice(list(labels))}]"
+        if depth > 0 and rng.random() < qualifier_prob:
+            inner = path(rng.randint(1, 2), depth - 1)
+            if rng.random() < negation_prob:
+                out += f"[not({inner})]"
+            else:
+                out += f"[{inner}]"
+        return out
+
+    def path(steps: int, depth: int) -> str:
+        return "/".join(step(depth) for _ in range(steps))
+
+    return path(n_steps, 2)
+
+
+def random_horn_program(
+    n_atoms: int,
+    n_clauses: int,
+    max_body: int = 3,
+    chain_fraction: float = 0.5,
+    seed: int = 0,
+) -> HornProgram:
+    """A random definite Horn program with a mix of long derivation
+    chains (where naive fixpoint iteration degenerates) and random
+    clauses — the E3 workload."""
+    rng = random.Random(seed)
+    program = HornProgram()
+    program.fact(0)
+    n_chain = int(n_clauses * chain_fraction)
+    # The chain a_i <- a_{i-1} is listed HIGH-to-LOW so that a naive
+    # in-order scan derives only one chain atom per pass (the worst case
+    # Minoux' queue avoids).
+    for i in range(n_chain, 0, -1):
+        program.rule(i % n_atoms, (i - 1) % n_atoms)
+    for _ in range(n_clauses - n_chain):
+        head = rng.randrange(n_atoms)
+        body = [rng.randrange(n_atoms) for _ in range(rng.randint(1, max_body))]
+        program.rule(head, *body)
+    return program
+
+
+def hard_instance_mixed_axes(k: int) -> ConjunctiveQuery:
+    """A CQ family over the NP-complete signature {Child+, Following}
+    (Theorem 6.8's intractable side): a chain alternating both axes with
+    k variables, on which backtracking explodes while no X-property
+    order exists."""
+    atoms: list[Atom] = []
+    for i in range(k - 1):
+        axis = Axis.CHILD_PLUS.value if i % 2 == 0 else Axis.FOLLOWING.value
+        atoms.append(Atom(axis, (f"v{i}", f"v{i+1}")))
+    for i in range(k):
+        atoms.append(Atom(lab("a" if i % 2 == 0 else "b"), (f"v{i}",)))
+    return ConjunctiveQuery((), tuple(atoms)).validate()

@@ -1,0 +1,175 @@
+"""Abstract syntax of Core XPath — the grammar of Section 3, verbatim::
+
+    p    ::= step  |  p/p  |  p ∪ p
+    step ::= axis  |  step[q]
+    axis ::= arel  |  arel⁻¹  |  Self
+    arel ::= Child | Descendant | Descendant-or-self
+           | Following-Sibling | Following
+    q    ::= p  |  lab() = L  |  q ∧ q  |  q ∨ q  |  ¬q
+
+Expressions are immutable dataclasses.  ``AxisStep`` carries its own
+qualifier list, so ``step[q1][q2]`` is one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.trees.axes import Axis, resolve_axis
+
+__all__ = [
+    "XPathExpr",
+    "Qualifier",
+    "AxisStep",
+    "Path",
+    "UnionExpr",
+    "LabelTest",
+    "PathQualifier",
+    "AndQual",
+    "OrQual",
+    "NotQual",
+    "PositionTest",
+    "walk_expr",
+    "expr_size",
+]
+
+
+@dataclass(frozen=True)
+class LabelTest:
+    """``lab() = L`` (Q1)."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"lab() = {self.label}"
+
+
+@dataclass(frozen=True)
+class PathQualifier:
+    """A path used as a qualifier: true iff its node set is nonempty (Q2)."""
+
+    path: "XPathExpr"
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class AndQual:
+    left: "Qualifier"
+    right: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class OrQual:
+    left: "Qualifier"
+    right: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class PositionTest:
+    """A positional predicate on a step: ``position() <op> value`` where
+    value is an int or "last" (Full-XPath flavor, [33]; the linear
+    set-at-a-time evaluator cannot handle these — only the memoized
+    denotational one does, which is exactly the [33] situation)."""
+
+    op: str  # "=", "!=", "<", "<=", ">", ">="
+    value: "int | str"  # an integer or the string "last"
+
+    def __str__(self) -> str:
+        value = "last()" if self.value == "last" else str(self.value)
+        return f"position() {self.op} {value}"
+
+
+@dataclass(frozen=True)
+class NotQual:
+    operand: "Qualifier"
+
+    def __str__(self) -> str:
+        return f"not({self.operand})"
+
+
+Qualifier = Union[LabelTest, PathQualifier, AndQual, OrQual, NotQual, PositionTest]
+
+
+@dataclass(frozen=True)
+class AxisStep:
+    """``axis[q1][q2]...`` — one location step."""
+
+    axis: Axis
+    qualifiers: tuple[Qualifier, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "axis", resolve_axis(self.axis))
+        if not isinstance(self.qualifiers, tuple):
+            object.__setattr__(self, "qualifiers", tuple(self.qualifiers))
+
+    def with_qualifier(self, q: Qualifier) -> "AxisStep":
+        return AxisStep(self.axis, self.qualifiers + (q,))
+
+    def __str__(self) -> str:
+        return str(self.axis) + "".join(f"[{q}]" for q in self.qualifiers)
+
+
+@dataclass(frozen=True)
+class Path:
+    """``p1/p2`` (P3)."""
+
+    left: "XPathExpr"
+    right: "XPathExpr"
+
+    def __str__(self) -> str:
+        return f"{self.left}/{self.right}"
+
+
+@dataclass(frozen=True)
+class UnionExpr:
+    """``p1 ∪ p2`` (P4)."""
+
+    left: "XPathExpr"
+    right: "XPathExpr"
+
+    def __str__(self) -> str:
+        return f"({self.left} union {self.right})"
+
+
+XPathExpr = Union[AxisStep, Path, UnionExpr]
+
+
+def walk_expr(expr: "XPathExpr | Qualifier") -> Iterator:
+    """All AST nodes (paths and qualifiers), pre-order."""
+    yield expr
+    if isinstance(expr, AxisStep):
+        for q in expr.qualifiers:
+            yield from walk_expr(q)
+    elif isinstance(expr, (Path, UnionExpr)):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, PathQualifier):
+        yield from walk_expr(expr.path)
+    elif isinstance(expr, (AndQual, OrQual)):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, NotQual):
+        yield from walk_expr(expr.operand)
+
+
+def expr_size(expr: "XPathExpr | Qualifier") -> int:
+    """|Q| — the number of AST nodes."""
+    return sum(1 for _ in walk_expr(expr))
+
+
+def steps_of(expr: XPathExpr) -> list[AxisStep]:
+    """The top-level step sequence of a union-free path."""
+    if isinstance(expr, AxisStep):
+        return [expr]
+    if isinstance(expr, Path):
+        return steps_of(expr.left) + steps_of(expr.right)
+    raise ValueError("steps_of is only defined for union-free paths")

@@ -1,0 +1,234 @@
+"""The linear-time Core XPath evaluator ("context sets at once").
+
+The key idea behind the O(|Q| · ||A||) combined complexity of Core XPath
+([Gottlob, Koch & Pichler]; §4 of the paper reaches the same bound via
+FO² and via TMNF): never evaluate a step per context node.  Instead:
+
+- every qualifier denotes a context-independent *satisfaction set*,
+  computed bottom-up with set operations (negation is complementation —
+  the feature datalog lacks but sets give for free),
+- a path qualifier ``p`` is satisfied by the nodes from which ``p``
+  reaches at least one node: the *reverse image* of the full domain,
+  computed by applying inverted axes to whole sets,
+- the top-level query pushes {root} *forward* through the steps.
+
+:func:`apply_axis_to_set` applies one axis to an entire node set in
+O(|A|) time (amortized, using the pre/post interval arithmetic of §2) —
+that single primitive is what makes the whole evaluator linear.
+"""
+
+from __future__ import annotations
+
+from repro.trees.axes import Axis, inverse_axis, resolve_axis
+from repro.trees.tree import Tree
+from repro.errors import QueryError
+from repro.xpath.ast import (
+    AndQual,
+    AxisStep,
+    LabelTest,
+    NotQual,
+    OrQual,
+    Path,
+    PathQualifier,
+    PositionTest,
+    Qualifier,
+    UnionExpr,
+    XPathExpr,
+)
+
+__all__ = ["apply_axis_to_set", "evaluate_query_linear", "reverse_image"]
+
+
+def apply_axis_to_set(tree: Tree, axis: "str | Axis", nodes: set[int]) -> set[int]:
+    """{ v : ∃u ∈ nodes, axis(u, v) } in O(||A||) amortized time."""
+    axis = resolve_axis(axis)
+    n = tree.n
+    result: set[int] = set()
+    if axis is Axis.SELF:
+        return set(nodes)
+    if axis is Axis.CHILD:
+        for u in nodes:
+            result.update(tree.children[u])
+        return result
+    if axis is Axis.FIRST_CHILD:
+        for u in nodes:
+            if tree.children[u]:
+                result.add(tree.children[u][0])
+        return result
+    if axis in (Axis.CHILD_PLUS, Axis.CHILD_STAR):
+        include_self = axis is Axis.CHILD_STAR
+        last_end = -1
+        for u in sorted(nodes):
+            start = u if include_self else u + 1
+            end = tree.subtree_end[u]
+            # skip the part already covered by an earlier subtree
+            start = max(start, last_end)
+            if start < end:
+                result.update(range(start, end))
+                last_end = end
+            elif include_self and u >= last_end:
+                result.add(u)
+        return result
+    if axis is Axis.NEXT_SIBLING:
+        for u in nodes:
+            v = tree.next_sibling[u]
+            if v >= 0:
+                result.add(v)
+        return result
+    if axis in (Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR):
+        for u in nodes:
+            if axis is Axis.NEXT_SIBLING_STAR:
+                result.add(u)
+            v = tree.next_sibling[u]
+            while v >= 0 and v not in result:
+                result.add(v)
+                v = tree.next_sibling[v]
+        return result
+    if axis is Axis.FOLLOWING:
+        # v in result iff some u in nodes has u < v and post[u] < post[v]:
+        # prefix-minimum of post over the context set in pre order.
+        best = n + 1  # min post among context nodes seen so far
+        ordered = sorted(nodes)
+        j = 0
+        for v in range(n):
+            while j < len(ordered) and ordered[j] < v:
+                best = min(best, tree.post[ordered[j]])
+                j += 1
+            if tree.post[v] > best:
+                result.add(v)
+        return result
+    if axis is Axis.PARENT:
+        for u in nodes:
+            if tree.parent[u] >= 0:
+                result.add(tree.parent[u])
+        return result
+    if axis is Axis.FIRST_CHILD_INV:
+        for u in nodes:
+            p = tree.parent[u]
+            if p >= 0 and tree.sibling_index[u] == 0:
+                result.add(p)
+        return result
+    if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+        for u in nodes:
+            if axis is Axis.ANCESTOR_OR_SELF:
+                result.add(u)
+            v = tree.parent[u]
+            while v >= 0 and v not in result:
+                result.add(v)
+                v = tree.parent[v]
+        return result
+    if axis is Axis.PREV_SIBLING:
+        for u in nodes:
+            v = tree.prev_sibling[u]
+            if v >= 0:
+                result.add(v)
+        return result
+    if axis in (Axis.PRECEDING_SIBLING, Axis.PREV_SIBLING_STAR):
+        for u in nodes:
+            if axis is Axis.PREV_SIBLING_STAR:
+                result.add(u)
+            v = tree.prev_sibling[u]
+            while v >= 0 and v not in result:
+                result.add(v)
+                v = tree.prev_sibling[v]
+        return result
+    if axis is Axis.PRECEDING:
+        # v in result iff some u in nodes has v < u and post[v] < post[u]:
+        # suffix-maximum of post over the context set in pre order.
+        best = -1
+        ordered = sorted(nodes, reverse=True)
+        j = 0
+        for v in range(n - 1, -1, -1):
+            while j < len(ordered) and ordered[j] > v:
+                best = max(best, tree.post[ordered[j]])
+                j += 1
+            if tree.post[v] < best:
+                result.add(v)
+        return result
+    raise AssertionError(f"unhandled axis {axis}")  # pragma: no cover
+
+
+class _LinearEvaluator:
+    """Bottom-up evaluation with per-AST-node memoized qualifier sets."""
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self.domain: set[int] = set(range(tree.n))
+        self._qual_sets: dict[int, set[int]] = {}
+
+    # -- qualifiers: context-independent satisfaction sets --------------------
+
+    def qualifier_set(self, q: Qualifier) -> set[int]:
+        key = id(q)
+        cached = self._qual_sets.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(q, LabelTest):
+            result = set(self.tree.nodes_with_label(q.label))
+        elif isinstance(q, PathQualifier):
+            result = self.reverse_image(q.path, self.domain)
+        elif isinstance(q, AndQual):
+            result = self.qualifier_set(q.left) & self.qualifier_set(q.right)
+        elif isinstance(q, OrQual):
+            result = self.qualifier_set(q.left) | self.qualifier_set(q.right)
+        elif isinstance(q, NotQual):
+            result = self.domain - self.qualifier_set(q.operand)
+        elif isinstance(q, PositionTest):
+            raise QueryError(
+                "the linear context-set evaluator covers Core XPath only; "
+                "position() needs the denotational evaluator ([33])"
+            )
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"not a qualifier: {q!r}")
+        self._qual_sets[key] = result
+        return result
+
+    # -- paths -----------------------------------------------------------------
+
+    def _filtered_step_targets(self, step: AxisStep, sources: set[int]) -> set[int]:
+        targets = apply_axis_to_set(self.tree, step.axis, sources)
+        for q in step.qualifiers:
+            targets &= self.qualifier_set(q)
+        return targets
+
+    def forward(self, expr: XPathExpr, sources: set[int]) -> set[int]:
+        """{ v : ∃u ∈ sources, v ∈ [[expr]](u) }."""
+        if isinstance(expr, AxisStep):
+            return self._filtered_step_targets(expr, sources)
+        if isinstance(expr, Path):
+            return self.forward(expr.right, self.forward(expr.left, sources))
+        if isinstance(expr, UnionExpr):
+            return self.forward(expr.left, sources) | self.forward(
+                expr.right, sources
+            )
+        raise TypeError(f"not an XPath expression: {expr!r}")  # pragma: no cover
+
+    def reverse_image(self, expr: XPathExpr, targets: set[int]) -> set[int]:
+        """{ u : [[expr]](u) ∩ targets ≠ ∅ } — axes applied inverted."""
+        if isinstance(expr, AxisStep):
+            filtered = set(targets)
+            for q in expr.qualifiers:
+                filtered &= self.qualifier_set(q)
+            return apply_axis_to_set(
+                self.tree, inverse_axis(expr.axis), filtered
+            )
+        if isinstance(expr, Path):
+            return self.reverse_image(
+                expr.left, self.reverse_image(expr.right, targets)
+            )
+        if isinstance(expr, UnionExpr):
+            return self.reverse_image(expr.left, targets) | self.reverse_image(
+                expr.right, targets
+            )
+        raise TypeError(f"not an XPath expression: {expr!r}")  # pragma: no cover
+
+
+def evaluate_query_linear(expr: XPathExpr, tree: Tree) -> set[int]:
+    """[[p]]_NodeSet(root) in O(|Q| · ||A||) — experiment E7/E17's fast
+    evaluator (ablation A3 against the memoized denotational one)."""
+    return _LinearEvaluator(tree).forward(expr, {tree.root})
+
+
+def reverse_image(expr: XPathExpr, tree: Tree, targets: set[int]) -> set[int]:
+    """Public wrapper over the reverse evaluation primitive."""
+    return _LinearEvaluator(tree).reverse_image(expr, targets)

@@ -1,0 +1,317 @@
+"""Translations out of Core XPath (Section 3 of the paper).
+
+- :func:`xpath_to_datalog` — Core XPath → monadic datalog over the tree
+  signature, linear in |Q| ([29]).  Negated qualifiers — which datalog
+  cannot express — are compiled to ``Not:P`` references and resolved by
+  *stratified* evaluation (:func:`evaluate_datalog_translation`): strata
+  are evaluated in dependency order and each ``Not:P`` becomes the
+  complement of the already-computed ``P``, which is exactly the
+  set-complement trick that makes the translation of [29] work despite
+  "no analogous language feature existing in datalog".
+- :func:`xpath_to_cq` — the conjunctive fragment (no union/or/not) into
+  a :class:`ConjunctiveQuery` ("conjunctive Core XPath queries are
+  acyclic", Proposition 4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cq.query import ConjunctiveQuery
+from repro.datalog.evaluate import evaluate_program
+from repro.datalog.syntax import Atom, Program, Rule
+from repro.errors import QueryError
+from repro.trees.structure import lab
+from repro.trees.tree import Tree
+from repro.xpath.ast import (
+    AndQual,
+    AxisStep,
+    LabelTest,
+    NotQual,
+    OrQual,
+    Path,
+    PathQualifier,
+    Qualifier,
+    UnionExpr,
+    XPathExpr,
+)
+
+__all__ = [
+    "is_conjunctive",
+    "xpath_to_cq",
+    "xpath_to_datalog",
+    "evaluate_datalog_translation",
+]
+
+_NOT_PREFIX = "Not:"
+
+
+def is_conjunctive(expr: "XPathExpr | Qualifier") -> bool:
+    """No union, disjunction, negation, or positional predicate (the
+    fragment of Prop. 4.2)."""
+    from repro.xpath.ast import PositionTest
+
+    if isinstance(expr, (UnionExpr, OrQual, NotQual, PositionTest)):
+        return False
+    if isinstance(expr, AxisStep):
+        return all(is_conjunctive(q) for q in expr.qualifiers)
+    if isinstance(expr, Path):
+        return is_conjunctive(expr.left) and is_conjunctive(expr.right)
+    if isinstance(expr, PathQualifier):
+        return is_conjunctive(expr.path)
+    if isinstance(expr, AndQual):
+        return is_conjunctive(expr.left) and is_conjunctive(expr.right)
+    return True  # LabelTest
+
+
+# ---------------------------------------------------------------------------
+# conjunctive fragment -> CQ
+# ---------------------------------------------------------------------------
+
+
+def xpath_to_cq(expr: XPathExpr, context_is_root: bool = True) -> ConjunctiveQuery:
+    """Translate a conjunctive Core XPath expression into a unary CQ
+    whose head variable is the result node.  The context node becomes a
+    variable constrained by ``Root`` (the paper's unary query form
+    [[p]](root))."""
+    if not is_conjunctive(expr):
+        raise QueryError("xpath_to_cq needs the conjunctive fragment")
+    counter = itertools.count()
+    atoms: list[Atom] = []
+
+    def fresh() -> str:
+        return f"x{next(counter)}"
+
+    def compile_path(p: XPathExpr, source: str) -> str:
+        if isinstance(p, AxisStep):
+            target = fresh()
+            atoms.append(Atom(p.axis.value, (source, target)))
+            for q in p.qualifiers:
+                compile_qualifier(q, target)
+            return target
+        if isinstance(p, Path):
+            mid = compile_path(p.left, source)
+            return compile_path(p.right, mid)
+        raise QueryError("union inside conjunctive translation")
+
+    def compile_qualifier(q: Qualifier, at: str) -> None:
+        if isinstance(q, LabelTest):
+            atoms.append(Atom(lab(q.label), (at,)))
+        elif isinstance(q, AndQual):
+            compile_qualifier(q.left, at)
+            compile_qualifier(q.right, at)
+        elif isinstance(q, PathQualifier):
+            compile_path(q.path, at)
+        else:  # pragma: no cover - guarded by is_conjunctive
+            raise QueryError(f"non-conjunctive qualifier {q}")
+
+    root_var = fresh()
+    if context_is_root:
+        atoms.append(Atom("Root", (root_var,)))
+    result_var = compile_path(expr, root_var)
+    return ConjunctiveQuery((result_var,), tuple(atoms)).validate()
+
+
+# ---------------------------------------------------------------------------
+# full Core XPath -> (stratified) monadic datalog
+# ---------------------------------------------------------------------------
+
+
+class _DatalogCompiler:
+    def __init__(self):
+        self.rules: list[Rule] = []
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str) -> str:
+        return f"_{hint}{next(self._counter)}"
+
+    def add(self, head_pred: str, x: str, body: list[Atom]) -> None:
+        self.rules.append(Rule(Atom(head_pred, (x,)), tuple(body)))
+
+    # qualifier q -> unary pred true at satisfying nodes
+    def compile_qualifier(self, q: Qualifier) -> str:
+        if isinstance(q, LabelTest):
+            return lab(q.label)
+        if isinstance(q, AndQual):
+            p = self.fresh("and")
+            left = self.compile_qualifier(q.left)
+            right = self.compile_qualifier(q.right)
+            self.add(p, "x", [Atom(left, ("x",)), Atom(right, ("x",))])
+            return p
+        if isinstance(q, OrQual):
+            p = self.fresh("or")
+            self.add(p, "x", [Atom(self.compile_qualifier(q.left), ("x",))])
+            self.add(p, "x", [Atom(self.compile_qualifier(q.right), ("x",))])
+            return p
+        if isinstance(q, NotQual):
+            inner = self.compile_qualifier(q.operand)
+            if not inner[0] == "_":
+                # extensional predicate: wrap so the stratifier sees an IDB
+                wrapped = self.fresh("w")
+                self.add(wrapped, "x", [Atom(inner, ("x",))])
+                inner = wrapped
+            p = self.fresh("not")
+            self.add(p, "x", [Atom(_NOT_PREFIX + inner, ("x",))])
+            return p
+        if isinstance(q, PathQualifier):
+            return self.compile_reach(q.path)
+        from repro.xpath.ast import PositionTest
+
+        if isinstance(q, PositionTest):
+            raise QueryError(
+                "position() predicates have no monadic datalog translation "
+                "here; use the denotational evaluator"
+            )
+        raise TypeError(f"not a qualifier: {q!r}")  # pragma: no cover
+
+    # pred true at nodes from which `path` reaches some node
+    def compile_reach(self, path: XPathExpr) -> str:
+        if isinstance(path, AxisStep):
+            p = self.fresh("reach")
+            target_preds = [self.compile_qualifier(q) for q in path.qualifiers]
+            body = [Atom(path.axis.value, ("x", "y"))]
+            body += [Atom(tp, ("y",)) for tp in target_preds]
+            self.add(p, "x", body)
+            return p
+        if isinstance(path, Path):
+            right = self.compile_reach(path.right)
+            # reach(left/right) = nodes reaching (via left) a node in right
+            p = self.fresh("reach")
+            left_reaching = self._compile_forwardable(path.left, right)
+            self.add(p, "x", [Atom(left_reaching, ("x",))])
+            return p
+        if isinstance(path, UnionExpr):
+            p = self.fresh("reach")
+            self.add(p, "x", [Atom(self.compile_reach(path.left), ("x",))])
+            self.add(p, "x", [Atom(self.compile_reach(path.right), ("x",))])
+            return p
+        raise TypeError(f"not a path: {path!r}")  # pragma: no cover
+
+    def _compile_forwardable(self, path: XPathExpr, target_pred: str) -> str:
+        """pred true at x iff [[path]](x) contains a node satisfying
+        target_pred."""
+        if isinstance(path, AxisStep):
+            p = self.fresh("via")
+            body = [Atom(path.axis.value, ("x", "y")), Atom(target_pred, ("y",))]
+            body += [
+                Atom(self.compile_qualifier(q), ("y",)) for q in path.qualifiers
+            ]
+            self.add(p, "x", body)
+            return p
+        if isinstance(path, Path):
+            mid = self._compile_forwardable(path.right, target_pred)
+            return self._compile_forwardable(path.left, mid)
+        if isinstance(path, UnionExpr):
+            p = self.fresh("via")
+            self.add(
+                p, "x",
+                [Atom(self._compile_forwardable(path.left, target_pred), ("x",))],
+            )
+            self.add(
+                p, "x",
+                [Atom(self._compile_forwardable(path.right, target_pred), ("x",))],
+            )
+            return p
+        raise TypeError(f"not a path: {path!r}")  # pragma: no cover
+
+    # result pred: forward image of a context pred through the path
+    def compile_forward(self, path: XPathExpr, ctx_pred: str) -> str:
+        if isinstance(path, AxisStep):
+            p = self.fresh("sel")
+            body = [Atom(ctx_pred, ("x0",)), Atom(path.axis.value, ("x0", "x"))]
+            body += [
+                Atom(self.compile_qualifier(q), ("x",)) for q in path.qualifiers
+            ]
+            self.rules.append(Rule(Atom(p, ("x",)), tuple(body)))
+            return p
+        if isinstance(path, Path):
+            mid = self.compile_forward(path.left, ctx_pred)
+            return self.compile_forward(path.right, mid)
+        if isinstance(path, UnionExpr):
+            p = self.fresh("sel")
+            self.add(p, "x", [Atom(self.compile_forward(path.left, ctx_pred), ("x",))])
+            self.add(p, "x", [Atom(self.compile_forward(path.right, ctx_pred), ("x",))])
+            return p
+        raise TypeError(f"not a path: {path!r}")  # pragma: no cover
+
+
+def xpath_to_datalog(expr: XPathExpr) -> Program:
+    """Core XPath query [[p]](root) → a monadic datalog program whose
+    query predicate selects the answer nodes.  Negation appears as
+    ``Not:P`` body atoms; evaluate with
+    :func:`evaluate_datalog_translation` (stratified)."""
+    compiler = _DatalogCompiler()
+    compiler.add("_root", "x", [Atom("Root", ("x",))])
+    result = compiler.compile_forward(expr, "_root")
+    program = Program(compiler.rules, query_pred=result)
+    return program
+
+
+def _strata(program: Program) -> list[list[Rule]]:
+    """Split rules into strata such that every ``Not:P`` body atom refers
+    to a predicate fully computed in an earlier stratum."""
+    idb = program.intensional_preds()
+    level: dict[str, int] = {p: 0 for p in idb}
+    changed = True
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > len(idb) + 2:
+            raise QueryError("negation cycle: program is not stratifiable")
+        for rule in program.rules:
+            h = rule.head.pred
+            for atom in rule.body:
+                pred = atom.pred
+                if pred.startswith(_NOT_PREFIX):
+                    base = pred[len(_NOT_PREFIX):]
+                    need = level.get(base, 0) + 1
+                elif pred in idb:
+                    need = level[pred]
+                else:
+                    continue
+                if level[h] < need:
+                    level[h] = need
+                    changed = True
+    max_level = max(level.values(), default=0)
+    strata: list[list[Rule]] = [[] for _ in range(max_level + 1)]
+    for rule in program.rules:
+        strata[level[rule.head.pred]].append(rule)
+    return strata
+
+
+def evaluate_datalog_translation(program: Program, tree: Tree) -> set[int]:
+    """Stratified evaluation: run each stratum through the TMNF→Horn-SAT
+    pipeline, materializing ``Not:P`` as complement facts in between."""
+    strata = _strata(program)
+    domain = set(range(tree.n))
+    known: dict[str, set[int]] = {}
+    for stratum in strata:
+        rules = list(stratum)
+        # inject already-computed predicates (and needed complements) as facts
+        used: set[str] = set()
+        for rule in rules:
+            for atom in rule.body:
+                used.add(atom.pred)
+        for pred in used:
+            if pred.startswith(_NOT_PREFIX):
+                base = pred[len(_NOT_PREFIX):]
+                extension = domain - known.get(base, set())
+            elif pred in known:
+                extension = known[pred]
+            else:
+                continue
+            for v in sorted(extension):
+                rules.append(Rule(Atom(pred, (v,)), ()))
+            if not extension:
+                # keep the predicate intensional (empty) rather than
+                # letting the grounder mistake it for a structure relation
+                rules.append(Rule(Atom(pred, ("x",)), (Atom(pred, ("x",)),)))
+        sub = Program(rules)
+        results = evaluate_program(sub, tree)
+        known.update(
+            {p: vs for p, vs in results.items() if not p.startswith(_NOT_PREFIX)}
+        )
+    if program.query_pred is None:
+        raise QueryError("translated program lost its query predicate")
+    return known.get(program.query_pred, set())

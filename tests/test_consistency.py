@@ -1,0 +1,314 @@
+"""Tests for Section 6: arc-consistency, X-property, dichotomy, enumeration."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import (
+    ORDERS,
+    arc_consistency_hornsat,
+    arc_consistency_worklist,
+    classify_signature,
+    check_tuple_xproperty,
+    enumerate_satisfactions,
+    evaluate_boolean_xproperty,
+    is_arc_consistent,
+    is_tree_shaped,
+    minimum_valuation,
+    solutions_with_pointers,
+    tractable_order,
+    axis_has_x_property,
+    x_property_table,
+)
+from repro.consistency.abstract import ExplicitStructure
+from repro.consistency.minval import is_consistent_valuation
+from repro.consistency.xproperty import PROP_6_6
+from repro.cq import ConjunctiveQuery, evaluate_backtracking, parse_cq
+from repro.datalog.syntax import Atom
+from repro.errors import IntractableSignatureError
+from repro.trees import balanced_tree, random_tree
+from repro.trees.axes import Axis
+from repro.workloads import random_cq
+
+from conftest import trees
+
+
+class TestExample61:
+    """The paper's Example 6.1, verbatim: an arc-consistent pre-valuation
+    exists although the query is inconsistent."""
+
+    def setup_method(self):
+        self.query = ConjunctiveQuery(
+            (), (Atom("R", ("x", "y")), Atom("S", ("x", "y")))
+        )
+        self.structure = ExplicitStructure(
+            [1, 2, 3, 4],
+            binary={"R": [(1, 2), (3, 4)], "S": [(3, 2), (1, 4)]},
+        )
+
+    def test_maximal_prevaluation(self):
+        theta = arc_consistency_hornsat(self.query, None, self.structure)
+        assert theta == {"x": {1, 3}, "y": {2, 4}}
+
+    def test_worklist_agrees(self):
+        theta = arc_consistency_worklist(self.query, None, self.structure)
+        assert theta == {"x": {1, 3}, "y": {2, 4}}
+
+    def test_query_nevertheless_inconsistent(self):
+        # no (v, w) is in both R and S
+        pairs_r = {(1, 2), (3, 4)}
+        pairs_s = {(3, 2), (1, 4)}
+        assert not (pairs_r & pairs_s)
+
+
+class TestArcConsistency:
+    @given(trees(max_size=25), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_hornsat_equals_worklist(self, t, seed):
+        q = random_cq(4, 3, seed=seed)
+        th1 = arc_consistency_hornsat(q, t)
+        th2 = arc_consistency_worklist(q, t)
+        assert th1 == th2
+
+    @given(trees(max_size=25), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_arc_consistent(self, t, seed):
+        q = random_cq(4, 3, seed=seed)
+        theta = arc_consistency_worklist(q, t)
+        if theta is not None:
+            assert is_arc_consistent(q, t, theta)
+
+    @given(trees(max_size=20), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_subsumes_all_solutions(self, t, seed):
+        """Θ is maximal: every solution value appears in Θ(x)."""
+        q = random_cq(3, 2, seed=seed, head_arity=0)
+        theta = arc_consistency_worklist(q, t)
+        variables = q.variables()
+        full = ConjunctiveQuery(tuple(variables), q.atoms)
+        for solution in evaluate_backtracking(full, t):
+            assert theta is not None
+            for x, v in zip(variables, solution):
+                assert v in theta[x]
+
+    def test_none_when_unsatisfiable(self):
+        t = random_tree(10, seed=1, alphabet=("a",))
+        q = parse_cq("ans() :- Lab:zzz(x)")
+        assert arc_consistency_worklist(q, t) is None
+        assert arc_consistency_hornsat(q, t) is None
+
+    def test_constants_handled(self):
+        t = random_tree(10, seed=1)
+        q = ConjunctiveQuery((), (Atom("Child+", (0, "x")),))
+        theta = arc_consistency_worklist(q, t)
+        assert theta is not None and theta["x"] == set(range(1, 10))
+
+
+class TestXProperty:
+    def test_proposition_6_6_positive_claims(self, small_trees):
+        for order, axes in PROP_6_6.items():
+            for axis in axes:
+                for t in small_trees:
+                    assert axis_has_x_property(t, axis, order), (axis, order)
+
+    def test_proposition_6_6_is_exhaustive(self):
+        """All other (axis, order) combinations FAIL on some tree —
+        the paper's remark that 6.6 lists all the X-property cases."""
+        witnesses = [random_tree(12, seed=s) for s in range(8)] + [
+            balanced_tree(3, 2)
+        ]
+        table = x_property_table(witnesses)
+        for (axis, order), holds in table.items():
+            assert holds == (axis in PROP_6_6[order]), (axis, order)
+
+    def test_self_trivially_x(self, small_trees):
+        for t in small_trees:
+            for order in ORDERS:
+                assert axis_has_x_property(t, Axis.SELF, order)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            axis_has_x_property(random_tree(5), Axis.CHILD, "zorder")
+
+
+class TestMinimumValuation:
+    @given(trees(max_size=25), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_lemma_6_4_tau1(self, t, seed):
+        """On τ1 = {Child+, Child*} w.r.t. <pre, the minimum valuation of
+        any arc-consistent pre-valuation is consistent."""
+        q = random_cq(
+            4, 3, axes=(Axis.CHILD_PLUS.value, Axis.CHILD_STAR.value), seed=seed
+        )
+        theta = arc_consistency_worklist(q, t)
+        if theta is None:
+            return
+        val = minimum_valuation(theta, t, "pre")
+        assert is_consistent_valuation(q, t, val)
+
+    @given(trees(max_size=25), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma_6_4_tau3(self, t, seed):
+        q = random_cq(
+            4,
+            3,
+            axes=(
+                Axis.CHILD.value,
+                Axis.NEXT_SIBLING.value,
+                Axis.NEXT_SIBLING_PLUS.value,
+                Axis.NEXT_SIBLING_STAR.value,
+            ),
+            seed=seed,
+        )
+        theta = arc_consistency_worklist(q, t)
+        if theta is None:
+            return
+        val = minimum_valuation(theta, t, "bflr")
+        assert is_consistent_valuation(q, t, val)
+
+    @given(trees(max_size=25), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_6_5_boolean(self, t, seed):
+        q = random_cq(
+            4, 3, axes=(Axis.CHILD_PLUS.value, Axis.CHILD_STAR.value),
+            seed=seed, head_arity=0,
+        )
+        expected = bool(evaluate_backtracking(q, t, first_only=True))
+        assert evaluate_boolean_xproperty(q, t) == expected
+
+    def test_witness_returned(self):
+        t = random_tree(30, seed=2)
+        q = parse_cq("ans() :- Child+(x, y), Lab:a(y)")
+        ok, witness = evaluate_boolean_xproperty(q, t, return_witness=True)
+        if ok:
+            assert is_consistent_valuation(q, t, witness)
+
+    def test_intractable_signature_raises(self):
+        q = parse_cq("ans() :- Child+(x, y), Following(y, z)")
+        with pytest.raises(IntractableSignatureError):
+            evaluate_boolean_xproperty(q, random_tree(10))
+
+    @given(trees(max_size=20), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_tuple_membership_check(self, t, seed):
+        q = random_cq(
+            3, 2, axes=(Axis.CHILD_PLUS.value,), seed=seed, head_arity=1
+        )
+        answers = evaluate_backtracking(q, t)
+        for v in range(min(t.n, 8)):
+            assert check_tuple_xproperty(q, t, (v,)) == ((v,) in answers)
+
+
+class TestDichotomy:
+    def test_tau_classes_in_p(self):
+        assert classify_signature({Axis.CHILD_PLUS, Axis.CHILD_STAR}) == ("P", "pre")
+        assert classify_signature({Axis.FOLLOWING}) == ("P", "post")
+        assert classify_signature(
+            {
+                Axis.CHILD,
+                Axis.NEXT_SIBLING,
+                Axis.NEXT_SIBLING_PLUS,
+                Axis.NEXT_SIBLING_STAR,
+            }
+        ) == ("P", "bflr")
+
+    def test_mixed_signatures_np_complete(self):
+        assert classify_signature({Axis.CHILD, Axis.CHILD_PLUS})[0] == "NP-complete"
+        assert classify_signature({Axis.CHILD_PLUS, Axis.FOLLOWING})[0] == (
+            "NP-complete"
+        )
+        assert classify_signature(
+            {Axis.NEXT_SIBLING, Axis.FOLLOWING}
+        )[0] == "NP-complete"
+
+    def test_inverse_axes_folded(self):
+        assert classify_signature({Axis.ANCESTOR})[0] == "P"
+        assert classify_signature({Axis.PARENT, Axis.PREV_SIBLING})[0] == "P"
+
+    def test_self_is_harmless(self):
+        assert classify_signature({Axis.SELF, Axis.CHILD_PLUS})[0] == "P"
+        assert classify_signature({Axis.SELF})[0] == "P"
+
+    def test_every_subset_of_rewrite_axes(self):
+        """Theorem 6.8 over the lattice of the four Table-1 axes: the
+        tractable subsets are exactly those inside τ1 or τ3."""
+        four = [
+            Axis.CHILD,
+            Axis.CHILD_PLUS,
+            Axis.NEXT_SIBLING,
+            Axis.NEXT_SIBLING_PLUS,
+        ]
+        for r in range(len(four) + 1):
+            for subset in itertools.combinations(four, r):
+                verdict, _ = classify_signature(subset)
+                inside_tau1 = set(subset) <= {Axis.CHILD_PLUS}
+                inside_tau3 = set(subset) <= {
+                    Axis.CHILD,
+                    Axis.NEXT_SIBLING,
+                    Axis.NEXT_SIBLING_PLUS,
+                }
+                expected = "P" if (inside_tau1 or inside_tau3) else "NP-complete"
+                assert verdict == expected, subset
+
+    def test_tractable_order_none_for_hard(self):
+        assert tractable_order({Axis.CHILD_PLUS, Axis.CHILD}) is None
+
+
+class TestEnumeration:
+    @given(trees(max_size=20), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_figure_6_vs_backtracking(self, t, seed):
+        q = random_cq(4, 3, seed=seed, head_arity=1)
+        if not is_tree_shaped(q):
+            return
+        variables = q.variables()
+        full = ConjunctiveQuery(tuple(variables), q.atoms)
+        expected = evaluate_backtracking(full, t)
+        got = {
+            tuple(val[x] for x in variables)
+            for val in enumerate_satisfactions(q, t)
+        }
+        assert got == expected
+
+    @given(trees(max_size=20), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_pointer_version_agrees(self, t, seed):
+        q = random_cq(4, 3, seed=seed, head_arity=2)
+        if not is_tree_shaped(q):
+            return
+        assert solutions_with_pointers(q, t) == evaluate_backtracking(q, t)
+
+    def test_proposition_6_9(self):
+        """Every value in the maximal arc-consistent Θ of an acyclic query
+        extends to a full solution."""
+        for seed in range(15):
+            t = random_tree(18, seed=seed)
+            q = random_cq(3, 2, seed=seed, head_arity=0)
+            if not is_tree_shaped(q):
+                continue
+            theta = arc_consistency_worklist(q, t)
+            if theta is None:
+                continue
+            solutions = list(enumerate_satisfactions(q, t, theta=theta))
+            for x, values in theta.items():
+                covered = {s[x] for s in solutions}
+                assert covered == values, (seed, x)
+
+    def test_no_backtracking_property(self):
+        """Enumeration touches exactly the solution prefixes: the number
+        of recursion entries equals the number of distinct prefixes."""
+        t = random_tree(25, seed=3)
+        q = parse_cq("ans(x) :- Child+(x, y), Lab:a(y)")
+        sols = solutions_with_pointers(q, t, project_to_head=False)
+        assert all(is_consistent_valuation(q, t, v) for v in sols)
+
+    def test_non_tree_shaped_rejected(self):
+        q = parse_cq("ans() :- Child+(x, y), Child+(y, z), Child+(x, z)")
+        assert not is_tree_shaped(q)
+        from repro.errors import QueryError
+        from repro.consistency.enumerate import query_tree
+
+        with pytest.raises(QueryError):
+            query_tree(q)

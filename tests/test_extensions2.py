@@ -1,0 +1,278 @@
+"""Tests for the second extension wave: the optimal TwigStack, DTD
+validation, and positional XPath predicates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import DTD, ContentModel
+from repro.cq import evaluate_backtracking
+from repro.errors import ParseError, QueryError
+from repro.streaming import MemoryMeter, tree_events
+from repro.trees import Tree, flat_tree, parse_xml, path_tree, random_tree
+from repro.twigjoin import parse_twig, twig_stack, twig_stack_optimal
+from repro.twigjoin.twigstack import TwigStats
+from repro.trees.generate import tree_from_parents
+from repro.workloads import random_twig
+from repro.xpath import evaluate_query, evaluate_query_linear, parse_xpath
+
+from conftest import trees
+
+
+class TestOptimalTwigStack:
+    PATTERNS = [
+        "//a//b",
+        "//a/b",
+        "//a[b]//c",
+        "//a[.//b]/c[d]",
+        "/a//b[c]",
+        "//a[b][.//c]/d",
+    ]
+
+    @pytest.mark.parametrize("text", PATTERNS)
+    def test_matches_simple_variant(self, text, small_trees):
+        pattern = parse_twig(text)
+        for t in small_trees:
+            assert twig_stack_optimal(pattern, t) == twig_stack(pattern, t)
+
+    @given(trees(max_size=30), st.integers(min_value=0, max_value=400))
+    @settings(max_examples=50, deadline=None)
+    def test_fuzz_vs_backtracking(self, t, seed):
+        pattern = random_twig(4, seed=seed)
+        expected = evaluate_backtracking(pattern.to_cq(), t)
+        assert twig_stack_optimal(pattern, t) == expected
+
+    def test_getnext_filters_unsupported_elements(self):
+        """On //-only twigs the filter makes pushes output-relevant:
+        a-blocks without a c-descendant are never pushed."""
+        parents, labels = [-1], ["r"]
+        for block in range(30):
+            a = len(parents)
+            parents.append(0)
+            labels.append("a")
+            parents.append(a)
+            labels.append("b")
+            if block == 0:
+                parents.append(a)
+                labels.append("c")
+        t = tree_from_parents(parents, labels)
+        pattern = parse_twig("//a[.//b][.//c]")
+        plain, filtered = TwigStats(), TwigStats()
+        assert twig_stack(pattern, t, stats=plain) == twig_stack_optimal(
+            pattern, t, stats=filtered
+        )
+        assert filtered.pushes < plain.pushes
+        assert filtered.path_solutions < plain.path_solutions
+
+    def test_partially_exhausted_branch(self):
+        """One pattern branch runs out of stream elements early; the
+        other must keep producing (regression for the getNext eof case)."""
+        pattern = parse_twig("//a[.//b]/c[d]")
+        t = Tree.from_tuple(("a", [("c", ["d", "b"])]))
+        assert twig_stack_optimal(pattern, t) == {(0, 3, 1, 2)}
+
+
+class TestContentModels:
+    def test_sequence_with_modifiers(self):
+        cm = ContentModel("a, b?, c*")
+        assert cm.matches(["a"])
+        assert cm.matches(["a", "b", "c", "c"])
+        assert not cm.matches([])
+        assert not cm.matches(["a", "b", "b"])
+        assert not cm.matches(["b"])
+
+    def test_alternation_plus(self):
+        cm = ContentModel("(a | b)+")
+        assert cm.matches(["a"]) and cm.matches(["b", "a", "b"])
+        assert not cm.matches([]) and not cm.matches(["a", "c"])
+
+    def test_empty_and_any(self):
+        assert ContentModel("EMPTY").matches([])
+        assert not ContentModel("EMPTY").matches(["x"])
+        assert ContentModel("ANY").matches(["anything", "at", "all"])
+
+    def test_nested_groups(self):
+        cm = ContentModel("(a, b)*, c")
+        assert cm.matches(["c"])
+        assert cm.matches(["a", "b", "a", "b", "c"])
+        assert not cm.matches(["a", "c"])
+
+    def test_bad_syntax(self):
+        for bad in ("a,,b", "(a", "a |", "*", ""):
+            if bad == "":
+                assert ContentModel(bad).matches([])  # empty == EMPTY
+                continue
+            with pytest.raises(ParseError):
+                ContentModel(bad)
+
+
+class TestDTDValidation:
+    DTD_RULES = {
+        "site": "regions, people?",
+        "regions": "item*",
+        "item": "name, keyword?",
+        "people": "person+",
+        "person": "name",
+        "name": "EMPTY",
+        "keyword": "EMPTY",
+    }
+
+    def setup_method(self):
+        self.dtd = DTD(self.DTD_RULES, root="site")
+
+    def test_valid_document(self):
+        doc = parse_xml(
+            "<site><regions><item><name/><keyword/></item></regions>"
+            "<people><person><name/></person></people></site>"
+        )
+        assert self.dtd.validate(doc) is None
+        assert self.dtd.stream_validate(tree_events(doc))
+
+    def test_missing_required_child(self):
+        doc = parse_xml("<site><regions><item><keyword/></item></regions></site>")
+        message = self.dtd.validate(doc)
+        assert message is not None and "item" in message
+        assert not self.dtd.stream_validate(tree_events(doc))
+
+    def test_wrong_root(self):
+        doc = parse_xml("<regions/>")
+        assert self.dtd.validate(doc) is not None
+        assert not self.dtd.stream_validate(tree_events(doc))
+
+    def test_undeclared_element(self):
+        doc = parse_xml("<site><regions><mystery/></regions></site>")
+        assert "mystery" in (self.dtd.validate(doc) or "")
+
+    @given(trees(max_size=30), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_equals_in_memory(self, t, seed):
+        models = ["ANY", "a*, b*", "(a|b|c|d)*", "EMPTY", "a?, (b|c)*, d?"]
+        dtd = DTD(
+            {lab: models[(seed + i) % len(models)] for i, lab in enumerate("abcd")}
+        )
+        assert dtd.stream_validate(tree_events(t)) == dtd.is_valid(t)
+
+    def test_streaming_memory_tracks_depth(self):
+        dtd = DTD({lab: "(a|b|c|d)?" for lab in "abcd"})
+        deep, wide = MemoryMeter(), MemoryMeter()
+        dtd.stream_validate(tree_events(path_tree(1_000)), meter=deep)
+        dtd.stream_validate(tree_events(flat_tree(1_000)), meter=wide)
+        assert deep.peak_units > 50 * wide.peak_units
+
+
+class TestPositionalPredicates:
+    def setup_method(self):
+        self.tree = Tree.from_tuple(("r", ["a", "b", "a", "c", "a"]))
+
+    def test_numeric_shorthand(self):
+        assert evaluate_query(parse_xpath("Child[2]"), self.tree) == {2}
+
+    def test_last(self):
+        assert evaluate_query(parse_xpath("Child[last()]"), self.tree) == {5}
+        assert evaluate_query(
+            parse_xpath("Child[position() = last()]"), self.tree
+        ) == {5}
+
+    def test_predicate_order_matters(self):
+        # [lab()=a][2]: the second a-child; [2][lab()=a]: child 2 if a
+        assert evaluate_query(
+            parse_xpath("Child[lab() = a][2]"), self.tree
+        ) == {3}
+        assert evaluate_query(
+            parse_xpath("Child[2][lab() = a]"), self.tree
+        ) == set()
+
+    @pytest.mark.parametrize(
+        "op, expected",
+        [(">= 3", {3, 4, 5}), ("< 2", {1}), ("!= 1", {2, 3, 4, 5}), ("<= 2", {1, 2})],
+    )
+    def test_comparisons(self, op, expected):
+        assert evaluate_query(
+            parse_xpath(f"Child[position() {op}]"), self.tree
+        ) == expected
+
+    def test_reverse_axis_proximity_order(self):
+        t = Tree.from_tuple(("r", [("m", [("x", ["y"])])]))
+        assert evaluate_query(
+            parse_xpath("Child/Child/Child/Ancestor[1]"), t
+        ) == {2}
+        assert evaluate_query(
+            parse_xpath("Child/Child/Child/Ancestor[last()]"), t
+        ) == {0}
+
+    def test_preceding_proximity(self):
+        t = Tree.from_tuple(("r", ["a", "b", "c"]))
+        assert evaluate_query(
+            parse_xpath("Child[lab() = c]/Preceding[1]"), t
+        ) == {2}
+
+    def test_linear_evaluator_rejects(self):
+        with pytest.raises(QueryError):
+            evaluate_query_linear(parse_xpath("Child[2]"), self.tree)
+
+    def test_nested_positions(self):
+        t = Tree.from_tuple(("r", [("s", ["a", "b"]), ("s", ["c", "d"])]))
+        assert evaluate_query(parse_xpath("Child[2]/Child[1]"), t) == {5}
+
+    @given(trees(max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_position_partition(self, t):
+        """Child[position() <= k] ∪ Child[position() > k] = Child."""
+        whole = evaluate_query(parse_xpath("Child/Child"), t)
+        low = evaluate_query(parse_xpath("Child/Child[position() <= 2]"), t)
+        high = evaluate_query(parse_xpath("Child/Child[position() > 2]"), t)
+        assert low | high == whole
+        assert not (low & high)
+
+
+class TestTwoPassSelection:
+    """The top-down context pass completes Theorem 4.4's unary story:
+    context-dependent queries (not subtree-definable) become automaton
+    selections."""
+
+    def setup_method(self):
+        from repro.automata import has_marked_ancestor_query
+
+        self.auto, self.universe, self.select = has_marked_ancestor_query("a")
+
+    @given(trees(max_size=35))
+    @settings(max_examples=40, deadline=None)
+    def test_ancestor_query(self, t):
+        from repro.automata import select_two_pass
+
+        got = select_two_pass(self.auto, t, self.universe, self.select)
+        expected = {
+            v
+            for v in t.nodes()
+            if any(t.has_label(u, "a") for u in t.ancestors(v))
+        }
+        assert got == expected
+
+    def test_root_context_is_accepting_set(self):
+        from repro.automata import context_run
+
+        t = random_tree(15, seed=3)
+        _states, contexts = context_run(self.auto, t, self.universe)
+        assert contexts[t.root] == frozenset(
+            q for q in self.universe if self.auto.accepting(q)
+        )
+
+    def test_universe_validation(self):
+        from repro.automata import context_run, label_count_mod_automaton
+
+        counter = label_count_mod_automaton("a", 3)
+        t = random_tree(20, seed=4)  # contains several a-nodes
+        with pytest.raises(ValueError):
+            context_run(counter, t, [0])  # reachable states 1, 2 missing
+
+    def test_deep_tree_no_recursion(self):
+        from repro.automata import select_two_pass
+
+        t = path_tree(10_000, alphabet=("a", "b"))
+        got = select_two_pass(self.auto, t, self.universe, self.select)
+        expected = {
+            v
+            for v in t.nodes()
+            if any(t.has_label(u, "a") for u in t.ancestors(v))
+        }
+        assert got == expected

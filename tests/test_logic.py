@@ -1,0 +1,109 @@
+"""Tests for the FO layer (§3/§4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import evaluate_backtracking, parse_cq
+from repro.errors import EvaluationError
+from repro.logic import (
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    RelAtom,
+    cq_to_fo,
+    fo_eval,
+    is_positive,
+    variable_width,
+)
+from repro.logic.fo import fo_query
+from repro.trees import Tree, random_tree
+
+from conftest import trees
+
+
+class TestEvaluation:
+    def test_exists_label(self):
+        t = Tree.from_tuple(("a", ["b"]))
+        f = Exists("x", RelAtom("Lab:b", ("x",)))
+        assert fo_eval(f, t)
+        assert not fo_eval(Exists("x", RelAtom("Lab:c", ("x",))), t)
+
+    def test_forall(self):
+        t = Tree.from_tuple(("a", ["a", "a"]))
+        f = Forall("x", RelAtom("Lab:a", ("x",)))
+        assert fo_eval(f, t)
+        t2 = Tree.from_tuple(("a", ["b"]))
+        assert not fo_eval(f, t2)
+
+    def test_negation_and_equality(self):
+        t = Tree.from_tuple(("a", ["b", "c"]))
+        # there are two distinct non-root nodes
+        f = Exists(
+            "x",
+            Exists(
+                "y",
+                And(
+                    Not(Eq("x", "y")),
+                    And(
+                        Not(RelAtom("Root", ("x",))),
+                        Not(RelAtom("Root", ("y",))),
+                    ),
+                ),
+            ),
+        )
+        assert fo_eval(f, t)
+
+    def test_binary_atoms(self):
+        t = Tree.from_tuple(("a", [("b", ["c"])]))
+        f = Exists("x", Exists("y", And(RelAtom("Child+", ("x", "y")), RelAtom("Lab:c", ("y",)))))
+        assert fo_eval(f, t)
+
+    def test_unbound_variable_raises(self):
+        t = Tree.from_tuple("a")
+        with pytest.raises(EvaluationError):
+            fo_eval(RelAtom("Lab:a", ("x",)), t)
+
+    def test_free_variable_query(self):
+        t = Tree.from_tuple(("a", ["b", ("a", ["b"])]))
+        # nodes labeled a with a b child
+        f = Exists(
+            "y", And(RelAtom("Child", ("x", "y")), RelAtom("Lab:b", ("y",)))
+        )
+        got = {v for v in t.nodes() if fo_eval(And(RelAtom("Lab:a", ("x",)), f), t, {"x": v})}
+        assert got == {0, 2}
+
+    @given(trees(max_size=15), st.integers(min_value=0, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_cq_to_fo_agrees_with_backtracking(self, t, seed):
+        from repro.workloads import random_cq
+
+        q = random_cq(3, 2, seed=seed, head_arity=1)
+        f = cq_to_fo(q)
+        expected = {r[0] for r in evaluate_backtracking(q, t)}
+        assert fo_query(f, t, q.head[0]) == expected
+
+
+class TestMeasures:
+    def test_variable_width(self):
+        q = parse_cq("ans(x) :- Child(x, y), Child(y, z)")
+        assert variable_width(cq_to_fo(q)) == 3
+
+    def test_two_variable_reuse(self):
+        # ∃y Child(x,y) ∧ ∃x' ... reusing names keeps width at 2
+        f = Exists("y", And(RelAtom("Child", ("x", "y")), RelAtom("Lab:a", ("y",))))
+        assert variable_width(f) == 2
+
+    def test_is_positive(self):
+        q = parse_cq("ans(x) :- Child(x, y)")
+        assert is_positive(cq_to_fo(q))
+        assert not is_positive(Not(RelAtom("Lab:a", ("x",))))
+        assert not is_positive(Forall("x", RelAtom("Lab:a", ("x",))))
+
+    def test_str_rendering(self):
+        f = Exists("x", Or(RelAtom("Leaf", ("x",)), Not(RelAtom("Root", ("x",)))))
+        text = str(f)
+        assert "∃x" in text and "∨" in text and "¬" in text

@@ -1,0 +1,136 @@
+"""Coverage for smaller utility surfaces: the Node builder, the mini
+relational engine, AST rendering, and the datalog Program container."""
+
+import pytest
+
+from repro.datalog import Atom, Program, Rule, parse_rule
+from repro.errors import QueryError
+from repro.storage import Table
+from repro.trees import Tree
+from repro.trees.node import Node
+from repro.xpath import parse_xpath
+from repro.xpath.ast import expr_size, steps_of
+
+
+class TestNodeBuilder:
+    def test_from_tuple_strings_are_leaves(self):
+        node = Node.from_tuple(("a", ["b", ("c", ["d"])]))
+        assert node.size() == 4
+        assert [n.label for n in node.walk()] == ["a", "b", "c", "d"]
+
+    def test_deep_spec_iterative(self):
+        spec = "x"
+        for _ in range(5_000):
+            spec = ("s", [spec])
+        node = Node.from_tuple(spec)
+        assert node.size() == 5_001  # no RecursionError
+
+    def test_add_chains(self):
+        root = Node("r")
+        child = root.add(Node("c"))
+        assert root.children == [child]
+
+    def test_labels_property(self):
+        node = Node("a", extra_labels=["x"])
+        assert node.labels == frozenset({"a", "x"})
+        assert Node("a").labels == frozenset({"a"})
+
+
+class TestRelationalEngine:
+    def test_rename(self):
+        t = Table(("a", "b"), [(1, 2)])
+        assert t.rename({"a": "z"}).columns == ("z", "b")
+
+    def test_missing_column(self):
+        with pytest.raises(QueryError):
+            Table(("a",), [(1,)]).col("zzz")
+
+    def test_theta_join_suffixes_clashing_columns(self):
+        t = Table(("a",), [(1,)])
+        joined = t.theta_join(t, lambda l, r: True)
+        assert joined.columns == ("a", "a_r")
+
+    def test_project_no_dedup(self):
+        t = Table(("a", "b"), [(1, 2), (1, 3)])
+        assert t.project(["a"], dedup=False).rows == [(1,), (1,)]
+        assert t.project(["a"]).rows == [(1,)]
+
+    def test_select_sees_column_dict(self):
+        t = Table(("x", "y"), [(1, 10), (2, 20)])
+        assert t.select(lambda r: r["x"] + r["y"] == 22).rows == [(2, 20)]
+
+    def test_pretty_truncates(self):
+        t = Table(("n",), [(i,) for i in range(50)])
+        text = t.pretty(limit=3)
+        assert "more rows" in text
+
+
+class TestAstUtilities:
+    def test_steps_of_flat_path(self):
+        e = parse_xpath("Child/Child+/Self")
+        assert [s.axis.value for s in steps_of(e)] == ["Child", "Child+", "Self"]
+
+    def test_steps_of_rejects_union(self):
+        with pytest.raises(ValueError):
+            steps_of(parse_xpath("Child union Self"))
+
+    def test_str_reparses_to_same_semantics(self):
+        from repro.trees import random_tree
+        from repro.xpath import evaluate_query
+
+        for text in (
+            "Child[lab() = a]/Child+",
+            "Self[not(Child)] union Child*",
+            "Descendant[lab() = a or lab() = b]",
+        ):
+            e = parse_xpath(text)
+            reparsed = parse_xpath(str(e))
+            t = random_tree(25, seed=1)
+            assert evaluate_query(e, t) == evaluate_query(reparsed, t)
+
+    def test_expr_size_counts_qualifiers(self):
+        assert expr_size(parse_xpath("Child")) == 1
+        assert expr_size(parse_xpath("Child[lab() = a]")) == 2
+
+
+class TestProgramContainer:
+    def test_str_includes_query_pred(self):
+        program = Program([parse_rule("P(x) :- Dom(x)")], query_pred="P")
+        assert "% query: P" in str(program)
+
+    def test_rule_builder(self):
+        program = Program().rule(Atom("P", ("x",)), Atom("Dom", ("x",)))
+        assert len(program) == 1
+        assert program.is_tau_plus()
+
+    def test_is_tau_plus_false_for_derived_axis(self):
+        program = Program([parse_rule("P(x) :- Child+(y, x), Dom(y)")])
+        assert not program.canonicalized().is_tau_plus()
+
+    def test_canonicalized_does_not_touch_idb(self):
+        # an intensional predicate that shadows an axis alias must be
+        # left alone by canonicalization... (unary IDB cannot clash with
+        # binary axes thanks to arity checks)
+        program = Program(
+            [
+                parse_rule("Self2(x) :- Dom(x)"),
+                parse_rule("P(x) :- Self2(x)"),
+            ]
+        )
+        program.canonicalized().validate()
+
+    def test_size(self):
+        program = Program([parse_rule("P(x) :- Dom(x), Leaf(x)")])
+        assert program.size() == 3
+
+
+class TestTreeMiscellanea:
+    def test_repr_smoke(self):
+        t = Tree.from_tuple(("a", ["b"]))
+        assert "Tree" in repr(t)
+
+    def test_subtree_size(self):
+        t = Tree.from_tuple(("a", [("b", ["c", "d"]), "e"]))
+        assert t.subtree_size(0) == 5
+        assert t.subtree_size(1) == 3
+        assert t.subtree_size(4) == 1

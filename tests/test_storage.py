@@ -1,0 +1,236 @@
+"""Tests for XASR, structural joins, and labeling schemes (Section 2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import QueryError
+from repro.storage import (
+    DietzLabeling,
+    IntervalLabeling,
+    OrdpathLabeling,
+    Table,
+    XASR,
+    merge_structural_join,
+    nested_loop_join,
+    stack_structural_join,
+    transitive_closure_pairs,
+)
+from repro.storage.structural_join import following_join
+from repro.trees import Tree, random_tree
+
+from conftest import trees
+
+
+class TestTable:
+    def test_schema_validation(self):
+        with pytest.raises(QueryError):
+            Table(("a", "a"))
+        with pytest.raises(QueryError):
+            Table(("a", "b"), [(1,)])
+
+    def test_select_project(self):
+        t = Table(("x", "y"), [(1, 2), (3, 4), (5, 2)])
+        assert t.select(lambda r: r["y"] == 2).rows == [(1, 2), (5, 2)]
+        assert t.project(["y"]).rows == [(2,), (4,)]
+
+    def test_theta_join_example_2_1_semantics(self):
+        t = Table(("pre", "post"), [(1, 3), (2, 1), (3, 2)])
+        joined = t.theta_join(
+            t, lambda r1, r2: r1["pre"] < r2["pre"] and r2["post"] < r1["post"]
+        )
+        assert set(joined.project(["pre", "pre_r"], dedup=False).rows) == {
+            (1, 2),
+            (1, 3),
+        }
+
+    def test_equi_join(self):
+        left = Table(("a", "b"), [(1, 10), (2, 20)])
+        right = Table(("b", "c"), [(10, "x"), (10, "y")])
+        out = left.equi_join(right, "b", "b")
+        assert len(out) == 2
+        assert out.columns == ("a", "b", "b_r", "c")
+
+    def test_order_by_and_distinct(self):
+        t = Table(("x",), [(3,), (1,), (3,)])
+        assert t.order_by("x").rows == [(1,), (3,), (3,)]
+        assert t.distinct().rows == [(3,), (1,)]
+
+    def test_pretty(self):
+        text = Table(("pre", "lab"), [(1, "a")]).pretty()
+        assert "pre" in text and "a" in text
+
+
+class TestXASR:
+    def test_figure_2_verbatim(self, paper_tree):
+        """The XASR table of Figure 2(b), row by row."""
+        x = XASR.from_tree(paper_tree)
+        assert x.table.rows == [
+            (1, 7, None, "a"),
+            (2, 3, 1, "b"),
+            (3, 1, 2, "a"),
+            (4, 2, 2, "c"),
+            (5, 6, 1, "a"),
+            (6, 4, 5, "b"),
+            (7, 5, 5, "d"),
+        ]
+
+    def test_descendant_view(self, paper_tree):
+        x = XASR.from_tree(paper_tree)
+        got = set(x.descendant_pairs().rows)
+        expected = {
+            (u + 1, v + 1)
+            for u in paper_tree.nodes()
+            for v in paper_tree.descendants(u)
+        }
+        assert got == expected
+
+    def test_child_view(self, paper_tree):
+        x = XASR.from_tree(paper_tree)
+        got = set(x.child_pairs().rows)
+        expected = {
+            (paper_tree.parent[v] + 1, v + 1) for v in range(1, paper_tree.n)
+        }
+        assert got == expected
+
+    @given(trees(max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_views_on_random_trees(self, t):
+        x = XASR.from_tree(t)
+        assert set(x.descendant_pairs().rows) == {
+            (u + 1, v + 1) for u in t.nodes() for v in t.descendants(u)
+        }
+
+
+class TestStructuralJoins:
+    @given(trees(max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_three_algorithms_agree(self, t):
+        labels = [(v, t.post[v]) for v in t.nodes()]
+        expected = set(nested_loop_join(labels, labels))
+        assert set(stack_structural_join(labels, labels)) == expected
+        assert set(merge_structural_join(labels, labels)) == expected
+
+    @given(trees(max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_join_equals_transitive_closure(self, t):
+        labels = [(v, t.post[v]) for v in t.nodes()]
+        join = {(a[0], d[0]) for a, d in stack_structural_join(labels, labels)}
+        assert join == transitive_closure_pairs(t)
+
+    def test_label_filtered_inputs(self):
+        t = random_tree(60, seed=4)
+        ancestors = [(v, t.post[v]) for v in t.nodes_with_label("a")]
+        descendants = [(v, t.post[v]) for v in t.nodes_with_label("b")]
+        got = set(stack_structural_join(ancestors, descendants))
+        expected = {
+            ((u, t.post[u]), (v, t.post[v]))
+            for u in t.nodes_with_label("a")
+            for v in t.nodes_with_label("b")
+            if t.is_descendant(u, v)
+        }
+        assert got == expected
+
+    def test_output_sorted_by_descendant(self):
+        t = random_tree(40, seed=2)
+        labels = [(v, t.post[v]) for v in t.nodes()]
+        out = stack_structural_join(labels, labels)
+        descendant_pres = [d[0] for _a, d in out]
+        assert descendant_pres == sorted(descendant_pres)
+
+    @given(trees(max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_following_join(self, t):
+        labels = [(v, t.post[v]) for v in t.nodes()]
+        got = {(l[0], r[0]) for l, r in following_join(labels, labels)}
+        expected = {
+            (u, v) for u in t.nodes() for v in t.nodes() if t.is_following(u, v)
+        }
+        assert got == expected
+
+    def test_empty_inputs(self):
+        assert stack_structural_join([], [(1, 2)]) == []
+        assert stack_structural_join([(1, 2)], []) == []
+
+
+class TestLabelings:
+    @given(trees(max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_all_schemes_decide_ancestor(self, t):
+        il, op, dz = IntervalLabeling(t), OrdpathLabeling(t), DietzLabeling(t)
+        for u in t.nodes():
+            for v in t.nodes():
+                expected = t.is_descendant(u, v)
+                assert il.is_ancestor(il.label_of(u), il.label_of(v)) == expected
+                assert op.is_ancestor(op.label_of(u), op.label_of(v)) == expected
+                assert dz.is_ancestor(dz.label_of(u), dz.label_of(v)) == expected
+
+    @given(trees(max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_all_schemes_decide_following(self, t):
+        il, op, dz = IntervalLabeling(t), OrdpathLabeling(t), DietzLabeling(t)
+        for u in t.nodes():
+            for v in t.nodes():
+                expected = t.is_following(u, v)
+                assert il.is_following(il.label_of(u), il.label_of(v)) == expected
+                assert op.is_following(op.label_of(u), op.label_of(v)) == expected
+                assert dz.is_following(dz.label_of(u), dz.label_of(v)) == expected
+
+    @given(trees(max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_document_order_keys(self, t):
+        il, op = IntervalLabeling(t), OrdpathLabeling(t)
+        il_keys = [il.document_order_key(il.label_of(v)) for v in t.nodes()]
+        op_keys = [op.document_order_key(op.label_of(v)) for v in t.nodes()]
+        assert il_keys == sorted(il_keys)
+        assert op_keys == sorted(op_keys)
+
+    def test_interval_parent_test(self, paper_tree):
+        il = IntervalLabeling(paper_tree)
+        assert il.is_parent(il.label_of(1), il.label_of(2))
+        assert not il.is_parent(il.label_of(0), il.label_of(2))
+
+    def test_interval_bits_per_label(self):
+        t = random_tree(100, seed=1)
+        assert IntervalLabeling(t).bits_per_label() == 3 * 7
+
+    def test_dietz_insert_leaf(self):
+        t = Tree.from_tuple(("a", ["b", "c"]))
+        dz = DietzLabeling(t, gap=16)
+        new = dz.insert_leaf_label(0)
+        assert new is not None
+        new_pre, new_post = new
+        p_pre, p_post = dz.label_of(0)
+        assert p_pre < new_pre and new_post < p_post
+        # still after the last existing child
+        last_pre, last_post = dz.label_of(2)
+        assert last_post < new_post
+
+    def test_dietz_gap_exhaustion(self):
+        t = Tree.from_tuple(("a", ["b"]))
+        dz = DietzLabeling(t, gap=2)
+        # repeated inserts cannot be accommodated forever without renumber
+        label = dz.insert_leaf_label(0)
+        assert label is None or isinstance(label, tuple)
+
+    def test_ordpath_between(self):
+        left, right = (1, 3), (1, 5)
+        mid = OrdpathLabeling.between(left, right)
+        assert left < mid < right
+        # adjacent labels: caret in
+        left, right = (1, 3), (1, 5)
+        mid2 = OrdpathLabeling.between((1, 3), (1, 5))
+        assert mid2 == (1, 4, 1)
+
+    def test_ordpath_between_adjacent(self):
+        mid = OrdpathLabeling.between((1, 1), (1, 3))
+        assert (1, 1) < mid < (1, 3)
+
+    def test_ordpath_root(self):
+        t = Tree.from_tuple(("a", ["b"]))
+        op = OrdpathLabeling(t)
+        assert op.label_of(0) == (1,)
+        assert op.label_of(1) == (1, 1)
+
+    def test_dietz_invalid_gap(self):
+        with pytest.raises(ValueError):
+            DietzLabeling(Tree.from_tuple("a"), gap=1)

@@ -1,0 +1,138 @@
+"""Tests for the streaming evaluators and the O(depth) memory claim."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.streaming import (
+    MemoryMeter,
+    stream_match_twig,
+    stream_select,
+    tree_events,
+    xml_events,
+)
+from repro.trees import (
+    caterpillar_tree,
+    flat_tree,
+    path_tree,
+    random_tree,
+    to_xml,
+)
+from repro.twigjoin import parse_twig, twig_stack
+from repro.xpath import evaluate_query, parse_xpath
+from repro.workloads import deep_sections, random_twig
+
+from conftest import trees
+
+
+class TestEvents:
+    def test_tree_events_balanced(self):
+        t = random_tree(30, seed=1)
+        events = list(tree_events(t))
+        assert len(events) == 2 * t.n
+        depth = 0
+        for e in events:
+            depth += 1 if e[0] == "start" else -1
+            assert depth >= 0
+        assert depth == 0
+
+    def test_xml_events_ids_match_tree(self):
+        t = random_tree(25, seed=2)
+        assert list(xml_events(to_xml(t))) == list(tree_events(t))
+
+
+class TestStreamSelect:
+    QUERIES = [
+        "Child[lab() = a]",
+        "Child*[lab() = a]/Child[lab() = b]",
+        "Child+/Child+[lab() = c]",
+        "Self/Child*[lab() = d]",
+        "Child[lab() = a]/Child+[lab() = b]/Child*[lab() = c]",
+        "Child*",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_vs_in_memory(self, text, small_trees):
+        e = parse_xpath(text)
+        for t in small_trees:
+            assert set(stream_select(e, tree_events(t))) == evaluate_query(e, t)
+
+    @given(trees(max_size=40), st.sampled_from(QUERIES))
+    @settings(max_examples=40, deadline=None)
+    def test_fuzz(self, t, text):
+        e = parse_xpath(text)
+        assert set(stream_select(e, tree_events(t))) == evaluate_query(e, t)
+
+    def test_results_in_document_order(self):
+        t = random_tree(50, seed=3)
+        e = parse_xpath("Child*[lab() = a]")
+        out = list(stream_select(e, tree_events(t)))
+        assert out == sorted(out)
+
+    def test_unsupported_axis_rejected(self):
+        with pytest.raises(QueryError):
+            list(stream_select(parse_xpath("Parent"), []))
+
+    def test_unsupported_qualifier_rejected(self):
+        with pytest.raises(QueryError):
+            list(stream_select(parse_xpath("Child[Child]"), []))
+
+    def test_union_rejected(self):
+        with pytest.raises(QueryError):
+            list(stream_select(parse_xpath("Child union Self"), []))
+
+
+class TestStreamMatchTwig:
+    @given(trees(max_size=40), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_vs_twig_stack(self, t, seed):
+        pattern = random_twig(4, seed=seed)
+        expected = bool(twig_stack(pattern, t))
+        assert stream_match_twig(pattern, tree_events(t)) == expected
+
+    def test_rooted_pattern(self):
+        pattern = parse_twig("/a/b")
+        from repro.trees import Tree
+
+        assert stream_match_twig(pattern, tree_events(Tree.from_tuple(("a", ["b"]))))
+        assert not stream_match_twig(
+            pattern, tree_events(Tree.from_tuple(("c", [("a", ["b"])])))
+        )
+
+
+class TestMemoryClaim:
+    """Section 7: streaming memory is Θ(depth), not Θ(size)."""
+
+    def test_select_memory_tracks_depth_not_size(self):
+        e = parse_xpath("Child*[lab() = a]/Child[lab() = b]")
+        deep = MemoryMeter()
+        list(stream_select(e, tree_events(path_tree(3000)), meter=deep))
+        wide = MemoryMeter()
+        list(stream_select(e, tree_events(flat_tree(3000)), meter=wide))
+        assert deep.peak_units > 100 * wide.peak_units
+
+    def test_twig_memory_tracks_depth_not_size(self):
+        pattern = parse_twig("//section//para")
+        deep = MemoryMeter()
+        stream_match_twig(pattern, tree_events(deep_sections(400)), meter=deep)
+        wide = MemoryMeter()
+        stream_match_twig(pattern, tree_events(flat_tree(1300)), meter=wide)
+        assert deep.peak_units > 20 * wide.peak_units
+
+    def test_memory_constant_in_size_at_fixed_depth(self):
+        e = parse_xpath("Child*[lab() = a]")
+        peaks = []
+        for spine in (10, 10, 10):
+            for legs in (5, 50, 500):
+                meter = MemoryMeter()
+                t = caterpillar_tree(spine, legs)
+                list(stream_select(e, tree_events(t), meter=meter))
+                peaks.append(meter.peak_units)
+        assert max(peaks) <= 3 * min(peaks)
+
+    def test_meter_counts_events(self):
+        t = random_tree(20, seed=1)
+        meter = MemoryMeter()
+        list(stream_select(parse_xpath("Child"), tree_events(t), meter=meter))
+        assert meter.events_seen == 2 * t.n

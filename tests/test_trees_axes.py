@@ -1,0 +1,140 @@
+"""Tests for the axis relations against a first-principles oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import UnsupportedAxisError
+from repro.trees import (
+    AXES,
+    FORWARD_AXES,
+    REVERSE_AXES,
+    Tree,
+    axis_holds,
+    axis_pairs,
+    axis_targets,
+    inverse_axis,
+)
+from repro.trees.axes import Axis, axis_sources, resolve_axis
+
+from conftest import brute_axis_pairs, trees
+
+
+class TestResolution:
+    @pytest.mark.parametrize(
+        "alias, axis",
+        [
+            ("child", Axis.CHILD),
+            ("descendant", Axis.CHILD_PLUS),
+            ("Child+", Axis.CHILD_PLUS),
+            ("descendant-or-self", Axis.CHILD_STAR),
+            ("following-sibling", Axis.NEXT_SIBLING_PLUS),
+            ("following", Axis.FOLLOWING),
+            ("parent", Axis.PARENT),
+            ("ancestor", Axis.ANCESTOR),
+            ("preceding-sibling", Axis.PRECEDING_SIBLING),
+            ("self", Axis.SELF),
+            ("first-child", Axis.FIRST_CHILD),
+        ],
+    )
+    def test_aliases(self, alias, axis):
+        assert resolve_axis(alias) is axis
+
+    def test_unknown_axis_raises(self):
+        with pytest.raises(UnsupportedAxisError):
+            resolve_axis("sideways")
+
+    def test_axis_enum_passthrough(self):
+        assert resolve_axis(Axis.FOLLOWING) is Axis.FOLLOWING
+
+
+class TestInverses:
+    def test_inverse_is_involution(self):
+        for axis in AXES:
+            assert inverse_axis(inverse_axis(axis)) is axis
+
+    def test_self_is_self_inverse(self):
+        assert inverse_axis(Axis.SELF) is Axis.SELF
+
+    def test_forward_reverse_partition(self):
+        assert Axis.SELF in FORWARD_AXES
+        assert not (FORWARD_AXES - {Axis.SELF}) & REVERSE_AXES
+        for axis in FORWARD_AXES - {Axis.SELF}:
+            assert inverse_axis(axis) in REVERSE_AXES
+
+    @given(trees(max_size=15))
+    @settings(max_examples=25, deadline=None)
+    def test_inverse_semantics(self, t):
+        for axis in AXES:
+            inv = inverse_axis(axis)
+            for u in t.nodes():
+                for v in t.nodes():
+                    assert axis_holds(t, axis, u, v) == axis_holds(t, inv, v, u)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("axis", list(AXES))
+    def test_holds_matches_brute_force(self, axis, small_trees):
+        for t in small_trees:
+            expected = brute_axis_pairs(t, axis)
+            got = {
+                (u, v)
+                for u in t.nodes()
+                for v in t.nodes()
+                if axis_holds(t, axis, u, v)
+            }
+            assert got == expected, axis
+
+    @pytest.mark.parametrize("axis", list(AXES))
+    def test_targets_match_holds(self, axis, small_trees):
+        for t in small_trees:
+            for u in t.nodes():
+                targets = set(axis_targets(t, axis, u))
+                expected = {v for v in t.nodes() if axis_holds(t, axis, u, v)}
+                assert targets == expected
+
+    @pytest.mark.parametrize("axis", list(AXES))
+    def test_sources_are_inverse_targets(self, axis, small_trees):
+        for t in small_trees:
+            for v in t.nodes():
+                sources = set(axis_sources(t, axis, v))
+                expected = {u for u in t.nodes() if axis_holds(t, axis, u, v)}
+                assert sources == expected
+
+    @given(trees(max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_pairs_enumeration(self, t):
+        for axis in (Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING, Axis.NEXT_SIBLING):
+            assert set(axis_pairs(t, axis)) == brute_axis_pairs(t, axis)
+
+    @given(trees(max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_following_partitions_non_tree_pairs(self, t):
+        """Following ∪ Preceding ∪ Ancestor ∪ Descendant ∪ Self covers
+        all pairs of nodes (the document-region partition)."""
+        for u in t.nodes():
+            for v in t.nodes():
+                covered = (
+                    axis_holds(t, "Self", u, v)
+                    or axis_holds(t, "Child+", u, v)
+                    or axis_holds(t, "Ancestor", u, v)
+                    or axis_holds(t, "Following", u, v)
+                    or axis_holds(t, "Preceding", u, v)
+                )
+                assert covered
+
+
+class TestDocumentOrderOfTargets:
+    def test_descendant_targets_in_document_order(self, paper_tree):
+        assert list(axis_targets(paper_tree, "Child+", 0)) == [1, 2, 3, 4, 5, 6]
+
+    def test_following_targets(self, paper_tree):
+        # node 1 (labeled b, first child): following = the second subtree
+        assert list(axis_targets(paper_tree, "Following", 1)) == [4, 5, 6]
+
+    def test_preceding_targets(self, paper_tree):
+        assert list(axis_targets(paper_tree, "Preceding", 4)) == [1, 2, 3]
+
+    def test_sibling_axes(self, paper_tree):
+        assert list(axis_targets(paper_tree, "NextSibling+", 1)) == [4]
+        assert list(axis_targets(paper_tree, "NextSibling*", 1)) == [1, 4]
+        assert list(axis_targets(paper_tree, "PrecedingSibling", 4)) == [1]

@@ -1,0 +1,115 @@
+"""Tests for the tree generators and the TreeStructure view."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import QueryError
+from repro.trees import (
+    TreeStructure,
+    balanced_tree,
+    caterpillar_tree,
+    flat_tree,
+    path_tree,
+    random_tree,
+)
+from repro.trees.generate import tree_from_parents
+from repro.trees.structure import lab
+
+from conftest import trees
+
+
+class TestGenerators:
+    def test_path_tree(self):
+        t = path_tree(10)
+        assert t.height() == 9
+        assert all(len(t.children[v]) <= 1 for v in t.nodes())
+
+    def test_flat_tree(self):
+        t = flat_tree(10)
+        assert t.height() == 1
+        assert len(t.children[0]) == 9
+
+    def test_balanced_tree_size(self):
+        t = balanced_tree(2, 3)
+        assert t.n == 15  # 1 + 2 + 4 + 8
+        assert t.height() == 3
+
+    def test_caterpillar(self):
+        t = caterpillar_tree(spine=5, legs=2)
+        assert t.height() == 5
+        assert t.n == 5 + 5 * 2
+
+    def test_determinism(self):
+        assert random_tree(50, seed=7) == random_tree(50, seed=7)
+        assert random_tree(50, seed=7) != random_tree(50, seed=8)
+
+    @pytest.mark.parametrize("policy", ["uniform", "preferential", "binaryish"])
+    def test_attachment_policies_produce_valid_trees(self, policy):
+        t = random_tree(80, seed=3, attachment=policy)
+        assert t.n == 80
+        # every node is a descendant of the root
+        assert all(t.is_descendant(0, v) for v in range(1, t.n))
+
+    def test_binaryish_bounded_fanout(self):
+        t = random_tree(100, seed=1, attachment="binaryish")
+        assert max(len(c) for c in t.children) <= 2
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            random_tree(5, attachment="bogus")
+
+    def test_tree_from_parents_renumbers_to_preorder(self):
+        # ids 0..3 where node 3 is the child of node 1 — pre-order must
+        # renumber so descendants are contiguous
+        t = tree_from_parents([-1, 0, 0, 1], ["r", "x", "y", "z"])
+        assert t.label == ["r", "x", "z", "y"]
+        assert list(t.descendants(1)) == [2]
+
+    def test_tree_from_parents_rejects_forward_refs(self):
+        with pytest.raises(ValueError):
+            tree_from_parents([-1, 2, 0], ["a", "b", "c"])
+
+    def test_tree_from_parents_rejects_two_roots(self):
+        with pytest.raises(ValueError):
+            tree_from_parents([-1, -1], ["a", "b"])
+
+
+class TestTreeStructure:
+    def test_unary_relations(self, paper_tree):
+        s = TreeStructure(paper_tree)
+        assert set(s.unary_members("Root")) == {0}
+        assert set(s.unary_members("Leaf")) == {2, 3, 5, 6}
+        assert set(s.unary_members(lab("a"))) == {0, 2, 4}
+        assert set(s.unary_members("FirstSibling")) == {0, 1, 2, 5}
+        assert set(s.unary_members("LastSibling")) == {0, 3, 4, 6}
+        assert set(s.unary_members("Dom")) == set(range(7))
+
+    def test_unknown_unary_raises(self, paper_tree):
+        with pytest.raises(QueryError):
+            TreeStructure(paper_tree).holds_unary("Blue", 0)
+
+    def test_signature_restriction(self, paper_tree):
+        s = TreeStructure.tau_plus(paper_tree)
+        assert s.has_binary("FirstChild")
+        assert not s.has_binary("Child+")
+        with pytest.raises(QueryError):
+            list(s.successors("Child+", 0))
+
+    @given(trees(max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_relation_sizes_match_enumeration(self, t):
+        s = TreeStructure(t)
+        for name in s.binary_names():
+            assert s.relation_size(name) == sum(1 for _ in s.pairs(name))
+
+    @given(trees(max_size=25))
+    @settings(max_examples=20, deadline=None)
+    def test_structure_size_decomposition(self, t):
+        s = TreeStructure.tau_plus(t)
+        expected = (
+            t.n
+            + sum(len(labels) for labels in t.labels)
+            + s.relation_size("FirstChild")
+            + s.relation_size("NextSibling")
+        )
+        assert s.size() == expected

@@ -1,0 +1,98 @@
+"""Tests for the XML-subset parser/serializer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ParseError
+from repro.trees import Tree, parse_xml, to_xml
+from repro.trees.xmlio import iter_xml_events
+
+from conftest import trees
+
+
+class TestParsing:
+    def test_simple_document(self):
+        t = parse_xml("<r><a/><b><c/></b></r>")
+        assert t.label == ["r", "a", "b", "c"]
+        assert t.parent == [-1, 0, 0, 2]
+
+    def test_whitespace_and_text_skipped(self):
+        t = parse_xml("<r>\n  hello <a/> world\n</r>")
+        assert t.label == ["r", "a"]
+
+    def test_comments_and_pi_skipped(self):
+        t = parse_xml("<?xml version='1.0'?><!-- hi --><r><!--x--><a/></r>")
+        assert t.label == ["r", "a"]
+
+    def test_doctype_skipped(self):
+        t = parse_xml("<!DOCTYPE book><r/>")
+        assert t.label == ["r"]
+
+    def test_attributes_ignored_by_default(self):
+        t = parse_xml('<r id="1"><a x="y z"/></r>')
+        assert t.labels[0] == frozenset(["r"])
+
+    def test_attributes_as_labels(self):
+        t = parse_xml('<r id="7"/>', attributes_as_labels=True)
+        assert t.has_label(0, "@id")
+        assert t.has_label(0, "@id=7")
+
+    def test_cdata_skipped(self):
+        t = parse_xml("<r><![CDATA[<fake/>]]><a/></r>")
+        assert t.label == ["r", "a"]
+
+
+class TestErrors:
+    def test_mismatched_close(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a><b></a></b>")
+
+    def test_unclosed(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a><b/>")
+
+    def test_extra_close(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a/></b>")
+
+    def test_multiple_roots(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a/><b/>")
+
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_xml("   ")
+
+
+class TestRoundTrip:
+    @given(trees(max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_tree_to_xml_to_tree(self, t):
+        assert parse_xml(to_xml(t)) == t
+
+    @given(trees(max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_pretty_print_round_trips(self, t):
+        assert parse_xml(to_xml(t, indent=2)) == t
+
+    def test_serialization_shape(self):
+        t = Tree.from_tuple(("r", ["a", ("b", ["c"])]))
+        assert to_xml(t) == "<r><a/><b><c/></b></r>"
+
+
+class TestEvents:
+    def test_event_stream(self):
+        events = list(iter_xml_events("<a><b x='1'/></a>"))
+        assert events == [
+            ("start", "a", {}),
+            ("start", "b", {"x": "1"}),
+            ("end", "b"),
+            ("end", "a"),
+        ]
+
+    def test_deep_document_parses_iteratively(self):
+        depth = 30_000
+        text = "<a>" * depth + "</a>" * depth
+        t = parse_xml(text)
+        assert t.n == depth
+        assert t.height() == depth - 1

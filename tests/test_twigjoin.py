@@ -1,0 +1,142 @@
+"""Tests for holistic twig joins (Section 6 / [13])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import evaluate_backtracking
+from repro.errors import ParseError, QueryError
+from repro.trees import Tree, random_tree
+from repro.twigjoin import (
+    JoinPlanStats,
+    TwigPattern,
+    binary_join_plan,
+    holistic_via_arc_consistency,
+    parse_twig,
+    path_stack,
+    twig_stack,
+)
+from repro.twigjoin.twigstack import TwigStats
+from repro.workloads import random_twig, xmark_like
+
+from conftest import trees
+
+
+class TestPatternParsing:
+    def test_simple_path(self):
+        p = parse_twig("//a/b")
+        assert len(p) == 2
+        assert p.root.label == "a" and p.root.edge == "//"
+        assert p.nodes[1].label == "b" and p.nodes[1].edge == "/"
+
+    def test_branches(self):
+        p = parse_twig("//a[b][.//c]/d")
+        assert len(p) == 4
+        assert [n.label for n in p.nodes] == ["a", "b", "c", "d"]
+        assert p.nodes[2].edge == "//"
+        assert p.parent == [-1, 0, 0, 0]
+
+    def test_rooted_pattern(self):
+        p = parse_twig("/site//item")
+        assert p.root.edge == "/"
+
+    def test_wildcard(self):
+        p = parse_twig("//*/a")
+        assert p.root.label == "*"
+
+    def test_paths_decomposition(self):
+        p = parse_twig("//a[b/c]//d")
+        paths = p.paths()
+        assert sorted(len(path) for path in paths) == [2, 3]
+
+    def test_to_cq(self):
+        cq = parse_twig("//a/b").to_cq()
+        assert len(cq.head) == 2
+        preds = {a.pred for a in cq.atoms}
+        assert "Child" in preds and "Lab:a" in preds
+
+    def test_rooted_to_cq_has_root_atom(self):
+        cq = parse_twig("/a//b").to_cq()
+        assert any(a.pred == "Root" for a in cq.atoms)
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_twig("//a[b")
+        with pytest.raises(ParseError):
+            parse_twig("//")
+
+
+ALGOS = [
+    ("twig_stack", lambda p, t: twig_stack(p, t)),
+    ("arc_consistency", lambda p, t: holistic_via_arc_consistency(p, t)),
+    ("binary_join", lambda p, t: binary_join_plan(p, t)),
+]
+
+
+class TestAlgorithmsAgree:
+    PATTERNS = [
+        "//a//b",
+        "//a/b",
+        "//a[b]//c",
+        "//a[.//b]/c[d]",
+        "/a//b[c]",
+        "//a[b][.//c]/d",
+        "//*[a]/b",
+    ]
+
+    @pytest.mark.parametrize("text", PATTERNS)
+    @pytest.mark.parametrize("name, algo", ALGOS)
+    def test_vs_backtracking(self, text, name, algo, small_trees):
+        pattern = parse_twig(text)
+        cq = pattern.to_cq()
+        for t in small_trees:
+            assert algo(pattern, t) == evaluate_backtracking(cq, t), (text, name)
+
+    @given(trees(max_size=30), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_fuzz(self, t, seed):
+        pattern = random_twig(4, seed=seed)
+        expected = evaluate_backtracking(pattern.to_cq(), t)
+        assert twig_stack(pattern, t) == expected
+        assert holistic_via_arc_consistency(pattern, t) == expected
+        assert binary_join_plan(pattern, t) == expected
+
+
+class TestPathStack:
+    @pytest.mark.parametrize("text", ["//a//b//c", "//a/b//c", "/a/b", "//a"])
+    def test_vs_backtracking(self, text, small_trees):
+        pattern = parse_twig(text)
+        cq = pattern.to_cq()
+        for t in small_trees:
+            assert path_stack(pattern, t) == evaluate_backtracking(cq, t)
+
+    def test_rejects_branching_patterns(self):
+        with pytest.raises(QueryError):
+            path_stack(parse_twig("//a[b]/c"), random_tree(5))
+
+    def test_nested_same_label_matches(self):
+        # a(a(b)) — both a's match //a//b's top node
+        t = Tree.from_tuple(("a", [("a", ["b"])]))
+        result = path_stack(parse_twig("//a//b"), t)
+        assert result == {(0, 2), (1, 2)}
+
+
+class TestStatsAsymmetry:
+    def test_binary_join_materializes_more(self):
+        """E14's point: on branchy patterns the binary plan's intermediate
+        results dwarf the holistic path solutions."""
+        t = xmark_like(40, seed=1)
+        pattern = parse_twig("//item[.//keyword]//description")
+        bj_stats = JoinPlanStats()
+        ts_stats = TwigStats()
+        out_bj = binary_join_plan(pattern, t, stats=bj_stats)
+        out_ts = twig_stack(pattern, t, stats=ts_stats)
+        assert out_bj == out_ts
+        assert bj_stats.max_intermediate >= len(out_bj)
+        assert ts_stats.merge_output == len(out_ts)
+
+    def test_stats_counts(self):
+        t = random_tree(60, seed=5)
+        stats = TwigStats()
+        twig_stack(parse_twig("//a//b"), t, stats=stats)
+        assert stats.pushes > 0

@@ -1,0 +1,249 @@
+"""Tests for Core XPath: parser, semantics, evaluators, translations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import yannakakis_unary
+from repro.errors import ParseError, QueryError
+from repro.trees import Tree, random_tree
+from repro.trees.axes import AXES, Axis, axis_holds
+from repro.xpath import (
+    AxisStep,
+    LabelTest,
+    NotQual,
+    Path,
+    PathQualifier,
+    UnionExpr,
+    apply_axis_to_set,
+    evaluate_nodeset,
+    evaluate_query,
+    evaluate_query_linear,
+    is_conjunctive,
+    is_forward,
+    parse_xpath,
+    qualifier_holds,
+    to_forward,
+    xpath_to_cq,
+    xpath_to_datalog,
+)
+from repro.xpath.ast import expr_size, walk_expr
+from repro.xpath.translate import evaluate_datalog_translation
+from repro.workloads import random_xpath
+
+from conftest import trees
+
+
+class TestParser:
+    def test_simple_path(self):
+        e = parse_xpath("Child/Descendant")
+        assert isinstance(e, Path)
+        assert e.left.axis is Axis.CHILD
+        assert e.right.axis is Axis.CHILD_PLUS
+
+    def test_label_sugar(self):
+        e = parse_xpath("child::section")
+        assert e.axis is Axis.CHILD
+        assert e.qualifiers == (LabelTest("section"),)
+
+    def test_qualifier_parsing(self):
+        e = parse_xpath("Child[lab() = a and not(Child[lab() = b])]")
+        (q,) = e.qualifiers
+        assert "and" in str(q)
+
+    def test_union(self):
+        e = parse_xpath("Child union Descendant")
+        assert isinstance(e, UnionExpr)
+
+    def test_double_slash_sugar(self):
+        e = parse_xpath("Child//Child")
+        # Child / Child* / Child
+        assert isinstance(e, Path)
+
+    def test_inverse_suffix(self):
+        e = parse_xpath("Child^-1")
+        assert e.axis is Axis.PARENT
+
+    def test_group_qualifier_distributes(self):
+        e = parse_xpath("(Child union Descendant)[lab() = a]")
+        assert isinstance(e, UnionExpr)
+        assert e.left.qualifiers == (LabelTest("a"),)
+
+    def test_or_precedence(self):
+        e = parse_xpath("Child[lab() = a and lab() = b or lab() = c]")
+        assert "or" in str(e.qualifiers[0])
+
+    @pytest.mark.parametrize(
+        "bad", ["Child/", "[lab() = a]", "Child[", "Child)", "Frobnicate", ""]
+    )
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_xpath(bad)
+
+    def test_expr_size(self):
+        e = parse_xpath("Child[lab() = a]/Child")
+        assert expr_size(e) == 4  # Path, two steps, one label test
+
+
+class TestSemantics:
+    def test_p1_axis_application(self, paper_tree):
+        e = AxisStep(Axis.CHILD)
+        assert evaluate_nodeset(e, paper_tree, 0) == {1, 4}
+
+    def test_p2_qualifier_filtering(self, paper_tree):
+        e = AxisStep(Axis.CHILD, (LabelTest("b"),))
+        assert evaluate_nodeset(e, paper_tree, 0) == {1}
+
+    def test_p3_composition(self, paper_tree):
+        e = parse_xpath("Child/Child")
+        assert evaluate_nodeset(e, paper_tree, 0) == {2, 3, 5, 6}
+
+    def test_p4_union(self, paper_tree):
+        e = parse_xpath("Child union Child/Child")
+        assert evaluate_nodeset(e, paper_tree, 0) == {1, 2, 3, 4, 5, 6}
+
+    def test_q2_existential_path_qualifier(self, paper_tree):
+        e = parse_xpath("Child[Child[lab() = c]]")
+        assert evaluate_query(e, paper_tree) == {1}
+
+    def test_q5_negation(self, paper_tree):
+        e = parse_xpath("Child+[not(Child)]")  # leaves below root
+        assert evaluate_query(e, paper_tree) == {2, 3, 5, 6}
+
+    def test_qualifier_holds_directly(self, paper_tree):
+        q = NotQual(PathQualifier(AxisStep(Axis.CHILD)))
+        assert qualifier_holds(q, paper_tree, 2)
+        assert not qualifier_holds(q, paper_tree, 0)
+
+    def test_inverse_axes(self, paper_tree):
+        e = parse_xpath("Child/Child/Parent")
+        assert evaluate_query(e, paper_tree) == {1, 4}
+
+
+class TestAxisToSet:
+    @pytest.mark.parametrize("axis", list(AXES))
+    def test_against_pointwise(self, axis, small_trees):
+        for t in small_trees:
+            for subset_seed in range(3):
+                nodes = {v for v in t.nodes() if (v * 7 + subset_seed) % 3 == 0}
+                expected = {
+                    v
+                    for u in nodes
+                    for v in t.nodes()
+                    if axis_holds(t, axis, u, v)
+                }
+                assert apply_axis_to_set(t, axis, nodes) == expected, axis
+
+    def test_empty_set(self, paper_tree):
+        for axis in AXES:
+            assert apply_axis_to_set(paper_tree, axis, set()) == set()
+
+
+class TestEvaluatorAgreement:
+    QUERIES = [
+        "Child/Child+[lab() = a]",
+        "Child*[lab() = b]/NextSibling+[lab() = a or lab() = c]",
+        "Descendant[not(Child[lab() = a]) and lab() = b]",
+        "Child[Following[lab() = d]]/Child*",
+        "(Child union Child+/NextSibling)[lab() = a]",
+        "Child+[Parent[lab() = a]]",
+        "Child+[Preceding[lab() = a]]/Ancestor[lab() = b]",
+        "Self[not(Child)]",
+        "Child+[not(Following-Sibling[lab() = a])]",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_linear_vs_denotational(self, text, small_trees):
+        e = parse_xpath(text)
+        for t in small_trees:
+            assert evaluate_query_linear(e, t) == evaluate_query(e, t)
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_datalog_translation(self, text):
+        e = parse_xpath(text)
+        prog = xpath_to_datalog(e)
+        for seed in range(3):
+            t = random_tree(40, seed=seed)
+            assert evaluate_datalog_translation(prog, t) == evaluate_query(e, t)
+
+    @given(trees(max_size=25), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_random_queries(self, t, seed):
+        e = parse_xpath(random_xpath(3, seed=seed))
+        assert evaluate_query_linear(e, t) == evaluate_query(e, t)
+
+
+class TestCQBridge:
+    def test_conjunctive_detection(self):
+        assert is_conjunctive(parse_xpath("Child[lab() = a]/Child+"))
+        assert not is_conjunctive(parse_xpath("Child union Child+"))
+        assert not is_conjunctive(parse_xpath("Child[not(Child)]"))
+        assert not is_conjunctive(parse_xpath("Child[lab() = a or lab() = b]"))
+
+    def test_rejects_non_conjunctive(self):
+        with pytest.raises(QueryError):
+            xpath_to_cq(parse_xpath("Child union Child+"))
+
+    def test_cq_is_acyclic(self):
+        from repro.cq import is_acyclic
+
+        cq = xpath_to_cq(parse_xpath("Child+[Child[lab() = a]]/Child[lab() = b]"))
+        assert is_acyclic(cq)  # Proposition 4.2's premise
+
+    @given(trees(max_size=30), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_yannakakis_agrees(self, t, seed):
+        text = random_xpath(3, qualifier_prob=0.5, negation_prob=0.0, seed=seed)
+        e = parse_xpath(text)
+        if not is_conjunctive(e):
+            return
+        cq = xpath_to_cq(e)
+        assert yannakakis_unary(cq, t) == evaluate_query(e, t)
+
+
+class TestForwardRewriting:
+    REVERSE_QUERIES = [
+        "Child+[lab() = b]/Parent[lab() = a]",
+        "Child+[lab() = c]/Ancestor[Child[lab() = d]]",
+        "Child/Child[lab() = a]/PrecedingSibling",
+        "Child+/Parent/Parent",
+        "Child*[lab() = a]/Ancestor-or-self[lab() = b]",
+    ]
+
+    def test_is_forward(self):
+        assert is_forward(parse_xpath("Child/Following/NextSibling+"))
+        assert not is_forward(parse_xpath("Child/Parent"))
+        assert not is_forward(parse_xpath("Child[Ancestor[lab() = a]]"))
+
+    @pytest.mark.parametrize("text", REVERSE_QUERIES)
+    def test_to_forward_equivalence(self, text):
+        rev = parse_xpath(text)
+        fwd = to_forward(rev)
+        assert is_forward(fwd)
+        for seed in range(6):
+            t = random_tree(30, seed=seed)
+            assert evaluate_query(rev, t) == evaluate_query_linear(fwd, t)
+
+    def test_forward_query_returned_unchanged(self):
+        e = parse_xpath("Child/Child+")
+        assert to_forward(e) is e
+
+    def test_non_conjunctive_rejected(self):
+        with pytest.raises(QueryError):
+            to_forward(parse_xpath("Parent union Child"))
+
+    def test_always_empty_reverse_query(self):
+        # the root has no parent: query selecting Parent-of-root context
+        rev = parse_xpath("Parent")
+        fwd = to_forward(rev)
+        assert is_forward(fwd)
+        for seed in range(3):
+            t = random_tree(10, seed=seed)
+            assert evaluate_query_linear(fwd, t) == set()
+
+
+class TestWalk:
+    def test_walk_covers_all_nodes(self):
+        e = parse_xpath("Child[lab() = a and not(Child+)]/Child union Self")
+        kinds = {type(n).__name__ for n in walk_expr(e)}
+        assert "UnionExpr" in kinds and "NotQual" in kinds and "AndQual" in kinds
