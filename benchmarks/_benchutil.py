@@ -10,9 +10,19 @@ bench_output.txt).
 
 from __future__ import annotations
 
+import os
 import time
 
 collect_ignore: list[str] = []
+
+#: CI smoke mode: REPRO_BENCH_FAST=1 shrinks instance sizes so a bench
+#: module finishes in seconds (shape assertions still run).
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def sizes(full, fast):
+    """The full size ladder, or the reduced one under REPRO_BENCH_FAST."""
+    return fast if FAST else full
 
 
 def timed(fn, *args, repeats: int = 3, **kwargs) -> float:

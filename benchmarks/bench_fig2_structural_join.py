@@ -24,7 +24,7 @@ from repro.storage import (
 )
 from repro.trees import random_tree
 
-from _benchutil import report, timed
+from _benchutil import FAST, report, sizes, timed
 
 
 def _labels(tree, label):
@@ -33,7 +33,7 @@ def _labels(tree, label):
 
 def test_who_wins_and_by_how_much():
     rows = []
-    for n in (500, 1_000, 2_000, 4_000):
+    for n in sizes((500, 1_000, 2_000, 4_000), (250, 500)):
         t = random_tree(n, seed=1)
         ancestors = _labels(t, "a")
         descendants = _labels(t, "b")
@@ -62,7 +62,7 @@ def test_who_wins_and_by_how_much():
 def test_representation_size_vs_closure_size():
     """XASR rows are Θ(n); the materialized Child+ is Θ(n · depth)."""
     rows = []
-    for n in (1_000, 2_000, 4_000):
+    for n in sizes((1_000, 2_000, 4_000), (500, 1_000)):
         t = random_tree(n, seed=2)
         xasr_rows = XASR.from_tree(t).size()
         closure_rows = len(transitive_closure_pairs(t))
@@ -84,12 +84,12 @@ def test_example_2_1_views_agree():
 
 @pytest.mark.benchmark(group="fig2")
 def test_bench_stack_join(benchmark):
-    t = random_tree(8_000, seed=4)
+    t = random_tree(800 if FAST else 8_000, seed=4)
     everything = [(v, t.post[v]) for v in t.nodes()]
     benchmark(stack_structural_join, everything, _labels(t, "b"))
 
 
 @pytest.mark.benchmark(group="fig2")
 def test_bench_transitive_closure(benchmark):
-    t = random_tree(8_000, seed=4)
+    t = random_tree(800 if FAST else 8_000, seed=4)
     benchmark(transitive_closure_pairs, t)

@@ -1,15 +1,15 @@
 """Quickstart: one tour through the library's main entry points.
 
+Everything routes through :class:`repro.engine.Database` — one
+document, one cached index, a planner that picks the evaluation
+strategy, and per-call execution stats.
+
 Run:  python examples/quickstart.py
 """
 
 from repro.consistency import evaluate_boolean_xproperty
-from repro.cq import parse_cq, yannakakis_unary
-from repro.datalog import evaluate as datalog_evaluate, parse_program
-from repro.rewrite import evaluate_via_rewriting
-from repro.trees import parse_xml
-from repro.twigjoin import parse_twig, twig_stack
-from repro.xpath import evaluate_query_linear, parse_xpath
+from repro.cq import parse_cq
+from repro.engine import Database
 
 DOCUMENT = """
 <library>
@@ -26,25 +26,30 @@ DOCUMENT = """
 
 
 def main() -> None:
-    tree = parse_xml(DOCUMENT)
-    print(f"parsed {tree.n} nodes, height {tree.height()}")
+    db = Database.from_xml(DOCUMENT)
+    print(f"parsed {db.tree.n} nodes, height {db.tree.height()}")
 
-    # --- Core XPath (linear-time evaluator) -------------------------------
-    query = parse_xpath("Child*[lab() = book][Child[lab() = author]]/Child[lab() = title]")
-    titles = evaluate_query_linear(query, tree)
-    print("titles of books with authors:", sorted(titles))
+    # --- Core XPath: the planner picks the strategy -------------------------
+    result = db.xpath(
+        "Child*[lab() = book][Child[lab() = author]]/Child[lab() = title]"
+    )
+    print("titles of books with authors:", sorted(result.answer))
+    print(f"  ran as: {result.stats.summary()}")
+    print(f"  because: {result.stats.reason}")
 
-    # --- conjunctive queries via Yannakakis' algorithm ---------------------
-    cq = parse_cq("ans(b) :- Child+(s, b), Lab:shelf(s), Lab:book(b)")
-    books = yannakakis_unary(cq, tree)
+    # --- conjunctive queries (acyclic -> Yannakakis) ------------------------
+    result = db.cq("ans(b) :- Child+(s, b), Lab:shelf(s), Lab:book(b)")
+    books = {v for (v,) in result.answer}
     print("books on shelves:         ", sorted(books))
+    print(f"  ran as: {result.stats.summary()}")
 
-    # --- the same query through the Theorem 5.1 rewriting ------------------
-    via_rewriting = {v for (v,) in evaluate_via_rewriting(cq, tree)}
-    assert via_rewriting == books
+    # --- the same query under every applicable strategy ---------------------
+    checked = db.cross_check("cq", "ans(b) :- Child+(s, b), Lab:shelf(s), Lab:book(b)")
+    assert all({v for (v,) in r.answer} == books for r in checked.values())
+    print(f"  cross-checked against: {', '.join(checked)}")
 
     # --- monadic datalog (TMNF -> Horn-SAT -> Minoux) ----------------------
-    program = parse_program(
+    result = db.datalog(
         """
         OnShelf(x) :- Lab:shelf(x).
         OnShelf(x) :- Child(y, x), OnShelf(y).
@@ -52,16 +57,24 @@ def main() -> None:
         % query: Titled
         """
     )
-    print("titles under shelves:     ", sorted(datalog_evaluate(program, tree)))
+    print("titles under shelves:     ", sorted(result.answer))
 
     # --- holistic twig join -------------------------------------------------
-    twig = parse_twig("//shelf/book[author]")
-    matches = twig_stack(twig, tree)
-    print(f"twig //shelf/book[author]: {len(matches)} matches")
+    result = db.twig("//shelf/book[author]")
+    print(f"twig //shelf/book[author]: {len(result.answer)} matches "
+          f"(strategy: {result.stats.strategy})")
+
+    # --- repeated queries reuse the cached DocumentIndex --------------------
+    again = db.twig("//shelf/book[author]")
+    assert not again.stats.index_built and again.stats.index_hits > 0
+    print(f"index built once, then reused: "
+          f"{sum(s.index_built for s in db.history)} build(s) "
+          f"across {len(db.history)} queries")
 
     # --- Boolean CQ via arc-consistency (Theorem 6.5) ----------------------
     boolean = parse_cq("ans() :- Child+(x, y), Lab:book(x), Lab:award(y)")
-    print("some book holds an award? ", evaluate_boolean_xproperty(boolean, tree))
+    print("some book holds an award? ",
+          evaluate_boolean_xproperty(boolean, db.tree))
 
 
 if __name__ == "__main__":

@@ -10,9 +10,7 @@ signature — then cross-checks the answer against a Core XPath query.
 Run:  python examples/web_extraction.py
 """
 
-from repro.datalog import evaluate as datalog_evaluate, parse_program
-from repro.trees import parse_xml
-from repro.xpath import evaluate_query_linear, parse_xpath
+from repro.engine import Database
 
 PAGE = """
 <html>
@@ -53,26 +51,32 @@ Target(n) :- Hot(r), Live(r), Child+(r, n), Lab:@class=name(n).
 
 
 def main() -> None:
-    tree = parse_xml(PAGE, attributes_as_labels=True)
+    db = Database.from_xml(PAGE, attributes_as_labels=True)
+    tree = db.tree
     print(f"page parsed: {tree.n} nodes")
 
-    extracted = datalog_evaluate(parse_program(WRAPPER), tree)
+    result = db.datalog(WRAPPER)
+    extracted = result.answer
     print("extracted name nodes:", sorted(extracted))
+    print(f"  ({result.stats.summary()})")
     for v in sorted(extracted):
         row = next(
             u for u in tree.ancestors(v) if tree.has_label(u, "tr")
         )
         print(f"  node {v} (a <span class='name'>) in row node {row}")
 
-    # the same extraction as Core XPath, for cross-validation
-    xpath = parse_xpath(
+    # the same extraction as Core XPath, cross-checked under every
+    # applicable strategy (all reuse the one cached DocumentIndex)
+    xpath = (
         "Child+[lab() = tr]"
         "[Child+[lab() = @class=discount]]"
         "[Child+[lab() = @class=stock]]"
         "/Child+[lab() = @class=name]"
     )
-    assert evaluate_query_linear(xpath, tree) == extracted
-    print("Core XPath agrees with the datalog wrapper.")
+    checked = db.cross_check("xpath", xpath)
+    assert all(r.answer == extracted for r in checked.values())
+    print(f"Core XPath agrees with the datalog wrapper "
+          f"under {len(checked)} strategies: {', '.join(checked)}.")
 
 
 if __name__ == "__main__":

@@ -1,22 +1,12 @@
 """Benchmark-style tour on an XMark-like auction document: the same
-twig workload through four evaluation strategies, with timings and the
-intermediate-result accounting of experiment E14.
+twig workload through every registered strategy, with timings, the
+planner's choice, and the intermediate-result accounting of E14.
 
 Run:  python examples/xmark_queries.py
 """
 
-import time
-
 from repro.complexity import format_table
-from repro.cq import evaluate_backtracking
-from repro.twigjoin import (
-    JoinPlanStats,
-    binary_join_plan,
-    holistic_via_arc_consistency,
-    parse_twig,
-    twig_stack,
-)
-from repro.twigjoin.twigstack import TwigStats
+from repro.engine import Database
 from repro.workloads import xmark_like
 
 PATTERNS = [
@@ -27,51 +17,33 @@ PATTERNS = [
 ]
 
 
-def timed(fn, *args):
-    start = time.perf_counter()
-    result = fn(*args)
-    return result, time.perf_counter() - start
-
-
 def main() -> None:
-    tree = xmark_like(200, seed=42)
-    print(f"XMark-like document: {tree.n} nodes, height {tree.height()}\n")
+    db = Database(xmark_like(200, seed=42))
+    print(f"XMark-like document: {db.tree.n} nodes, height {db.tree.height()}\n")
 
+    names = db.strategies("twig", PATTERNS[0])
     rows = []
     for text in PATTERNS:
-        pattern = parse_twig(text)
-        ts_stats, bj_stats = TwigStats(), JoinPlanStats()
-        r1, t1 = timed(twig_stack, pattern, tree, ts_stats)
-        r2, t2 = timed(holistic_via_arc_consistency, pattern, tree)
-        r3, t3 = timed(binary_join_plan, pattern, tree, bj_stats)
-        r4, t4 = timed(evaluate_backtracking, pattern.to_cq(), tree)
-        assert r1 == r2 == r3 == r4
-        rows.append(
-            [
-                text,
-                len(r1),
-                f"{t1 * 1e3:.1f}",
-                f"{t2 * 1e3:.1f}",
-                f"{t3 * 1e3:.1f}",
-                f"{t4 * 1e3:.1f}",
-                bj_stats.max_intermediate,
-            ]
-        )
+        results = db.cross_check("twig", text)
+        answers = {frozenset(r.answer) for r in results.values()}
+        assert len(answers) == 1, f"strategy disagreement on {text}"
+        planned = db.plan("twig", text).strategy
+        row = [text, len(next(iter(results.values())).answer), planned]
+        for name in names:
+            cell = f"{results[name].stats.elapsed_ms:.1f}"
+            if name == planned:
+                cell += " *"
+            row.append(cell)
+        rows.append(row)
     print(
         format_table(
-            [
-                "twig",
-                "matches",
-                "twigstack ms",
-                "arc-cons ms",
-                "binary ms",
-                "backtrack ms",
-                "binary max-interm.",
-            ],
+            ["twig", "matches", "planner", *[f"{n} ms" for n in names]],
             rows,
         )
     )
-    print("\nAll four strategies returned identical match sets.")
+    print("\nAll strategies returned identical match sets "
+          "(* = the planner's choice).")
+    print(f"One DocumentIndex served all {len(db.history)} engine calls.")
 
 
 if __name__ == "__main__":

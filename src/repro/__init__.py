@@ -21,6 +21,8 @@ Subpackages
 - :mod:`repro.automata` — bottom-up tree automata (§4)
 - :mod:`repro.complexity` — empirical scaling-law harness (§7)
 - :mod:`repro.workloads` — tree and query generators
+- :mod:`repro.engine` — unified Database facade, cached DocumentIndex,
+  strategy planner (ties the sections together; see docs/ENGINE.md)
 """
 
 __version__ = "1.0.0"
@@ -35,8 +37,11 @@ from repro.errors import (
     UnsupportedAxisError,
 )
 
+from repro.engine import Database
+
 __all__ = [
     "__version__",
+    "Database",
     "ReproError",
     "ParseError",
     "QueryError",

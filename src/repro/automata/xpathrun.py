@@ -1,0 +1,203 @@
+"""Downward Core XPath evaluated as a tree-automaton run (§4, Thm 4.4).
+
+For the *downward* fragment — spine and qualifier paths built from the
+axes Self, Child, Child+ and Child* — every qualifier denotes a
+subtree-definable unary predicate, so the whole query can be answered by
+
+1. one **bottom-up pass** (children before parents, i.e. reverse
+   pre-order) computing, per node, a bit-vector of predicate states:
+   for every qualifier path with steps ``t_i .. t_k`` the bits
+
+   - ``OK_i(v)`` — v passes t_i's own tests and the rest of the path
+     matches from v,
+   - ``S_i(v)``  — some node in v's subtree (including v) has ``OK_i``,
+   - ``R_i(v)``  — steps ``t_i .. t_k`` match starting *from* v,
+
+   which is exactly a deterministic bottom-up automaton over the
+   unranked tree whose state set is the product of these booleans, and
+
+2. one **top-down pass** (the context pass of
+   :mod:`repro.automata.twopass`) threading reachability from the root
+   through the spine steps: ``F_j(v)`` — v is a step-j target of
+   ``[[s_1/…/s_j]](root)`` — plus the ancestor accumulator ``A_j``
+   for the transitive axes.
+
+Neither pass materializes node sets; both are O(n · |Q|) array sweeps.
+This is the "compile the query into an automaton and run it once"
+evaluation route of Theorem 4.4, specialised to downward Core XPath
+(negation and disjunction inside qualifiers are free — they are boolean
+operations on states — while ``position()`` and reverse/sibling axes
+fall outside the fragment).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import QueryError
+from repro.trees.axes import Axis
+from repro.trees.tree import Tree
+from repro.xpath.ast import (
+    AndQual,
+    AxisStep,
+    LabelTest,
+    NotQual,
+    OrQual,
+    Path,
+    PathQualifier,
+    Qualifier,
+    XPathExpr,
+    steps_of,
+)
+
+__all__ = ["is_downward", "evaluate_xpath_automaton"]
+
+#: The axes of the downward (subtree-definable) fragment.
+DOWNWARD_AXES = frozenset(
+    {Axis.SELF, Axis.CHILD, Axis.CHILD_PLUS, Axis.CHILD_STAR}
+)
+
+
+def is_downward(expr: "XPathExpr | Qualifier") -> bool:
+    """Is ``expr`` a union-free path over Self/Child/Child+/Child* whose
+    qualifiers (recursively) stay inside the same fragment?"""
+    if isinstance(expr, (AxisStep, Path)):
+        try:
+            steps = steps_of(expr)
+        except ValueError:
+            return False
+        return all(
+            step.axis in DOWNWARD_AXES
+            and all(_qual_downward(q) for q in step.qualifiers)
+            for step in steps
+        )
+    return False
+
+
+def _qual_downward(q: Qualifier) -> bool:
+    if isinstance(q, LabelTest):
+        return True
+    if isinstance(q, (AndQual, OrQual)):
+        return _qual_downward(q.left) and _qual_downward(q.right)
+    if isinstance(q, NotQual):
+        return _qual_downward(q.operand)
+    if isinstance(q, PathQualifier):
+        return is_downward(q.path)
+    return False  # PositionTest
+
+
+class _DownPath:
+    """Per-node automaton state for one qualifier path (steps 0..k-1)."""
+
+    __slots__ = ("steps", "quals", "OK", "S", "R")
+
+    def __init__(self, expr: XPathExpr, tree: Tree, registry: "list[_DownPath]"):
+        self.steps = steps_of(expr)
+        # compiling the qualifiers first appends nested paths to the
+        # registry before this one, so the sweep updates inner before outer
+        self.quals = [
+            [_compile_qual(q, tree, registry) for q in s.qualifiers]
+            for s in self.steps
+        ]
+        n = tree.n
+        k = len(self.steps)
+        self.OK = [[False] * n for _ in range(k)]
+        self.S = [[False] * n for _ in range(k)]
+        self.R = [[False] * n for _ in range(k)]
+
+    def update(self, v: int, tree: Tree) -> None:
+        """Transition at ``v`` — every child's state is already computed."""
+        children = tree.children[v]
+        k = len(self.steps)
+        for i in range(k - 1, -1, -1):
+            ok = all(q(v) for q in self.quals[i]) and (
+                self.R[i + 1][v] if i + 1 < k else True
+            )
+            self.OK[i][v] = ok
+            s = ok or any(self.S[i][c] for c in children)
+            self.S[i][v] = s
+            axis = self.steps[i].axis
+            if axis is Axis.CHILD:
+                r = any(self.OK[i][c] for c in children)
+            elif axis is Axis.CHILD_PLUS:
+                r = any(self.S[i][c] for c in children)
+            elif axis is Axis.CHILD_STAR:
+                r = s
+            else:  # Self
+                r = ok
+            self.R[i][v] = r
+
+
+def _compile_qual(
+    q: Qualifier, tree: Tree, registry: "list[_DownPath]"
+) -> Callable[[int], bool]:
+    """A per-node boolean view of one qualifier over the state arrays."""
+    if isinstance(q, LabelTest):
+        label = q.label
+        return lambda v: tree.has_label(v, label)
+    if isinstance(q, AndQual):
+        left = _compile_qual(q.left, tree, registry)
+        right = _compile_qual(q.right, tree, registry)
+        return lambda v: left(v) and right(v)
+    if isinstance(q, OrQual):
+        left = _compile_qual(q.left, tree, registry)
+        right = _compile_qual(q.right, tree, registry)
+        return lambda v: left(v) or right(v)
+    if isinstance(q, NotQual):
+        inner = _compile_qual(q.operand, tree, registry)
+        return lambda v: not inner(v)
+    if isinstance(q, PathQualifier):
+        down = _DownPath(q.path, tree, registry)
+        registry.append(down)
+        reach = down.R[0]
+        return lambda v: reach[v]
+    raise QueryError(
+        "position() predicates are outside the downward automaton fragment"
+    )
+
+
+def evaluate_xpath_automaton(expr: XPathExpr, tree: Tree) -> set[int]:
+    """[[expr]](root) for downward Core XPath via the two automaton passes."""
+    if not is_downward(expr):
+        raise QueryError(
+            "the automaton evaluator covers the downward fragment only "
+            "(axes Self/Child/Child+/Child*, no position())"
+        )
+    n = tree.n
+    registry: list[_DownPath] = []
+    spine = steps_of(expr)
+    spine_quals = [
+        [_compile_qual(q, tree, registry) for q in s.qualifiers] for s in spine
+    ]
+
+    # pass 1: bottom-up automaton run (children have larger pre ids)
+    for v in range(n - 1, -1, -1):
+        for down in registry:
+            down.update(v, tree)
+
+    # pass 2: top-down context pass through the spine
+    m = len(spine)
+    F = [[False] * n for _ in range(m + 1)]
+    A = [[False] * n for _ in range(m + 1)]
+    parent = tree.parent
+    answer: set[int] = set()
+    for v in range(n):
+        p = parent[v]
+        F[0][v] = v == tree.root
+        for j in range(1, m + 1):
+            axis = spine[j - 1].axis
+            anc = p >= 0 and (F[j - 1][p] or A[j][p])
+            A[j][v] = anc
+            qual_ok = all(q(v) for q in spine_quals[j - 1])
+            if axis is Axis.CHILD:
+                f = p >= 0 and F[j - 1][p] and qual_ok
+            elif axis is Axis.CHILD_PLUS:
+                f = anc and qual_ok
+            elif axis is Axis.CHILD_STAR:
+                f = (F[j - 1][v] or anc) and qual_ok
+            else:  # Self
+                f = F[j - 1][v] and qual_ok
+            F[j][v] = f
+        if F[m][v]:
+            answer.add(v)
+    return answer

@@ -10,31 +10,29 @@
     python -m repro convert  doc.xml doc.rtre        (and back: .rtre -> .xml)
     python -m repro classify Child+ Following        (Theorem 6.8 verdict)
 
-Each query command accepts ``--engine`` to pick among the
-implementations the paper surveys (and cross-checks them with
-``--engine all``).
+Every query command goes through :class:`repro.engine.Database`:
+``--engine auto`` (the default) lets the planner pick a strategy,
+``--engine <name>`` forces one of the registered strategies, and
+``--engine all`` cross-checks every applicable strategy and fails with
+exit code 1 if any pair disagrees.  ``--stats`` prints the per-call
+:class:`~repro.engine.stats.ExecutionStats` summary to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from collections import Counter
 
-from repro.trees import Tree, parse_xml, to_xml
-from repro.trees.tree import Tree as _Tree
+from repro.engine import Database, strategy_names
+from repro.errors import QueryError
+from repro.trees import Tree, to_xml
 
 __all__ = ["main", "build_parser"]
 
 
-def _load_document(path: str, attributes_as_labels: bool = False) -> Tree:
-    if path.endswith(".rtre"):
-        from repro.storage.diskstore import load_tree
-
-        return load_tree(path)
-    with open(path, "r", encoding="utf-8") as fh:
-        return parse_xml(fh.read(), attributes_as_labels=attributes_as_labels)
+def _load_database(args) -> Database:
+    return Database.from_file(args.document, getattr(args, "attr_labels", False))
 
 
 def _print_nodes(tree: Tree, nodes, show_paths: bool) -> None:
@@ -48,7 +46,7 @@ def _print_nodes(tree: Tree, nodes, show_paths: bool) -> None:
 
 
 def cmd_stats(args) -> int:
-    tree = _load_document(args.document, args.attr_labels)
+    tree = _load_database(args).tree
     print(f"nodes   : {tree.n}")
     print(f"height  : {tree.height()}")
     print(f"leaves  : {sum(1 for _ in tree.leaves())}")
@@ -59,85 +57,79 @@ def cmd_stats(args) -> int:
     return 0
 
 
-def cmd_xpath(args) -> int:
-    from repro.xpath import (
-        evaluate_query,
-        evaluate_query_linear,
-        parse_xpath,
-        xpath_to_datalog,
-    )
-    from repro.xpath.translate import evaluate_datalog_translation
+def _run_query(args, db: Database, kind: str, query) -> int:
+    """Plan/dispatch one query; shared by xpath, cq, twig and datalog."""
+    chosen = args.engine
+    names = strategy_names(kind)
+    if chosen not in ("all", "auto") and chosen not in names:
+        print(
+            f"engine {chosen!r} unknown for {kind}; options: "
+            f"{', '.join(names)}, auto or all",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if chosen == "all":
+            results = db.cross_check(kind, query)
+        else:
+            result = db.run(kind, query, chosen)
+            results = {result.stats.strategy: result}
+    except QueryError as exc:
+        print(f"engine {chosen!r} not applicable: {exc}", file=sys.stderr)
+        return 2
 
-    tree = _load_document(args.document, args.attr_labels)
-    expr = parse_xpath(args.query)
-    engines = {
-        "linear": lambda: evaluate_query_linear(expr, tree),
-        "denotational": lambda: evaluate_query(expr, tree),
-        "datalog": lambda: evaluate_datalog_translation(
-            xpath_to_datalog(expr), tree
-        ),
-    }
-    return _run_engines(args, engines, tree)
+    for name, result in results.items():
+        print(f"# {name}: {result.stats.elapsed_ms:.1f} ms", file=sys.stderr)
+        if args.stats:
+            print(f"# {result.stats.summary()} — {result.stats.reason}",
+                  file=sys.stderr)
+
+    answers = list(results.values())
+    if len(answers) > 1 and any(
+        set(r.answer) != set(answers[0].answer) for r in answers[1:]
+    ):
+        print("ENGINE DISAGREEMENT — this is a bug", file=sys.stderr)
+        return 1
+
+    answer = answers[0].answer
+    if kind in ("twig", "cq"):
+        for row in sorted(answer):
+            print("\t".join(map(str, row)))
+        print(f"# {len(answer)} tuples", file=sys.stderr)
+    else:
+        _print_nodes(db.tree, answer, args.paths)
+        print(f"# {len(answer)} nodes", file=sys.stderr)
+    return 0
+
+
+def cmd_xpath(args) -> int:
+    db = _load_database(args)
+    return _run_query(args, db, "xpath", args.query)
 
 
 def cmd_cq(args) -> int:
-    from repro.cq import (
-        evaluate_backtracking,
-        evaluate_bounded_treewidth,
-        is_acyclic,
-        parse_cq,
-        yannakakis,
-    )
-    from repro.rewrite import evaluate_via_rewriting
-
-    tree = _load_document(args.document, args.attr_labels)
-    query = parse_cq(args.query)
-    engines = {
-        "backtracking": lambda: evaluate_backtracking(query, tree),
-        "rewrite": lambda: evaluate_via_rewriting(query, tree),
-        "treewidth": lambda: evaluate_bounded_treewidth(query, tree),
-    }
-    if is_acyclic(query):
-        engines["yannakakis"] = lambda: yannakakis(query, tree)
-    return _run_engines(args, engines, tree, tuples=True)
+    db = _load_database(args)
+    return _run_query(args, db, "cq", args.query)
 
 
 def cmd_twig(args) -> int:
-    from repro.twigjoin import (
-        binary_join_plan,
-        holistic_via_arc_consistency,
-        parse_twig,
-        twig_stack,
-    )
-
-    tree = _load_document(args.document, args.attr_labels)
-    pattern = parse_twig(args.query)
-    engines = {
-        "twigstack": lambda: twig_stack(pattern, tree),
-        "ac": lambda: holistic_via_arc_consistency(pattern, tree),
-        "binary": lambda: binary_join_plan(pattern, tree),
-    }
-    return _run_engines(args, engines, tree, tuples=True)
+    db = _load_database(args)
+    return _run_query(args, db, "twig", args.query)
 
 
 def cmd_datalog(args) -> int:
-    from repro.datalog import evaluate, parse_program
+    from repro.datalog import parse_program
 
-    tree = _load_document(args.document, args.attr_labels)
+    db = _load_database(args)
     with open(args.program, "r", encoding="utf-8") as fh:
         program = parse_program(fh.read(), query_pred=args.query_pred)
-    start = time.perf_counter()
-    result = evaluate(program, tree)
-    elapsed = time.perf_counter() - start
-    _print_nodes(tree, result, args.paths)
-    print(f"# {len(result)} nodes in {elapsed * 1e3:.1f} ms", file=sys.stderr)
-    return 0
+    return _run_query(args, db, "datalog", program)
 
 
 def cmd_convert(args) -> int:
     from repro.storage.diskstore import dump_tree
 
-    tree = _load_document(args.source, args.attr_labels)
+    tree = Database.from_file(args.source, args.attr_labels).tree
     if args.target.endswith(".rtre"):
         size = dump_tree(tree, args.target)
         print(f"wrote {args.target}: {tree.n} nodes, {size} bytes", file=sys.stderr)
@@ -159,38 +151,6 @@ def cmd_classify(args) -> int:
     return 0
 
 
-def _run_engines(args, engines: dict, tree: Tree, tuples: bool = False) -> int:
-    chosen = args.engine
-    if chosen != "all" and chosen not in engines:
-        print(
-            f"engine {chosen!r} not applicable; options: "
-            f"{', '.join(engines)} or all",
-            file=sys.stderr,
-        )
-        return 2
-    results = {}
-    for name, fn in engines.items():
-        if chosen not in ("all", name):
-            continue
-        start = time.perf_counter()
-        results[name] = fn()
-        elapsed = time.perf_counter() - start
-        print(f"# {name}: {elapsed * 1e3:.1f} ms", file=sys.stderr)
-    values = list(results.values())
-    if len(values) > 1 and any(v != values[0] for v in values[1:]):
-        print("ENGINE DISAGREEMENT — this is a bug", file=sys.stderr)
-        return 1
-    answer = values[0]
-    if tuples:
-        for row in sorted(answer):
-            print("\t".join(map(str, row)))
-        print(f"# {len(answer)} tuples", file=sys.stderr)
-    else:
-        _print_nodes(tree, answer, args.paths)
-        print(f"# {len(answer)} nodes", file=sys.stderr)
-    return 0
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, with_engine=None):
+    def common(p, kind=None):
         p.add_argument("document", help="XML file or .rtre store")
         p.add_argument(
             "--attr-labels",
@@ -208,9 +168,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--paths", action="store_true", help="print label paths, not just ids"
         )
-        if with_engine:
+        if kind:
             p.add_argument(
-                "--engine", default=with_engine, help="engine name or 'all'"
+                "--engine",
+                default="auto",
+                help=(
+                    f"strategy ({', '.join(strategy_names(kind))}), "
+                    "'auto' (planner picks) or 'all' (cross-check)"
+                ),
+            )
+            p.add_argument(
+                "--stats",
+                action="store_true",
+                help="print execution stats (strategy, index usage) to stderr",
             )
 
     p = sub.add_parser("stats", help="document statistics")
@@ -221,22 +191,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("xpath", help="evaluate a Core XPath query")
     p.add_argument("query")
-    common(p, with_engine="linear")
+    common(p, kind="xpath")
     p.set_defaults(func=cmd_xpath)
 
     p = sub.add_parser("cq", help="evaluate a conjunctive query")
     p.add_argument("query")
-    common(p, with_engine="backtracking")
+    common(p, kind="cq")
     p.set_defaults(func=cmd_cq)
 
     p = sub.add_parser("twig", help="evaluate a twig pattern")
     p.add_argument("query")
-    common(p, with_engine="twigstack")
+    common(p, kind="twig")
     p.set_defaults(func=cmd_twig)
 
     p = sub.add_parser("datalog", help="evaluate a monadic datalog program")
     p.add_argument("program", help="datalog program file")
-    common(p)
+    common(p, kind="datalog")
     p.add_argument("--query-pred", default=None)
     p.set_defaults(func=cmd_datalog)
 

@@ -1,0 +1,30 @@
+"""Unified query engine: Database facade, DocumentIndex, Planner.
+
+See docs/ENGINE.md for the architecture and the planner's heuristics.
+"""
+
+from repro.engine.database import Database
+from repro.engine.index import DocumentIndex
+from repro.engine.planner import Plan, Planner
+from repro.engine.stats import ExecutionStats, Result
+from repro.engine.strategies import (
+    STRATEGIES,
+    Strategy,
+    get_strategy,
+    strategies_for,
+    strategy_names,
+)
+
+__all__ = [
+    "Database",
+    "DocumentIndex",
+    "ExecutionStats",
+    "Plan",
+    "Planner",
+    "Result",
+    "STRATEGIES",
+    "Strategy",
+    "get_strategy",
+    "strategies_for",
+    "strategy_names",
+]

@@ -1,0 +1,250 @@
+"""The unified front door: one document, one cached index, one planner.
+
+:class:`Database` wraps a :class:`~repro.trees.tree.Tree` and gives
+every query language in the library a single entry point::
+
+    from repro.engine import Database
+
+    db = Database.from_xml("<a><b/><c/></a>")
+    result = db.xpath("Child*[lab() = b]")       # planner picks a strategy
+    result.answer                                 # {1}
+    result.stats.strategy                         # e.g. "structural-join"
+    result.stats.index_built                      # True on the first query
+    db.xpath("Child*[lab() = b]").stats.index_built   # False: index reused
+
+The :class:`~repro.engine.index.DocumentIndex` is built lazily on the
+first query and reused by every subsequent one — that amortization is
+the engine's hot path.  Edits go through the same facade
+(:meth:`insert_leaf` etc.); they delegate to :mod:`repro.trees.edit`
+and invalidate the cached index, so a stale index can never serve a
+mutated document.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.errors import QueryError
+from repro.trees.tree import Tree
+from repro.engine.index import DocumentIndex
+from repro.engine.planner import Plan, Planner
+from repro.engine.stats import ExecutionStats, Result
+from repro.engine.strategies import get_strategy, strategies_for
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A queryable document: Tree + cached DocumentIndex + Planner."""
+
+    def __init__(self, tree: Tree, planner: "Planner | None" = None):
+        self._tree = tree
+        self._planner = planner or Planner()
+        self._index: "DocumentIndex | None" = None
+        self._parse_cache: dict[tuple, Any] = {}
+        #: ExecutionStats of every call, in order — the query log.
+        self.history: list[ExecutionStats] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text: str, attributes_as_labels: bool = False) -> "Database":
+        from repro.trees.xmlio import parse_xml
+
+        return cls(parse_xml(text, attributes_as_labels=attributes_as_labels))
+
+    @classmethod
+    def from_file(cls, path: str, attributes_as_labels: bool = False) -> "Database":
+        """Load an ``.xml`` document or an ``.rtre`` binary store."""
+        if path.endswith(".rtre"):
+            from repro.storage.diskstore import load_tree
+
+            return cls(load_tree(path))
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_xml(fh.read(), attributes_as_labels)
+
+    # -- document and index access ----------------------------------------
+
+    @property
+    def tree(self) -> Tree:
+        return self._tree
+
+    @property
+    def index(self) -> DocumentIndex:
+        """The document index, built on first access and then cached."""
+        if self._index is None:
+            self._index = DocumentIndex(self._tree)
+        return self._index
+
+    @property
+    def has_index(self) -> bool:
+        """Whether the index is currently materialized (no side effects)."""
+        return self._index is not None
+
+    # -- query entry points ------------------------------------------------
+
+    def xpath(self, query: "str | Any", strategy: str = "auto") -> Result:
+        """Evaluate a Core XPath query against the document root."""
+        return self._execute("xpath", query, strategy)
+
+    def twig(self, query: "str | Any", strategy: str = "auto") -> Result:
+        """Match a twig pattern; answers are tuples over pattern nodes."""
+        return self._execute("twig", query, strategy)
+
+    def cq(self, query: "str | Any", strategy: str = "auto") -> Result:
+        """Evaluate a conjunctive query; answers are head tuples."""
+        return self._execute("cq", query, strategy)
+
+    def datalog(
+        self,
+        program: "str | Any",
+        strategy: str = "auto",
+        query_pred: "str | None" = None,
+    ) -> Result:
+        """Evaluate a monadic datalog program's query predicate."""
+        return self._execute("datalog", program, strategy, query_pred=query_pred)
+
+    def run(self, kind: str, query: "str | Any", strategy: str = "auto") -> Result:
+        """Generic entry point: ``kind`` in xpath/twig/cq/datalog.
+
+        Accepts either concrete syntax or an already-parsed query
+        object, so callers that parse up front (the CLI, the test
+        harness) share the same execution path."""
+        return self._execute(kind, query, strategy)
+
+    def query(self, text: str, strategy: str = "auto") -> Result:
+        """Dispatch on concrete syntax: ``:-`` → CQ, a leading ``/`` →
+        twig, otherwise Core XPath."""
+        if ":-" in text:
+            return self.cq(text, strategy)
+        if text.lstrip().startswith(("/", ".")):
+            return self.twig(text, strategy)
+        return self.xpath(text, strategy)
+
+    # -- strategy introspection -------------------------------------------
+
+    def strategies(self, kind: str, query: "str | Any") -> list[str]:
+        """Names of the registered strategies applicable to this query."""
+        parsed = self._parsed(kind, query)
+        return [s.name for s in strategies_for(kind, parsed, self.index)]
+
+    def plan(self, kind: str, query: "str | Any") -> Plan:
+        """The planner's choice for this query, without executing it."""
+        return self._planner.plan(kind, self._parsed(kind, query), self.index)
+
+    def cross_check(
+        self,
+        kind: str,
+        query: "str | Any",
+        strategies: "list[str] | None" = None,
+    ) -> dict[str, Result]:
+        """Run the query under every applicable (or the given) strategy.
+
+        Returns strategy name → Result; the differential test harness
+        and the CLI's ``--engine all`` both build on this.
+        """
+        names = strategies if strategies is not None else self.strategies(kind, query)
+        return {name: self._execute(kind, query, name) for name in names}
+
+    # -- edits (delegate to repro.trees.edit, invalidate the index) --------
+
+    def insert_leaf(self, parent: int, position: int, label: str) -> "Database":
+        from repro.trees.edit import insert_leaf
+
+        return self._replace(insert_leaf(self._tree, parent, position, label))
+
+    def insert_subtree(self, parent: int, position: int, sub: Tree) -> "Database":
+        from repro.trees.edit import insert_subtree
+
+        return self._replace(insert_subtree(self._tree, parent, position, sub))
+
+    def delete_subtree(self, node: int) -> "Database":
+        from repro.trees.edit import delete_subtree
+
+        return self._replace(delete_subtree(self._tree, node))
+
+    def relabel(self, node: int, label: str, keep_extra: bool = True) -> "Database":
+        from repro.trees.edit import relabel
+
+        return self._replace(relabel(self._tree, node, label, keep_extra))
+
+    def splice(self, node: int) -> "Database":
+        from repro.trees.edit import splice
+
+        return self._replace(splice(self._tree, node))
+
+    def _replace(self, tree: Tree) -> "Database":
+        """Swap in an edited tree and drop the now-stale index."""
+        self._tree = tree
+        self._index = None
+        return self
+
+    # -- internals ---------------------------------------------------------
+
+    def _parsed(self, kind: str, query: Any, query_pred: "str | None" = None) -> Any:
+        if not isinstance(query, str):
+            return query
+        key = (kind, query, query_pred)
+        cached = self._parse_cache.get(key)
+        if cached is not None:
+            return cached
+        if kind == "xpath":
+            from repro.xpath.parser import parse_xpath
+
+            parsed = parse_xpath(query)
+        elif kind == "twig":
+            from repro.twigjoin.pattern import parse_twig
+
+            parsed = parse_twig(query)
+        elif kind == "cq":
+            from repro.cq.query import parse_cq
+
+            parsed = parse_cq(query)
+        elif kind == "datalog":
+            from repro.datalog.parser import parse_program
+
+            parsed = parse_program(query, query_pred=query_pred)
+        else:
+            raise QueryError(f"unknown query kind {kind!r}")
+        self._parse_cache[key] = parsed
+        return parsed
+
+    def _execute(
+        self,
+        kind: str,
+        query: Any,
+        strategy: str,
+        query_pred: "str | None" = None,
+    ) -> Result:
+        text = query if isinstance(query, str) else str(query)
+        parsed = self._parsed(kind, query, query_pred)
+        built_here = self._index is None
+        index = self.index
+        hits_before = index.hits
+        streamed_before = index.nodes_streamed
+        if strategy in ("auto", None):
+            plan = self._planner.plan(kind, parsed, index)
+        else:
+            plan = self._planner.validate(kind, strategy, parsed, index)
+        definition = get_strategy(kind, plan.strategy)
+        start = time.perf_counter()
+        answer = definition.execute(parsed, index)
+        elapsed = time.perf_counter() - start
+        stats = ExecutionStats(
+            kind=kind,
+            query=text,
+            strategy=plan.strategy,
+            reason=plan.reason,
+            elapsed_s=elapsed,
+            answer_size=len(answer),
+            index_built=built_here,
+            index_hits=index.hits - hits_before,
+            nodes_streamed=index.nodes_streamed - streamed_before,
+        )
+        self.history.append(stats)
+        return Result(answer, stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "indexed" if self._index is not None else "no index"
+        return f"Database(n={self._tree.n}, {state}, {len(self.history)} queries)"

@@ -1,0 +1,130 @@
+"""The cached per-document index every strategy shares.
+
+A :class:`DocumentIndex` materializes, once per document:
+
+- the three order arrays of §2 — ``pre`` (identity, ids are pre-order
+  positions), ``post`` and ``level`` — exactly what
+  :mod:`repro.trees.orders` would recompute per call,
+- the **label partition**: label → sorted list of node ids (document
+  order), the input relation of structural joins, twig streams and
+  datalog label predicates,
+- derived ``(pre, post)`` streams per label for the §2 interval
+  algorithms, built lazily per label and cached,
+- axis-relation accessors (descendant/child joins over two label
+  partitions) backed by :mod:`repro.storage.structural_join`.
+
+The partition dict is installed as the wrapped Tree's internal label
+cache, so *every* evaluator in the library — including ones called
+directly, not through the facade — reads the same materialized lists
+instead of rebuilding them.
+
+``hits`` / ``nodes_streamed`` count accessor traffic; the
+:class:`~repro.engine.database.Database` snapshots them around each
+call to report per-query index usage in
+:class:`~repro.engine.stats.ExecutionStats`.
+"""
+
+from __future__ import annotations
+
+from repro.storage.structural_join import stack_structural_join
+from repro.trees.tree import Tree
+
+__all__ = ["DocumentIndex"]
+
+
+class DocumentIndex:
+    """Pre/post/level arrays + label partitions for one (immutable) Tree."""
+
+    __slots__ = (
+        "tree",
+        "n",
+        "pre",
+        "post",
+        "level",
+        "label_partition",
+        "_pair_streams",
+        "hits",
+        "nodes_streamed",
+    )
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self.n = tree.n
+        self.pre = list(range(tree.n))
+        self.post = list(tree.post)
+        self.level = list(tree.depth)
+        partition: dict[str, list[int]] = {}
+        for v in range(tree.n):
+            for label in tree.labels[v]:
+                partition.setdefault(label, []).append(v)
+        # node ids are visited in increasing order, so every list is
+        # already sorted in document order
+        self.label_partition = partition
+        # share with the Tree's lazy cache: evaluators that call
+        # tree.nodes_with_label() now read this very index
+        tree._label_index = partition
+        self._pair_streams: dict[str, list[tuple[int, int]]] = {}
+        self.hits = 0
+        self.nodes_streamed = 0
+
+    # -- label partition accessors ----------------------------------------
+
+    def labels(self) -> "frozenset[str]":
+        return frozenset(self.label_partition)
+
+    def label_count(self, label: str) -> int:
+        """Partition size without streaming the nodes (planner use)."""
+        self.hits += 1
+        return len(self.label_partition.get(label, ()))
+
+    def nodes_with_label(self, label: str) -> list[int]:
+        """All nodes carrying ``label``, sorted in document order."""
+        self.hits += 1
+        nodes = self.label_partition.get(label, [])
+        self.nodes_streamed += len(nodes)
+        return nodes
+
+    def label_pairs(self, label: str) -> list[tuple[int, int]]:
+        """The ``(pre, post)`` stream of a label, for interval joins."""
+        self.hits += 1
+        stream = self._pair_streams.get(label)
+        if stream is None:
+            post = self.tree.post
+            stream = [(v, post[v]) for v in self.label_partition.get(label, ())]
+            self._pair_streams[label] = stream
+        self.nodes_streamed += len(stream)
+        return stream
+
+    def twig_streams(self, pattern) -> list[list[int]]:
+        """Per twig-pattern node, its candidate stream in document order
+        (``*`` streams the whole document)."""
+        streams: list[list[int]] = []
+        for node in pattern.nodes:
+            if node.label == "*":
+                self.hits += 1
+                self.nodes_streamed += self.n
+                streams.append(list(range(self.n)))
+            else:
+                streams.append(self.nodes_with_label(node.label))
+        return streams
+
+    # -- axis-relation accessors ------------------------------------------
+
+    def descendant_pairs(self, anc_label: str, desc_label: str) -> list[tuple[int, int]]:
+        """All (u, v) with Child+(u, v), u labeled ``anc_label`` and v
+        labeled ``desc_label`` — one stack-based structural join over the
+        two label streams."""
+        joined = stack_structural_join(
+            self.label_pairs(anc_label), self.label_pairs(desc_label)
+        )
+        return [(a[0], d[0]) for a, d in joined]
+
+    def child_pairs(self, parent_label: str, child_label: str) -> list[tuple[int, int]]:
+        """All (u, v) with Child(u, v) between the two label partitions."""
+        parents = set(self.nodes_with_label(parent_label))
+        parent = self.tree.parent
+        return [
+            (parent[c], c)
+            for c in self.nodes_with_label(child_label)
+            if parent[c] in parents
+        ]

@@ -1,0 +1,178 @@
+"""The strategy planner: inspect a parsed query, pick an evaluation route.
+
+The planner encodes the paper's cost picture as explicit, documented
+rules (see docs/ENGINE.md for the full rationale).  It only ever
+returns names from :mod:`repro.engine.strategies`, and both the library
+facade and the CLI go through it — so there is exactly one place where
+"which algorithm runs by default" is decided.
+
+Heuristics, in order:
+
+**Core XPath**
+
+1. ``position()`` present → ``denotational`` (the only route that
+   implements positional predicates).
+2. Label-only downward spine whose label partitions are either empty
+   (the answer is trivially empty — joins short-circuit) or small
+   relative to the document → ``structural-join``: each step touches
+   only the label streams, not the whole tree.
+3. Downward fragment with nested path qualifiers → ``automaton``: one
+   bottom-up pass computes every nested predicate simultaneously
+   instead of materializing a node set per sub-path.
+4. Otherwise → ``linear``, the O(|Q|·||A||) context-set evaluator.
+
+**Twig patterns**
+
+1. Some referenced label absent from the document → ``binary`` (the
+   first empty stream empties the plan immediately).
+2. Path pattern (no branching) → ``pathstack``.
+3. ≤ 2 pattern nodes → ``binary`` (a single structural join is optimal;
+   holistic stacks only pay off on real twigs).
+4. Otherwise → ``twigstack``.
+
+**Conjunctive queries**
+
+1. Acyclic → ``yannakakis`` (O(||A||·|Q|) for Boolean/unary heads).
+2. Tree-width ≤ 2 → ``treewidth`` (Theorem 4.1's DP stays polynomial
+   with a small exponent).
+3. Otherwise → ``backtracking``.
+
+**Datalog** — always ``minoux`` (the linear TMNF → Horn-SAT pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import QueryError
+from repro.engine.strategies import get_strategy, sj_spec, xpath_labels
+
+__all__ = ["Plan", "Planner"]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A chosen strategy plus the reason it was chosen."""
+
+    kind: str
+    strategy: str
+    reason: str
+
+
+class Planner:
+    """Maps (kind, parsed query, index) to a :class:`Plan`."""
+
+    #: structural joins are preferred while the touched label streams sum
+    #: to at most this fraction of the document
+    SELECTIVITY_FRACTION = 0.5
+
+    #: tree-width cutoff for the bounded-tree-width CQ route
+    TREEWIDTH_CUTOFF = 2
+
+    def plan(self, kind: str, query: Any, index: Any) -> Plan:
+        if kind == "xpath":
+            return self._plan_xpath(query, index)
+        if kind == "twig":
+            return self._plan_twig(query, index)
+        if kind == "cq":
+            return self._plan_cq(query, index)
+        if kind == "datalog":
+            return Plan("datalog", "minoux", "TMNF → Horn-SAT → Minoux pipeline")
+        raise QueryError(f"unknown query kind {kind!r}")
+
+    # -- per-kind rules ----------------------------------------------------
+
+    def _plan_xpath(self, expr: Any, index: Any) -> Plan:
+        from repro.automata.xpathrun import is_downward
+        from repro.xpath.ast import PathQualifier, walk_expr
+        from repro.engine.strategies import _has_position
+
+        if _has_position(expr):
+            return Plan(
+                "xpath",
+                "denotational",
+                "position() needs the memoized denotational evaluator",
+            )
+        if sj_spec(expr) is not None:
+            sizes = [index.label_count(label) for label in xpath_labels(expr)]
+            if any(size == 0 for size in sizes):
+                return Plan(
+                    "xpath",
+                    "structural-join",
+                    "a referenced label is absent; the join plan "
+                    "short-circuits to the empty answer",
+                )
+            if sizes and sum(sizes) <= self.SELECTIVITY_FRACTION * index.n:
+                return Plan(
+                    "xpath",
+                    "structural-join",
+                    "label partitions are selective "
+                    f"({sum(sizes)}/{index.n} nodes touched)",
+                )
+        if is_downward(expr) and any(
+            isinstance(node, PathQualifier) for node in walk_expr(expr)
+        ):
+            return Plan(
+                "xpath",
+                "automaton",
+                "downward query with nested path qualifiers: one "
+                "bottom-up pass computes all of them",
+            )
+        return Plan(
+            "xpath", "linear", "general query: O(|Q|·||A||) context-set evaluator"
+        )
+
+    def _plan_twig(self, pattern: Any, index: Any) -> Plan:
+        labels = [n.label for n in pattern.nodes if n.label != "*"]
+        if any(index.label_count(label) == 0 for label in labels):
+            return Plan(
+                "twig",
+                "binary",
+                "a pattern label is absent; the first empty stream "
+                "empties the join plan",
+            )
+        if all(len(node.children) <= 1 for node in pattern.nodes):
+            return Plan("twig", "pathstack", "path pattern: PathStack suffices")
+        if len(pattern) <= 2:
+            return Plan(
+                "twig", "binary", "≤ 2 pattern nodes: a single structural join"
+            )
+        return Plan(
+            "twig", "twigstack", "branching twig: holistic TwigStack bounds "
+            "intermediate state by document depth"
+        )
+
+    def _plan_cq(self, query: Any, index: Any) -> Plan:
+        from repro.cq.acyclic import is_acyclic
+        from repro.cq.treewidth import query_treewidth
+
+        if is_acyclic(query):
+            return Plan(
+                "cq", "yannakakis", "acyclic query: Yannakakis is O(||A||·|Q|)"
+            )
+        width = query_treewidth(query)
+        if width <= self.TREEWIDTH_CUTOFF:
+            return Plan(
+                "cq",
+                "treewidth",
+                f"cyclic query of tree-width {width}: Theorem 4.1 DP",
+            )
+        return Plan(
+            "cq",
+            "backtracking",
+            f"tree-width {width} exceeds the DP cutoff; falling back "
+            "to backtracking search",
+        )
+
+    # -- explicit strategy requests ---------------------------------------
+
+    def validate(self, kind: str, strategy: str, query: Any, index: Any) -> Plan:
+        """A plan for an explicitly requested strategy (checked)."""
+        definition = get_strategy(kind, strategy)
+        if not definition.applicable(query, index):
+            raise QueryError(
+                f"strategy {strategy!r} is not applicable to this "
+                f"{kind} query ({definition.summary})"
+            )
+        return Plan(kind, strategy, "explicitly requested")

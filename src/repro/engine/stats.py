@@ -1,0 +1,67 @@
+"""Execution accounting for the unified engine.
+
+Every query answered through :class:`repro.engine.Database` returns a
+:class:`Result` carrying the answer *and* an :class:`ExecutionStats`
+record: which strategy ran, why the planner chose it, how long it took,
+and how the cached :class:`~repro.engine.index.DocumentIndex` was used.
+The index counters are what make cache behaviour observable —
+``index_built`` is True only for the call that constructed the index,
+and ``index_hits`` counts index consultations served during the call,
+so a repeated query on the same document shows ``index_built=False``
+with ``index_hits > 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["ExecutionStats", "Result"]
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """One engine call, fully accounted."""
+
+    kind: str  # "xpath" | "twig" | "cq" | "datalog"
+    query: str  # concrete syntax of the query
+    strategy: str  # registry name of the strategy that ran
+    reason: str  # planner justification (or "explicitly requested")
+    elapsed_s: float  # wall time of the execution proper
+    answer_size: int
+    index_built: bool  # this call constructed the DocumentIndex
+    index_hits: int  # index consultations during this call
+    nodes_streamed: int  # nodes handed out of index partitions
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_s * 1e3
+
+    def summary(self) -> str:
+        built = " built-index" if self.index_built else ""
+        return (
+            f"{self.kind}[{self.strategy}] {self.elapsed_ms:.2f} ms, "
+            f"{self.answer_size} answers, {self.index_hits} index hits"
+            f"{built}"
+        )
+
+
+@dataclass(frozen=True)
+class Result:
+    """An answer set plus the stats of the call that produced it.
+
+    Iterates (and measures) like the underlying answer, so existing
+    code that expects a plain set keeps working on ``result.answer``.
+    """
+
+    answer: Any  # set[int] for unary queries, set[tuple[int, ...]] otherwise
+    stats: ExecutionStats
+
+    def __iter__(self) -> Iterator:
+        return iter(self.answer)
+
+    def __len__(self) -> int:
+        return len(self.answer)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.answer

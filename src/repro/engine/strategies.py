@@ -1,0 +1,423 @@
+"""The strategy registry: every evaluation route the engine can take.
+
+One :class:`Strategy` per (query kind, algorithm family) pair, each a
+thin adapter from the module APIs to the uniform signature
+
+    ``execute(parsed_query, index) -> answer``
+
+where ``index`` is the shared :class:`~repro.engine.index.DocumentIndex`
+(strategies pull label streams from it, which is both the cache hot
+path and what makes index usage observable in ``ExecutionStats``).
+
+The registry is the single source of truth for strategy *names* — the
+CLI's ``--engine`` flag, the planner, and the differential test harness
+all resolve names here, so they can never disagree about what exists.
+
+Kinds and strategies:
+
+========  ================  ==================================================
+kind      strategy          algorithm
+========  ================  ==================================================
+xpath     linear            context-set evaluator, O(|Q|·||A||)  (§4)
+xpath     denotational      memoized P1–P4/Q1–Q5 semantics; the only route
+                            that supports position()  ([33])
+xpath     datalog           Core XPath → stratified monadic datalog → TMNF →
+                            Horn-SAT → Minoux  (§3)
+xpath     automaton         bottom-up + context automaton passes, downward
+                            fragment  (§4, Thm 4.4)
+xpath     structural-join   per-step stack structural joins over the label
+                            partitions, label-only downward spines  (§2)
+xpath     cq                conjunctive fragment → acyclic CQ → Yannakakis
+                            (Prop. 4.2)
+twig      twigstack         holistic TwigStack  (§6)
+twig      pathstack         PathStack, path patterns only  (§6)
+twig      binary            one structural join per edge with materialized
+                            intermediates  (§2+§6 baseline)
+twig      ac                maximal arc-consistent pre-valuation + pointer
+                            enumeration  (Props. 6.9/6.10)
+twig      yannakakis        twig → acyclic CQ → Yannakakis  (§4)
+cq        backtracking      exponential backtracking baseline
+cq        yannakakis        Yannakakis on acyclic CQs  (§4)
+cq        treewidth         bounded-tree-width evaluation  (Thm 4.1)
+cq        rewrite           rewriting to a union of acyclic CQs  (Thm 5.1)
+datalog   minoux            TMNF → ground Horn-SAT → Minoux  (§3)
+datalog   naive             naive rule-matching fixpoint baseline
+========  ================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import QueryError
+from repro.trees.axes import Axis
+from repro.xpath.ast import (
+    AxisStep,
+    LabelTest,
+    PositionTest,
+    XPathExpr,
+    steps_of,
+    walk_expr,
+)
+
+__all__ = [
+    "Strategy",
+    "strategies_for",
+    "get_strategy",
+    "strategy_names",
+    "STRATEGIES",
+]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One evaluation route for one query kind."""
+
+    kind: str
+    name: str
+    summary: str
+    applicable: Callable[[Any, Any], bool]
+    execute: Callable[[Any, Any], Any]
+
+
+def _always(_query: Any, _index: Any) -> bool:
+    return True
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def xpath_labels(expr: XPathExpr) -> list[str]:
+    """Labels mentioned by ``lab() = L`` tests, in first-use order."""
+    seen: dict[str, None] = {}
+    for node in walk_expr(expr):
+        if isinstance(node, LabelTest):
+            seen.setdefault(node.label, None)
+    return list(seen)
+
+
+def cq_labels(query) -> list[str]:
+    """Labels of ``Lab:a`` atoms of a CQ (or datalog program rules)."""
+    from repro.trees.structure import _LABEL_PREFIX
+
+    seen: dict[str, None] = {}
+    for atom in query.atoms:
+        if atom.pred.startswith(_LABEL_PREFIX):
+            seen.setdefault(atom.pred[len(_LABEL_PREFIX):], None)
+    return list(seen)
+
+
+def datalog_labels(program) -> list[str]:
+    from repro.trees.structure import _LABEL_PREFIX
+
+    seen: dict[str, None] = {}
+    for rule in program.rules:
+        for atom in rule.body:
+            if atom.pred.startswith(_LABEL_PREFIX):
+                seen.setdefault(atom.pred[len(_LABEL_PREFIX):], None)
+    return list(seen)
+
+
+def _touch(index, labels) -> None:
+    """Pull the referenced label partitions through the index.
+
+    The partitions are shared with the Tree's internal cache, so the
+    evaluator that runs next reads exactly these lists; routing the
+    fetch through the index is what makes the usage countable.
+    """
+    for label in labels:
+        index.nodes_with_label(label)
+
+
+# ---------------------------------------------------------------------------
+# xpath strategies
+# ---------------------------------------------------------------------------
+
+
+def _has_position(expr: XPathExpr) -> bool:
+    return any(isinstance(n, PositionTest) for n in walk_expr(expr))
+
+
+def _xpath_linear(expr, index):
+    from repro.xpath.contextset import evaluate_query_linear
+
+    _touch(index, xpath_labels(expr))
+    return evaluate_query_linear(expr, index.tree)
+
+
+def _xpath_denotational(expr, index):
+    from repro.xpath.semantics import evaluate_query
+
+    _touch(index, xpath_labels(expr))
+    return evaluate_query(expr, index.tree)
+
+
+def _xpath_datalog(expr, index):
+    from repro.xpath.translate import evaluate_datalog_translation, xpath_to_datalog
+
+    _touch(index, xpath_labels(expr))
+    return evaluate_datalog_translation(xpath_to_datalog(expr), index.tree)
+
+
+def _xpath_automaton_applicable(expr, _index) -> bool:
+    from repro.automata.xpathrun import is_downward
+
+    return is_downward(expr)
+
+
+def _xpath_automaton(expr, index):
+    from repro.automata.xpathrun import evaluate_xpath_automaton
+
+    _touch(index, xpath_labels(expr))
+    return evaluate_xpath_automaton(expr, index.tree)
+
+
+def sj_spec(expr: XPathExpr) -> "list[tuple[Axis, list[str]]] | None":
+    """The structural-join plan of a label-only downward spine, or None.
+
+    Applicable when the expression is a union-free step sequence over
+    Child/Child+/Child* whose qualifiers are all plain label tests —
+    then each step is one join between the frontier and a label stream.
+    """
+    try:
+        steps = steps_of(expr)
+    except ValueError:
+        return None
+    spec: list[tuple[Axis, list[str]]] = []
+    for step in steps:
+        if step.axis not in (Axis.CHILD, Axis.CHILD_PLUS, Axis.CHILD_STAR):
+            return None
+        if not all(isinstance(q, LabelTest) for q in step.qualifiers):
+            return None
+        spec.append((step.axis, [q.label for q in step.qualifiers]))
+    return spec
+
+
+def _xpath_structural_join_applicable(expr, _index) -> bool:
+    return sj_spec(expr) is not None
+
+
+def _xpath_structural_join(expr, index):
+    """Evaluate a label-only downward spine step by step, each Child+ /
+    Child* step as a stack-based structural join over the label stream."""
+    from repro.storage.structural_join import stack_structural_join
+
+    spec = sj_spec(expr)
+    if spec is None:  # pragma: no cover - guarded by applicable()
+        raise QueryError("not a label-only downward spine")
+    tree = index.tree
+    post = tree.post
+    current: list[int] = [tree.root]
+    for axis, labels in spec:
+        if labels:
+            candidates = index.nodes_with_label(labels[0])
+            for extra in labels[1:]:
+                allowed = set(index.nodes_with_label(extra))
+                candidates = [v for v in candidates if v in allowed]
+        else:
+            candidates = list(range(tree.n))
+        if axis is Axis.CHILD:
+            frontier = set(current)
+            current = [c for c in candidates if tree.parent[c] in frontier]
+        else:
+            anc_stream = [(u, post[u]) for u in current]
+            desc_stream = [(d, post[d]) for d in candidates]
+            joined = stack_structural_join(anc_stream, desc_stream)
+            targets = {d[0] for _a, d in joined}
+            if axis is Axis.CHILD_STAR:
+                targets.update(set(candidates) & set(current))
+            current = sorted(targets)
+        if not current:
+            break
+    return set(current)
+
+
+def _xpath_cq_applicable(expr, _index) -> bool:
+    from repro.xpath.translate import is_conjunctive
+
+    return is_conjunctive(expr)
+
+
+def _xpath_cq(expr, index):
+    from repro.cq.yannakakis import yannakakis_unary
+    from repro.xpath.translate import xpath_to_cq
+
+    _touch(index, xpath_labels(expr))
+    return yannakakis_unary(xpath_to_cq(expr), index.tree)
+
+
+# ---------------------------------------------------------------------------
+# twig strategies
+# ---------------------------------------------------------------------------
+
+
+def _twig_twigstack(pattern, index):
+    from repro.twigjoin.twigstack import twig_stack
+
+    return twig_stack(pattern, index.tree, streams=index.twig_streams(pattern))
+
+
+def _twig_pathstack_applicable(pattern, _index) -> bool:
+    return all(len(node.children) <= 1 for node in pattern.nodes)
+
+
+def _twig_pathstack(pattern, index):
+    from repro.twigjoin.pathstack import path_stack
+
+    return path_stack(pattern, index.tree, streams=index.twig_streams(pattern))
+
+
+def _twig_binary(pattern, index):
+    from repro.twigjoin.binaryjoin import binary_join_plan
+
+    return binary_join_plan(
+        pattern, index.tree, streams=index.twig_streams(pattern)
+    )
+
+
+def _twig_ac(pattern, index):
+    from repro.twigjoin.twigstack import holistic_via_arc_consistency
+
+    _touch(index, [n.label for n in pattern.nodes if n.label != "*"])
+    return holistic_via_arc_consistency(pattern, index.tree)
+
+
+def _twig_yannakakis(pattern, index):
+    from repro.cq.yannakakis import yannakakis
+
+    _touch(index, [n.label for n in pattern.nodes if n.label != "*"])
+    return yannakakis(pattern.to_cq(), index.tree)
+
+
+# ---------------------------------------------------------------------------
+# cq strategies
+# ---------------------------------------------------------------------------
+
+
+def _cq_backtracking(query, index):
+    from repro.cq.naive import evaluate_backtracking
+
+    _touch(index, cq_labels(query))
+    return evaluate_backtracking(query, index.tree)
+
+
+def _cq_yannakakis_applicable(query, _index) -> bool:
+    from repro.cq.acyclic import is_acyclic
+
+    return is_acyclic(query)
+
+
+def _cq_yannakakis(query, index):
+    from repro.cq.yannakakis import yannakakis
+
+    _touch(index, cq_labels(query))
+    return yannakakis(query, index.tree)
+
+
+def _cq_treewidth(query, index):
+    from repro.cq.boundedtw import evaluate_bounded_treewidth
+
+    _touch(index, cq_labels(query))
+    return evaluate_bounded_treewidth(query, index.tree)
+
+
+def _cq_rewrite(query, index):
+    from repro.rewrite import evaluate_via_rewriting
+
+    _touch(index, cq_labels(query))
+    return evaluate_via_rewriting(query, index.tree)
+
+
+# ---------------------------------------------------------------------------
+# datalog strategies
+# ---------------------------------------------------------------------------
+
+
+def _datalog_minoux(program, index):
+    from repro.datalog.evaluate import evaluate
+
+    _touch(index, datalog_labels(program))
+    return evaluate(program, index.tree)
+
+
+def _datalog_naive(program, index):
+    from repro.datalog.evaluate import evaluate_naive
+
+    _touch(index, datalog_labels(program))
+    relations = evaluate_naive(program, index.tree)
+    if program.query_pred is None:
+        raise QueryError("program declares no query predicate")
+    return relations.get(program.query_pred, set())
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+STRATEGIES: dict[str, dict[str, Strategy]] = {}
+
+
+def _register(strategy: Strategy) -> None:
+    STRATEGIES.setdefault(strategy.kind, {})[strategy.name] = strategy
+
+
+for _s in (
+    Strategy("xpath", "linear", "context-set evaluator (O(|Q|·||A||))",
+             lambda e, i: not _has_position(e), _xpath_linear),
+    Strategy("xpath", "denotational", "memoized denotational semantics",
+             _always, _xpath_denotational),
+    Strategy("xpath", "datalog", "translation to stratified monadic datalog",
+             lambda e, i: not _has_position(e), _xpath_datalog),
+    Strategy("xpath", "automaton", "bottom-up automaton run (downward fragment)",
+             _xpath_automaton_applicable, _xpath_automaton),
+    Strategy("xpath", "structural-join", "per-step structural joins on label streams",
+             _xpath_structural_join_applicable, _xpath_structural_join),
+    Strategy("xpath", "cq", "conjunctive fragment via Yannakakis",
+             _xpath_cq_applicable, _xpath_cq),
+    Strategy("twig", "twigstack", "holistic TwigStack", _always, _twig_twigstack),
+    Strategy("twig", "pathstack", "PathStack (path patterns)",
+             _twig_pathstack_applicable, _twig_pathstack),
+    Strategy("twig", "binary", "binary structural-join plan", _always, _twig_binary),
+    Strategy("twig", "ac", "arc-consistency + pointer enumeration",
+             _always, _twig_ac),
+    Strategy("twig", "yannakakis", "twig as acyclic CQ via Yannakakis",
+             _always, _twig_yannakakis),
+    Strategy("cq", "backtracking", "backtracking search", _always, _cq_backtracking),
+    Strategy("cq", "yannakakis", "Yannakakis (acyclic queries)",
+             _cq_yannakakis_applicable, _cq_yannakakis),
+    Strategy("cq", "treewidth", "bounded-tree-width evaluation",
+             _always, _cq_treewidth),
+    Strategy("cq", "rewrite", "rewriting to a union of acyclic CQs",
+             _always, _cq_rewrite),
+    Strategy("datalog", "minoux", "TMNF → Horn-SAT → Minoux", _always, _datalog_minoux),
+    Strategy("datalog", "naive", "naive fixpoint baseline", _always, _datalog_naive),
+):
+    _register(_s)
+
+
+def strategy_names(kind: str) -> list[str]:
+    """All registered strategy names for a query kind."""
+    try:
+        return list(STRATEGIES[kind])
+    except KeyError:
+        raise QueryError(f"unknown query kind {kind!r}") from None
+
+
+def get_strategy(kind: str, name: str) -> Strategy:
+    try:
+        return STRATEGIES[kind][name]
+    except KeyError:
+        raise QueryError(
+            f"unknown strategy {name!r} for kind {kind!r}; options: "
+            f"{', '.join(strategy_names(kind))}"
+        ) from None
+
+
+def strategies_for(kind: str, query: Any, index: Any) -> list[Strategy]:
+    """The registered strategies applicable to this query, in registry order."""
+    return [
+        s for s in STRATEGIES.get(kind, {}).values() if s.applicable(query, index)
+    ]

@@ -34,12 +34,19 @@ class JoinPlanStats:
 
 
 def binary_join_plan(
-    pattern: TwigPattern, tree: Tree, stats: JoinPlanStats | None = None
+    pattern: TwigPattern,
+    tree: Tree,
+    stats: JoinPlanStats | None = None,
+    streams: list[list[int]] | None = None,
 ) -> set[tuple[int, ...]]:
     """Evaluate the twig edge by edge in pattern pre-order, materializing
-    the partial-match relation after every structural join."""
+    the partial-match relation after every structural join.
+
+    ``streams`` optionally supplies pre-materialized candidate streams.
+    """
     stats = stats if stats is not None else JoinPlanStats()
-    streams = _streams(pattern, tree)
+    if streams is None:
+        streams = _streams(pattern, tree)
     nodes = pattern.nodes
 
     # partial matches over pattern nodes 0..i (pre-order means each new

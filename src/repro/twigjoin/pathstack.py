@@ -31,10 +31,15 @@ def _streams(pattern: TwigPattern, tree: Tree) -> list[list[int]]:
     return out
 
 
-def path_stack(pattern: TwigPattern, tree: Tree) -> set[tuple[int, ...]]:
+def path_stack(
+    pattern: TwigPattern,
+    tree: Tree,
+    streams: list[list[int]] | None = None,
+) -> set[tuple[int, ...]]:
     """All matches of a *path* pattern (each pattern node ≤ 1 child).
 
     Returns tuples of tree nodes, one per pattern node in index order.
+    ``streams`` optionally supplies pre-materialized candidate streams.
     """
     chain = [pattern.root]
     while chain[-1].children:
@@ -45,7 +50,8 @@ def path_stack(pattern: TwigPattern, tree: Tree) -> set[tuple[int, ...]]:
     k = len(order)
     position_of = {idx: i for i, idx in enumerate(order)}
 
-    streams = _streams(pattern, tree)
+    if streams is None:
+        streams = _streams(pattern, tree)
     cursors = [0] * len(pattern.nodes)
     # stacks[i]: list of (tree_node, pointer into stacks[i-1] at push time)
     stacks: list[list[tuple[int, int]]] = [[] for _ in range(k)]

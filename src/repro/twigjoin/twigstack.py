@@ -49,14 +49,22 @@ class TwigStats:
 
 
 def twig_stack(
-    pattern: TwigPattern, tree: Tree, stats: TwigStats | None = None
+    pattern: TwigPattern,
+    tree: Tree,
+    stats: TwigStats | None = None,
+    streams: list[list[int]] | None = None,
 ) -> set[tuple[int, ...]]:
-    """All matches of the twig (tuples over pattern nodes in index order)."""
+    """All matches of the twig (tuples over pattern nodes in index order).
+
+    ``streams`` lets callers supply pre-materialized per-node candidate
+    streams (document order), e.g. from a cached label index.
+    """
     stats = stats if stats is not None else TwigStats()
     nodes = pattern.nodes
     n_pat = len(nodes)
     parent = pattern.parent
-    streams = _streams(pattern, tree)
+    if streams is None:
+        streams = _streams(pattern, tree)
     cursors = [0] * n_pat
     stacks: list[list[tuple[int, int]]] = [[] for _ in range(n_pat)]
     leaf_indices = [node.index for node in nodes if not node.children]

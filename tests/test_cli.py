@@ -1,0 +1,148 @@
+"""CLI coverage: every strategy flag on every query command.
+
+The CLI delegates strategy dispatch to the engine registry and the
+planner — these tests pin down that every registered name is reachable
+through ``--engine``, that ``auto`` and ``all`` work everywhere, and
+that the exit-code contract holds (0 ok, 1 error/disagreement, 2 bad
+or inapplicable engine).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.engine import strategy_names
+
+DOC = (
+    "<site><item><name/><keyword/></item>"
+    "<item><name/></item>"
+    "<people><person><profile/><name/></person></people></site>"
+)
+
+
+@pytest.fixture
+def doc(tmp_path):
+    path = os.path.join(tmp_path, "doc.xml")
+    with open(path, "w") as fh:
+        fh.write(DOC)
+    return path
+
+
+@pytest.fixture
+def program(tmp_path):
+    path = os.path.join(tmp_path, "p.dl")
+    with open(path, "w") as fh:
+        fh.write("Q(x) :- Lab:keyword(x).\n% query: Q\n")
+    return path
+
+
+XPATH_QUERY = "Child*[lab() = item]/Child[lab() = name]"
+XPATH_NODES = ["2", "5"]
+
+
+class TestXPathEngines:
+    @pytest.mark.parametrize("engine", strategy_names("xpath"))
+    def test_each_registered_strategy(self, doc, capsys, engine):
+        assert cli_main(["xpath", XPATH_QUERY, doc, "--engine", engine]) == 0
+        assert capsys.readouterr().out.split() == XPATH_NODES
+
+    def test_auto_is_default(self, doc, capsys):
+        assert cli_main(["xpath", XPATH_QUERY, doc]) == 0
+        assert capsys.readouterr().out.split() == XPATH_NODES
+
+    def test_all_cross_checks(self, doc, capsys):
+        assert cli_main(["xpath", XPATH_QUERY, doc, "--engine", "all"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.split() == XPATH_NODES
+        for name in strategy_names("xpath"):
+            assert f"# {name}:" in captured.err
+
+    def test_stats_flag(self, doc, capsys):
+        assert cli_main(["xpath", XPATH_QUERY, doc, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "index hits" in err
+
+    def test_unknown_engine_exit_2(self, doc):
+        assert cli_main(["xpath", "Child", doc, "--engine", "warp"]) == 2
+
+    def test_inapplicable_engine_exit_2(self, doc, capsys):
+        # position() is only supported by the denotational route
+        query = "Child*[lab() = item][position() = 1]"
+        assert cli_main(["xpath", query, doc, "--engine", "linear"]) == 2
+        assert "not applicable" in capsys.readouterr().err
+        assert cli_main(["xpath", query, doc, "--engine", "denotational"]) == 0
+
+    def test_planner_routes_position_queries(self, doc, capsys):
+        # auto must pick the denotational strategy, not crash
+        query = "Child*[lab() = item][position() = 1]"
+        assert cli_main(["xpath", query, doc, "--stats"]) == 0
+        assert "denotational" in capsys.readouterr().err
+
+
+class TestTwigEngines:
+    @pytest.mark.parametrize("engine", strategy_names("twig"))
+    def test_each_registered_strategy(self, doc, capsys, engine):
+        # path pattern so pathstack applies too
+        assert cli_main(["twig", "//item/name", doc, "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert sorted(out.split("\n")[:-1]) == ["1\t2", "4\t5"]
+
+    def test_auto_and_all(self, doc, capsys):
+        assert cli_main(["twig", "//item[keyword]", doc]) == 0
+        assert capsys.readouterr().out.split() == ["1", "3"]
+        assert cli_main(["twig", "//item[keyword]", doc, "--engine", "all"]) == 0
+
+    def test_pathstack_inapplicable_on_branching_twig(self, doc):
+        assert (
+            cli_main(["twig", "//item[keyword]/name", doc, "--engine", "pathstack"])
+            == 2
+        )
+
+
+class TestCQEngines:
+    CQ = "ans(x) :- Child(y, x), Lab:item(y)"
+
+    @pytest.mark.parametrize("engine", strategy_names("cq"))
+    def test_each_registered_strategy(self, doc, capsys, engine):
+        assert cli_main(["cq", self.CQ, doc, "--engine", engine]) == 0
+        assert capsys.readouterr().out.split() == ["2", "3", "5"]
+
+    def test_auto_and_all(self, doc, capsys):
+        assert cli_main(["cq", self.CQ, doc]) == 0
+        capsys.readouterr()
+        assert cli_main(["cq", self.CQ, doc, "--engine", "all"]) == 0
+
+
+class TestDatalogEngines:
+    @pytest.mark.parametrize("engine", strategy_names("datalog"))
+    def test_each_registered_strategy(self, doc, program, capsys, engine):
+        assert cli_main(["datalog", program, doc, "--engine", engine]) == 0
+        assert capsys.readouterr().out.split() == ["3"]
+
+    def test_auto_and_all(self, doc, program, capsys):
+        assert cli_main(["datalog", program, doc]) == 0
+        assert capsys.readouterr().out.split() == ["3"]
+        assert cli_main(["datalog", program, doc, "--engine", "all"]) == 0
+
+
+class TestOtherCommands:
+    def test_stats(self, doc, capsys):
+        assert cli_main(["stats", doc]) == 0
+        assert "nodes   : 10" in capsys.readouterr().out
+
+    def test_convert_round_trip(self, doc, tmp_path, capsys):
+        store = os.path.join(tmp_path, "doc.rtre")
+        assert cli_main(["convert", doc, store]) == 0
+        assert cli_main(["xpath", XPATH_QUERY, store]) == 0
+        assert capsys.readouterr().out.split() == XPATH_NODES
+
+    def test_classify(self, capsys):
+        assert cli_main(["classify", "Child+", "Following"]) == 0
+        assert "NP-complete" in capsys.readouterr().out
+
+    def test_error_exit_1(self):
+        assert cli_main(["stats", "/nonexistent/file.xml"]) == 1
+        assert cli_main(["xpath", "Child[", "/nonexistent.xml"]) == 1

@@ -1,0 +1,159 @@
+"""Cross-engine differential tests: every strategy, same answers.
+
+The paper's algorithms are different *costs* for the same semantics, so
+any disagreement between two registered strategies is a bug by
+construction.  This harness pins that invariant down property-style:
+random documents from :func:`repro.trees.generate.random_tree`, random
+queries from :mod:`repro.workloads.queries`, every applicable strategy
+run through one shared :class:`repro.engine.Database`, answer sets
+compared pairwise.  Everything is seeded — a failure message carries
+the (tree seed, query seed, query) triple needed to replay it.
+
+Volume: 120 XPath + 60 twig + 40 CQ cases = 220 random (tree, query)
+pairs, each checked under at least 3 strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.trees.generate import random_tree
+from repro.workloads.queries import random_cq, random_twig, random_xpath
+
+LABELS = ("a", "b", "c", "d")
+
+# one Database (→ one DocumentIndex) per document, shared by every
+# query case on that document — the differential sweep doubles as an
+# index-reuse soak test
+_DB_CACHE: dict[tuple, Database] = {}
+
+
+def _db(n: int, seed: int, alphabet=LABELS) -> Database:
+    key = (n, seed, alphabet)
+    if key not in _DB_CACHE:
+        _DB_CACHE[key] = Database(random_tree(n, seed=seed, alphabet=alphabet))
+    return _DB_CACHE[key]
+
+
+def _assert_agreement(db: Database, kind: str, query, context: str) -> int:
+    """Run every applicable strategy; fail loudly on any mismatch.
+
+    Returns the number of strategies exercised.
+    """
+    results = db.cross_check(kind, query)
+    assert len(results) >= 3, (
+        f"{context}: only {len(results)} applicable strategies "
+        f"({', '.join(results)}) — expected at least 3"
+    )
+    reference_name, reference = next(iter(results.items()))
+    for name, result in results.items():
+        assert set(result.answer) == set(reference.answer), (
+            f"{context}: strategy {name!r} disagrees with "
+            f"{reference_name!r}\n"
+            f"  {name}: {sorted(set(result.answer) - set(reference.answer))} extra, "
+            f"{sorted(set(reference.answer) - set(result.answer))} missing"
+        )
+    return len(results)
+
+
+# ---------------------------------------------------------------------------
+# Core XPath: 120 cases (30 documents × 4 queries)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree_seed", range(30))
+def test_xpath_strategies_agree(tree_seed):
+    n = 20 + 7 * tree_seed
+    db = _db(n, tree_seed)
+    for query_seed in range(4):
+        text = random_xpath(
+            n_steps=1 + query_seed % 3,
+            labels=LABELS,
+            qualifier_prob=0.5,
+            negation_prob=0.2,
+            seed=100 * tree_seed + query_seed,
+        )
+        context = f"tree(n={n}, seed={tree_seed}) xpath seed=" \
+                  f"{100 * tree_seed + query_seed} {text!r}"
+        _assert_agreement(db, "xpath", text, context)
+
+
+# ---------------------------------------------------------------------------
+# twig patterns: 60 cases (20 documents × 3 patterns)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree_seed", range(20))
+def test_twig_strategies_agree(tree_seed):
+    n = 15 + 9 * tree_seed
+    db = _db(n, 1000 + tree_seed)
+    for query_seed in range(3):
+        pattern = random_twig(
+            n_nodes=2 + query_seed,
+            labels=LABELS,
+            seed=100 * tree_seed + query_seed,
+        )
+        context = f"tree(n={n}, seed={1000 + tree_seed}) twig seed=" \
+                  f"{100 * tree_seed + query_seed} {pattern!r}"
+        _assert_agreement(db, "twig", pattern, context)
+
+
+# ---------------------------------------------------------------------------
+# conjunctive queries: 40 cases (20 documents × 2 queries)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tree_seed", range(20))
+def test_cq_strategies_agree(tree_seed):
+    n = 12 + 5 * tree_seed
+    db = _db(n, 2000 + tree_seed)
+    for query_seed in range(2):
+        query = random_cq(
+            n_vars=2 + query_seed,
+            n_binary=1 + query_seed,
+            labels=LABELS,
+            seed=100 * tree_seed + query_seed,
+        )
+        context = f"tree(n={n}, seed={2000 + tree_seed}) cq seed=" \
+                  f"{100 * tree_seed + query_seed} {query!r}"
+        _assert_agreement(db, "cq", query, context)
+
+
+# ---------------------------------------------------------------------------
+# the sweep doubles as an index-reuse soak: per shared Database, the
+# index must have been built exactly once
+# ---------------------------------------------------------------------------
+
+
+def test_differential_sweep_reused_indexes():
+    """Runs after the sweeps above (same module): every cached Database
+    built its DocumentIndex exactly once across all of its queries."""
+    if not _DB_CACHE:
+        pytest.skip("differential sweeps did not run in this selection")
+    total_reuse_hits = 0
+    for (n, seed, _alphabet), db in _DB_CACHE.items():
+        builds = sum(s.index_built for s in db.history)
+        assert builds <= 1, f"Database(n={n}, seed={seed}) rebuilt its index"
+        total_reuse_hits += sum(
+            s.index_hits for s in db.history if not s.index_built
+        )
+    # individual label-free queries legitimately consult no partitions,
+    # but across the whole sweep the cached indexes must be visibly hit
+    assert total_reuse_hits > 0
+
+
+def test_planner_choice_always_among_applicable():
+    """The planner never picks a strategy whose applicability gate the
+    registry would reject for that query."""
+    for tree_seed in range(5):
+        db = _db(25 + 5 * tree_seed, 3000 + tree_seed)
+        for query_seed in range(3):
+            text = random_xpath(
+                n_steps=2, labels=LABELS, seed=10 * tree_seed + query_seed
+            )
+            plan = db.plan("xpath", text)
+            assert plan.strategy in db.strategies("xpath", text), (
+                f"planner chose inapplicable {plan.strategy!r} for {text!r} "
+                f"(seed {10 * tree_seed + query_seed})"
+            )
