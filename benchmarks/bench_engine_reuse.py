@@ -105,3 +105,36 @@ def test_planner_choices_are_stable():
         assert db.plan("xpath", q) == db.plan("xpath", q)
     for q in TWIG_WORKLOAD:
         assert db.plan("twig", q) == db.plan("twig", q)
+
+
+def test_observed_workload_counter_report():
+    """The same workload run observed: answers unchanged, and the
+    process-wide metrics registry reports where the work went (the
+    counter totals of docs/OBSERVABILITY.md)."""
+    from repro.obs import METRICS
+
+    tree = xmark_like(200, seed=7)
+    plain = _run_workload(Database(tree))
+
+    METRICS.reset()
+    try:
+        db = Database(tree)
+        observed = []
+        for q in XPATH_WORKLOAD:
+            observed.append(frozenset(db.xpath(q, trace=True).answer))
+        for q in TWIG_WORKLOAD:
+            observed.append(frozenset(db.twig(q, trace=True).answer))
+        assert observed == plain  # observation never changes answers
+        assert METRICS.queries_observed == len(XPATH_WORKLOAD) + len(
+            TWIG_WORKLOAD
+        )
+        snapshot = METRICS.snapshot()
+        assert snapshot.get("nodes.visited", 0) > 0
+        report(
+            "E-ENG: counter totals over the observed workload "
+            f"({METRICS.queries_observed} queries, n={tree.n})",
+            ["counter", "total"],
+            [[name, total] for name, total in snapshot.items()],
+        )
+    finally:
+        METRICS.reset()

@@ -163,6 +163,9 @@ def evaluate_xpath_automaton(expr: XPathExpr, tree: Tree) -> set[int]:
             "the automaton evaluator covers the downward fragment only "
             "(axes Self/Child/Child+/Child*, no position())"
         )
+    from repro.obs.context import current as _obs_current
+
+    ctx = _obs_current()
     n = tree.n
     registry: list[_DownPath] = []
     spine = steps_of(expr)
@@ -174,6 +177,12 @@ def evaluate_xpath_automaton(expr: XPathExpr, tree: Tree) -> set[int]:
     for v in range(n - 1, -1, -1):
         for down in registry:
             down.update(v, tree)
+
+    if ctx is not None:
+        # both passes touch every node once per automaton/spine level
+        ctx.count("automaton.passes", 2)
+        ctx.tick(n * max(len(registry), 1))
+        ctx.tick(n)
 
     # pass 2: top-down context pass through the spine
     m = len(spine)

@@ -16,6 +16,12 @@ Every query command goes through :class:`repro.engine.Database`:
 ``--engine all`` cross-checks every applicable strategy and fails with
 exit code 1 if any pair disagrees.  ``--stats`` prints the per-call
 :class:`~repro.engine.stats.ExecutionStats` summary to stderr.
+
+Observability (see docs/OBSERVABILITY.md): ``--trace`` pretty-prints
+the span tree to stderr, ``--trace=FILE`` writes it as JSON instead;
+``--deadline-ms N`` and ``--max-visited N`` set a resource budget —
+exceeding it is a clean exit-3 error (the planner falls back to the
+next applicable strategy first when the engine is ``auto``).
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import sys
 from collections import Counter
 
 from repro.engine import Database, strategy_names
-from repro.errors import QueryError
+from repro.errors import QueryError, ResourceBudgetExceeded
 from repro.trees import Tree, to_xml
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +63,31 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _budget_kwargs(args) -> dict:
+    """Translate --trace/--deadline-ms/--max-visited into Database kwargs."""
+    deadline_ms = getattr(args, "deadline_ms", None)
+    return {
+        "trace": getattr(args, "trace", None) is not None,
+        "deadline": deadline_ms / 1000.0 if deadline_ms is not None else None,
+        "max_visited": getattr(args, "max_visited", None),
+    }
+
+
+def _emit_trace(args, name: str, result) -> None:
+    """Write the captured span tree where --trace pointed it."""
+    from repro.obs import render_pretty, write_trace
+
+    span = result.stats.trace
+    if span is None:
+        return
+    if args.trace == "-":
+        print(f"# trace [{name}]:", file=sys.stderr)
+        print(render_pretty(span), file=sys.stderr)
+    else:
+        write_trace(span, args.trace)
+        print(f"# trace written to {args.trace}", file=sys.stderr)
+
+
 def _run_query(args, db: Database, kind: str, query) -> int:
     """Plan/dispatch one query; shared by xpath, cq, twig and datalog."""
     chosen = args.engine
@@ -68,21 +99,27 @@ def _run_query(args, db: Database, kind: str, query) -> int:
             file=sys.stderr,
         )
         return 2
+    obs = _budget_kwargs(args)
     try:
         if chosen == "all":
-            results = db.cross_check(kind, query)
+            results = db.cross_check(kind, query, **obs)
         else:
-            result = db.run(kind, query, chosen)
+            result = db.run(kind, query, chosen, **obs)
             results = {result.stats.strategy: result}
     except QueryError as exc:
         print(f"engine {chosen!r} not applicable: {exc}", file=sys.stderr)
         return 2
+    except ResourceBudgetExceeded as exc:
+        print(f"budget exceeded: {exc}", file=sys.stderr)
+        return 3
 
     for name, result in results.items():
         print(f"# {name}: {result.stats.elapsed_ms:.1f} ms", file=sys.stderr)
         if args.stats:
             print(f"# {result.stats.summary()} — {result.stats.reason}",
                   file=sys.stderr)
+        if obs["trace"]:
+            _emit_trace(args, name, result)
 
     answers = list(results.values())
     if len(answers) > 1 and any(
@@ -181,6 +218,31 @@ def build_parser() -> argparse.ArgumentParser:
                 "--stats",
                 action="store_true",
                 help="print execution stats (strategy, index usage) to stderr",
+            )
+            p.add_argument(
+                "--trace",
+                nargs="?",
+                const="-",
+                default=None,
+                metavar="FILE",
+                help=(
+                    "capture a span trace; bare --trace pretty-prints to "
+                    "stderr, --trace FILE writes JSON"
+                ),
+            )
+            p.add_argument(
+                "--deadline-ms",
+                type=float,
+                default=None,
+                metavar="N",
+                help="abort (exit 3) if evaluation exceeds N milliseconds",
+            )
+            p.add_argument(
+                "--max-visited",
+                type=int,
+                default=None,
+                metavar="N",
+                help="abort (exit 3) after visiting more than N nodes",
             )
 
     p = sub.add_parser("stats", help="document statistics")

@@ -1,6 +1,8 @@
 """Unified query engine: Database facade, DocumentIndex, Planner.
 
-See docs/ENGINE.md for the architecture and the planner's heuristics.
+See docs/ENGINE.md for the architecture and the planner's heuristics,
+and docs/OBSERVABILITY.md for tracing (``trace=True``) and resource
+governance (``deadline=``/``max_visited=``) on every query entry point.
 """
 
 from repro.engine.database import Database

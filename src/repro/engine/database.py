@@ -18,6 +18,17 @@ the engine's hot path.  Edits go through the same facade
 (:meth:`insert_leaf` etc.); they delegate to :mod:`repro.trees.edit`
 and invalidate the cached index, so a stale index can never serve a
 mutated document.
+
+Every query entry point also accepts the observability/governance
+keywords (docs/OBSERVABILITY.md)::
+
+    db.xpath(q, trace=True)              # stats.trace = span tree
+    db.xpath(q, deadline=0.05)           # 50 ms per evaluation attempt
+    db.xpath(q, max_visited=10_000)      # node-visit ceiling per attempt
+
+Budgeted auto-planned queries fall back to the next applicable strategy
+when an attempt exceeds its budget; the abandoned strategies are listed
+in ``stats.fallback_from``.
 """
 
 from __future__ import annotations
@@ -25,7 +36,11 @@ from __future__ import annotations
 import time
 from typing import Any
 
-from repro.errors import QueryError
+from repro.errors import QueryError, ResourceBudgetExceeded
+from repro.obs.budget import ResourceBudget
+from repro.obs.context import Observation, observed
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import Tracer
 from repro.trees.tree import Tree
 from repro.engine.index import DocumentIndex
 from repro.engine.planner import Plan, Planner
@@ -84,43 +99,115 @@ class Database:
 
     # -- query entry points ------------------------------------------------
 
-    def xpath(self, query: "str | Any", strategy: str = "auto") -> Result:
-        """Evaluate a Core XPath query against the document root."""
-        return self._execute("xpath", query, strategy)
+    def xpath(
+        self,
+        query: "str | Any",
+        strategy: str = "auto",
+        *,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        max_visited: "int | None" = None,
+    ) -> Result:
+        """Evaluate a Core XPath query against the document root.
 
-    def twig(self, query: "str | Any", strategy: str = "auto") -> Result:
+        ``trace`` records a span tree in ``result.stats.trace``;
+        ``deadline`` (seconds) and ``max_visited`` (node-visit ceiling)
+        bound each evaluation attempt, raising
+        :class:`~repro.errors.ResourceBudgetExceeded` — unless the
+        planner chose the strategy (``"auto"``), in which case it falls
+        back to the next applicable one and records the downgrade in
+        ``stats.fallback_from``."""
+        return self._execute(
+            "xpath", query, strategy,
+            trace=trace, deadline=deadline, max_visited=max_visited,
+        )
+
+    def twig(
+        self,
+        query: "str | Any",
+        strategy: str = "auto",
+        *,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        max_visited: "int | None" = None,
+    ) -> Result:
         """Match a twig pattern; answers are tuples over pattern nodes."""
-        return self._execute("twig", query, strategy)
+        return self._execute(
+            "twig", query, strategy,
+            trace=trace, deadline=deadline, max_visited=max_visited,
+        )
 
-    def cq(self, query: "str | Any", strategy: str = "auto") -> Result:
+    def cq(
+        self,
+        query: "str | Any",
+        strategy: str = "auto",
+        *,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        max_visited: "int | None" = None,
+    ) -> Result:
         """Evaluate a conjunctive query; answers are head tuples."""
-        return self._execute("cq", query, strategy)
+        return self._execute(
+            "cq", query, strategy,
+            trace=trace, deadline=deadline, max_visited=max_visited,
+        )
 
     def datalog(
         self,
         program: "str | Any",
         strategy: str = "auto",
         query_pred: "str | None" = None,
+        *,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        max_visited: "int | None" = None,
     ) -> Result:
         """Evaluate a monadic datalog program's query predicate."""
-        return self._execute("datalog", program, strategy, query_pred=query_pred)
+        return self._execute(
+            "datalog", program, strategy, query_pred=query_pred,
+            trace=trace, deadline=deadline, max_visited=max_visited,
+        )
 
-    def run(self, kind: str, query: "str | Any", strategy: str = "auto") -> Result:
+    def run(
+        self,
+        kind: str,
+        query: "str | Any",
+        strategy: str = "auto",
+        *,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        max_visited: "int | None" = None,
+    ) -> Result:
         """Generic entry point: ``kind`` in xpath/twig/cq/datalog.
 
         Accepts either concrete syntax or an already-parsed query
         object, so callers that parse up front (the CLI, the test
         harness) share the same execution path."""
-        return self._execute(kind, query, strategy)
+        return self._execute(
+            kind, query, strategy,
+            trace=trace, deadline=deadline, max_visited=max_visited,
+        )
 
-    def query(self, text: str, strategy: str = "auto") -> Result:
+    def query(
+        self,
+        text: str,
+        strategy: str = "auto",
+        *,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        max_visited: "int | None" = None,
+    ) -> Result:
         """Dispatch on concrete syntax: ``:-`` → CQ, a leading ``/`` →
         twig, otherwise Core XPath."""
+        kind = "xpath"
         if ":-" in text:
-            return self.cq(text, strategy)
-        if text.lstrip().startswith(("/", ".")):
-            return self.twig(text, strategy)
-        return self.xpath(text, strategy)
+            kind = "cq"
+        elif text.lstrip().startswith(("/", ".")):
+            kind = "twig"
+        return self._execute(
+            kind, text, strategy,
+            trace=trace, deadline=deadline, max_visited=max_visited,
+        )
 
     # -- strategy introspection -------------------------------------------
 
@@ -138,14 +225,27 @@ class Database:
         kind: str,
         query: "str | Any",
         strategies: "list[str] | None" = None,
+        *,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        max_visited: "int | None" = None,
     ) -> dict[str, Result]:
         """Run the query under every applicable (or the given) strategy.
 
         Returns strategy name → Result; the differential test harness
-        and the CLI's ``--engine all`` both build on this.
+        and the CLI's ``--engine all`` both build on this.  Budgets are
+        enforced per strategy (each gets a fresh window), so a single
+        expensive strategy exceeding ``max_visited`` fails only its own
+        entry.
         """
         names = strategies if strategies is not None else self.strategies(kind, query)
-        return {name: self._execute(kind, query, name) for name in names}
+        return {
+            name: self._execute(
+                kind, query, name,
+                trace=trace, deadline=deadline, max_visited=max_visited,
+            )
+            for name in names
+        }
 
     # -- edits (delegate to repro.trees.edit, invalidate the index) --------
 
@@ -216,9 +316,18 @@ class Database:
         query: Any,
         strategy: str,
         query_pred: "str | None" = None,
+        trace: bool = False,
+        deadline: "float | None" = None,
+        max_visited: "int | None" = None,
     ) -> Result:
         text = query if isinstance(query, str) else str(query)
         parsed = self._parsed(kind, query, query_pred)
+        if trace or deadline is not None or max_visited is not None:
+            return self._execute_observed(
+                kind, text, parsed, strategy, trace, deadline, max_visited
+            )
+        # fast path: no Observation, no spans, no counters — the only
+        # instrumentation cost anywhere below is a None check
         built_here = self._index is None
         index = self.index
         hits_before = index.hits
@@ -241,6 +350,86 @@ class Database:
             index_built=built_here,
             index_hits=index.hits - hits_before,
             nodes_streamed=index.nodes_streamed - streamed_before,
+        )
+        self.history.append(stats)
+        return Result(answer, stats)
+
+    def _execute_observed(
+        self,
+        kind: str,
+        text: str,
+        parsed: Any,
+        strategy: str,
+        trace: bool,
+        deadline: "float | None",
+        max_visited: "int | None",
+    ) -> Result:
+        """The observed execution path: spans, counters, budgets, fallback.
+
+        Planner-chosen strategies (``"auto"``) walk ``Planner.ranked``:
+        an attempt that raises :class:`ResourceBudgetExceeded` is
+        abandoned, the next applicable strategy gets a *fresh* budget,
+        and every downgrade lands in ``stats.fallback_from``.  An
+        explicitly requested strategy never falls back — the exception
+        propagates to the caller.
+        """
+        tracer = Tracer() if trace else None
+        obs = Observation(tracer=tracer)
+        start = time.perf_counter()
+        with observed(obs):
+            with obs.span("query:" + kind, query=text):
+                built_here = self._index is None
+                if built_here:
+                    with obs.span("index-build"):
+                        index = self.index
+                    obs.count("index.builds")
+                else:
+                    index = self.index
+                hits_before = index.hits
+                streamed_before = index.nodes_streamed
+                with obs.span("plan"):
+                    if strategy in ("auto", None):
+                        plans = self._planner.ranked(kind, parsed, index)
+                        may_fall_back = True
+                    else:
+                        plans = [
+                            self._planner.validate(kind, strategy, parsed, index)
+                        ]
+                        may_fall_back = False
+                fallback_from: list[str] = []
+                answer = None
+                final_plan = plans[-1]
+                for i, plan in enumerate(plans):
+                    if deadline is not None or max_visited is not None:
+                        obs.budget = ResourceBudget(deadline, max_visited)
+                    definition = get_strategy(kind, plan.strategy)
+                    with obs.span("execute:" + plan.strategy, reason=plan.reason):
+                        try:
+                            answer = definition.execute(parsed, index)
+                            final_plan = plan
+                            break
+                        except ResourceBudgetExceeded:
+                            obs.count("budget.exceeded")
+                            if not may_fall_back or i == len(plans) - 1:
+                                raise
+                            fallback_from.append(plan.strategy)
+                            obs.count("budget.fallbacks")
+        elapsed = time.perf_counter() - start
+        obs.budget = None
+        METRICS.merge(obs.counters)
+        stats = ExecutionStats(
+            kind=kind,
+            query=text,
+            strategy=final_plan.strategy,
+            reason=final_plan.reason,
+            elapsed_s=elapsed,
+            answer_size=len(answer),
+            index_built=built_here,
+            index_hits=index.hits - hits_before,
+            nodes_streamed=index.nodes_streamed - streamed_before,
+            counters=dict(obs.counters),
+            trace=tracer.root if tracer is not None else None,
+            fallback_from=tuple(fallback_from),
         )
         self.history.append(stats)
         return Result(answer, stats)

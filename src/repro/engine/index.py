@@ -26,6 +26,7 @@ call to report per-query index usage in
 
 from __future__ import annotations
 
+from repro.obs.context import current as _obs_current
 from repro.storage.structural_join import stack_structural_join
 from repro.trees.tree import Tree
 
@@ -66,6 +67,10 @@ class DocumentIndex:
         self._pair_streams: dict[str, list[tuple[int, int]]] = {}
         self.hits = 0
         self.nodes_streamed = 0
+        ctx = _obs_current()
+        if ctx is not None:
+            ctx.count("index.nodes_indexed", tree.n)
+            ctx.count("index.labels_indexed", len(partition))
 
     # -- label partition accessors ----------------------------------------
 
@@ -123,8 +128,8 @@ class DocumentIndex:
         """All (u, v) with Child(u, v) between the two label partitions."""
         parents = set(self.nodes_with_label(parent_label))
         parent = self.tree.parent
-        return [
-            (parent[c], c)
-            for c in self.nodes_with_label(child_label)
-            if parent[c] in parents
-        ]
+        children = self.nodes_with_label(child_label)
+        ctx = _obs_current()
+        if ctx is not None:
+            ctx.tick(len(parents) + len(children))
+        return [(parent[c], c) for c in children if parent[c] in parents]

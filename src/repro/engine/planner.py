@@ -25,9 +25,9 @@ Heuristics, in order:
 
 1. Some referenced label absent from the document → ``binary`` (the
    first empty stream empties the plan immediately).
-2. Path pattern (no branching) → ``pathstack``.
-3. ≤ 2 pattern nodes → ``binary`` (a single structural join is optimal;
+2. ≤ 2 pattern nodes → ``binary`` (a single structural join is optimal;
    holistic stacks only pay off on real twigs).
+3. Path pattern (no branching) → ``pathstack``.
 4. Otherwise → ``twigstack``.
 
 **Conjunctive queries**
@@ -132,12 +132,15 @@ class Planner:
                 "a pattern label is absent; the first empty stream "
                 "empties the join plan",
             )
-        if all(len(node.children) <= 1 for node in pattern.nodes):
-            return Plan("twig", "pathstack", "path pattern: PathStack suffices")
+        # NOTE: this check must precede the path-pattern rule — every
+        # ≤ 2-node pattern is also a path, so the old ordering made the
+        # single-join rule unreachable (pinned by test_planner_reasons).
         if len(pattern) <= 2:
             return Plan(
                 "twig", "binary", "≤ 2 pattern nodes: a single structural join"
             )
+        if all(len(node.children) <= 1 for node in pattern.nodes):
+            return Plan("twig", "pathstack", "path pattern: PathStack suffices")
         return Plan(
             "twig", "twigstack", "branching twig: holistic TwigStack bounds "
             "intermediate state by document depth"
@@ -164,6 +167,34 @@ class Planner:
             f"tree-width {width} exceeds the DP cutoff; falling back "
             "to backtracking search",
         )
+
+    # -- budget-fallback ranking ------------------------------------------
+
+    def ranked(self, kind: str, query: Any, index: Any) -> list[Plan]:
+        """The chosen plan followed by every other applicable strategy.
+
+        The resource-governed execution path walks this list: when an
+        attempt raises :class:`~repro.errors.ResourceBudgetExceeded`,
+        the engine downgrades to the next entry (registry order — the
+        registry lists each kind's routes from cheap/specialized to
+        general) and records the abandoned strategy in
+        ``ExecutionStats.fallback_from``.
+        """
+        from repro.engine.strategies import strategies_for
+
+        chosen = self.plan(kind, query, index)
+        plans = [chosen]
+        for definition in strategies_for(kind, query, index):
+            if definition.name != chosen.strategy:
+                plans.append(
+                    Plan(
+                        kind,
+                        definition.name,
+                        f"budget fallback after {chosen.strategy!r} "
+                        "(registry order)",
+                    )
+                )
+        return plans
 
     # -- explicit strategy requests ---------------------------------------
 

@@ -14,14 +14,25 @@ with ``index_hits > 0``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.tracer import Span
 
 __all__ = ["ExecutionStats", "Result"]
 
 
 @dataclass(frozen=True)
 class ExecutionStats:
-    """One engine call, fully accounted."""
+    """One engine call, fully accounted.
+
+    The last three fields exist only for *observed* calls (tracing or a
+    resource budget active — see :mod:`repro.obs`): ``counters`` holds
+    the flat counter totals of the call, ``trace`` the root of the span
+    tree when tracing was on, and ``fallback_from`` the strategies the
+    planner abandoned after a :class:`~repro.errors.ResourceBudgetExceeded`
+    before the reported one answered.
+    """
 
     kind: str  # "xpath" | "twig" | "cq" | "datalog"
     query: str  # concrete syntax of the query
@@ -32,17 +43,31 @@ class ExecutionStats:
     index_built: bool  # this call constructed the DocumentIndex
     index_hits: int  # index consultations during this call
     nodes_streamed: int  # nodes handed out of index partitions
+    counters: "dict[str, int] | None" = None  # flat totals (observed calls)
+    trace: "Span | None" = None  # span tree root (traced calls)
+    fallback_from: tuple[str, ...] = ()  # strategies downgraded away from
 
     @property
     def elapsed_ms(self) -> float:
         return self.elapsed_s * 1e3
 
+    def counter(self, name: str) -> int:
+        """A counter total, 0 when absent or the call was unobserved."""
+        if not self.counters:
+            return 0
+        return self.counters.get(name, 0)
+
     def summary(self) -> str:
         built = " built-index" if self.index_built else ""
+        fallback = (
+            f", fell back from {'+'.join(self.fallback_from)}"
+            if self.fallback_from
+            else ""
+        )
         return (
             f"{self.kind}[{self.strategy}] {self.elapsed_ms:.2f} ms, "
             f"{self.answer_size} answers, {self.index_hits} index hits"
-            f"{built}"
+            f"{built}{fallback}"
         )
 
 

@@ -47,10 +47,12 @@ datalog   naive             naive rule-matching fixpoint baseline
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import QueryError
+from repro.obs.context import current as _obs_current
 from repro.trees.axes import Axis
 from repro.xpath.ast import (
     AxisStep,
@@ -83,6 +85,10 @@ class Strategy:
 
 def _always(_query: Any, _index: Any) -> bool:
     return True
+
+
+# a shared reentrant no-op for `with` statements on the unobserved path
+_NULL_CM = nullcontext()
 
 
 # ---------------------------------------------------------------------------
@@ -128,8 +134,12 @@ def _touch(index, labels) -> None:
     evaluator that runs next reads exactly these lists; routing the
     fetch through the index is what makes the usage countable.
     """
+    ctx = _obs_current()
     for label in labels:
-        index.nodes_with_label(label)
+        nodes = index.nodes_with_label(label)
+        if ctx is not None:
+            ctx.count("index.labels_touched")
+            ctx.tick(len(nodes))
 
 
 # ---------------------------------------------------------------------------
@@ -208,28 +218,38 @@ def _xpath_structural_join(expr, index):
     spec = sj_spec(expr)
     if spec is None:  # pragma: no cover - guarded by applicable()
         raise QueryError("not a label-only downward spine")
+    ctx = _obs_current()
     tree = index.tree
     post = tree.post
     current: list[int] = [tree.root]
     for axis, labels in spec:
-        if labels:
-            candidates = index.nodes_with_label(labels[0])
-            for extra in labels[1:]:
-                allowed = set(index.nodes_with_label(extra))
-                candidates = [v for v in candidates if v in allowed]
-        else:
-            candidates = list(range(tree.n))
-        if axis is Axis.CHILD:
-            frontier = set(current)
-            current = [c for c in candidates if tree.parent[c] in frontier]
-        else:
-            anc_stream = [(u, post[u]) for u in current]
-            desc_stream = [(d, post[d]) for d in candidates]
-            joined = stack_structural_join(anc_stream, desc_stream)
-            targets = {d[0] for _a, d in joined}
-            if axis is Axis.CHILD_STAR:
-                targets.update(set(candidates) & set(current))
-            current = sorted(targets)
+        with (
+            ctx.span("sj-step", axis=axis.value, labels=",".join(labels))
+            if ctx is not None
+            else _NULL_CM
+        ):
+            if labels:
+                candidates = index.nodes_with_label(labels[0])
+                for extra in labels[1:]:
+                    allowed = set(index.nodes_with_label(extra))
+                    candidates = [v for v in candidates if v in allowed]
+            else:
+                candidates = list(range(tree.n))
+            if axis is Axis.CHILD:
+                frontier = set(current)
+                if ctx is not None:
+                    ctx.tick(len(candidates))
+                current = [c for c in candidates if tree.parent[c] in frontier]
+            else:
+                anc_stream = [(u, post[u]) for u in current]
+                desc_stream = [(d, post[d]) for d in candidates]
+                joined = stack_structural_join(anc_stream, desc_stream)
+                targets = {d[0] for _a, d in joined}
+                if axis is Axis.CHILD_STAR:
+                    targets.update(set(candidates) & set(current))
+                current = sorted(targets)
+            if ctx is not None:
+                ctx.count("sj.frontier", len(current))
         if not current:
             break
     return set(current)
@@ -360,7 +380,36 @@ def _datalog_naive(program, index):
 STRATEGIES: dict[str, dict[str, Strategy]] = {}
 
 
+def _traced_execute(
+    kind: str, name: str, execute: Callable[[Any, Any], Any]
+) -> Callable[[Any, Any], Any]:
+    """Wrap an executor so every registered strategy emits a span.
+
+    When no observation context is active this is one global read and a
+    None check — the strategy's own fast path is untouched.
+    """
+
+    def run(query: Any, index: Any) -> Any:
+        ctx = _obs_current()
+        if ctx is None:
+            return execute(query, index)
+        with ctx.span(f"strategy:{kind}:{name}"):
+            answer = execute(query, index)
+            ctx.count("strategy.executions")
+            return answer
+
+    run.__name__ = f"traced_{execute.__name__}"
+    return run
+
+
 def _register(strategy: Strategy) -> None:
+    strategy = Strategy(
+        strategy.kind,
+        strategy.name,
+        strategy.summary,
+        strategy.applicable,
+        _traced_execute(strategy.kind, strategy.name, strategy.execute),
+    )
     STRATEGIES.setdefault(strategy.kind, {})[strategy.name] = strategy
 
 

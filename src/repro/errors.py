@@ -15,6 +15,7 @@ __all__ = [
     "UnsupportedAxisError",
     "EvaluationError",
     "IntractableSignatureError",
+    "ResourceBudgetExceeded",
 ]
 
 
@@ -59,3 +60,24 @@ class IntractableSignatureError(QueryError):
     """Raised when a polynomial-time algorithm is asked to run over an
     axis signature for which the problem is NP-complete (Theorem 6.8)
     and the caller did not opt into the exponential fallback."""
+
+
+class ResourceBudgetExceeded(ReproError):
+    """Raised when an evaluation attempt crosses a resource budget
+    (wall-clock deadline or node-visit ceiling, see
+    :class:`repro.obs.budget.ResourceBudget`).
+
+    ``reason`` is ``"deadline"`` or ``"max_visited"``; ``limit`` is the
+    configured ceiling and ``spent`` the amount consumed when the check
+    fired.  The planner may catch this and fall back to the
+    next-cheapest applicable strategy (recorded in
+    ``ExecutionStats.fallback_from``).
+    """
+
+    def __init__(self, reason: str, limit, spent):
+        super().__init__(
+            f"resource budget exceeded ({reason}): spent {spent} of {limit}"
+        )
+        self.reason = reason
+        self.limit = limit
+        self.spent = spent

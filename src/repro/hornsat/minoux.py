@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.hornsat.program import HornProgram
+from repro.obs.context import current as _obs_current
 
 __all__ = ["minoux", "MinouxTrace"]
 
@@ -51,6 +52,7 @@ def minoux(
     (goal constraint) fired — for purely definite programs the second
     component is always True.
     """
+    ctx = _obs_current()
     clauses = program.clauses
     # initialization of data structures (Figure 3)
     size = [len(clause.body) for clause in clauses]
@@ -73,19 +75,36 @@ def minoux(
                 queue.append(clause.head)
 
     # main loop (Figure 3)
+    decrements = 0
+    firings = 0
+    satisfiable = True
     while queue:
         p = queue.popleft()
+        if ctx is not None:
+            ctx.tick()
         if trace is not None:
             trace.derivation_order.append(p)
         for i in rules.get(p, ()):
             size[i] -= 1
+            decrements += 1
             if trace is not None:
                 trace.decrements += 1
             if size[i] == 0:
+                firings += 1
                 head = clauses[i].head
                 if head is None:
-                    return true_atoms, False
+                    satisfiable = False
+                    queue.clear()
+                    break
                 if head not in true_atoms:
                     true_atoms.add(head)
                     queue.append(head)
+        if not satisfiable:
+            break
+    if ctx is not None:
+        ctx.count("minoux.decrements", decrements)
+        ctx.count("minoux.rule_firings", firings)
+        ctx.count("minoux.atoms_derived", len(true_atoms))
+    if not satisfiable:
+        return true_atoms, False
     return true_atoms, True

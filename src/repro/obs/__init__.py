@@ -1,0 +1,39 @@
+"""Observability and resource governance for the query engine.
+
+Zero-dependency tracing (hierarchical :class:`Span` trees with wall
+times and counters), a process-wide :data:`METRICS` registry, and
+per-call :class:`ResourceBudget` enforcement (deadlines, node-visit
+ceilings) with planner fallback — see docs/OBSERVABILITY.md.
+
+The instrumentation contract, in one line::
+
+    ctx = current()          # None unless the call opted into observation
+    if ctx is not None:
+        ctx.tick(n)          # count visited nodes + enforce the budget
+        ctx.count("x.y", n)  # charge a named counter
+        with ctx.span("stage"):
+            ...              # timed region (no-op without a tracer)
+"""
+
+from repro.errors import ResourceBudgetExceeded
+from repro.obs.budget import ResourceBudget
+from repro.obs.context import Observation, current, observed
+from repro.obs.export import render_pretty, trace_json, trace_to_dict, write_trace
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "Observation",
+    "ResourceBudget",
+    "ResourceBudgetExceeded",
+    "Span",
+    "Tracer",
+    "current",
+    "observed",
+    "render_pretty",
+    "trace_json",
+    "trace_to_dict",
+    "write_trace",
+]

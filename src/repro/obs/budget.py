@@ -1,0 +1,67 @@
+"""Resource governance: deadlines and visit budgets for one engine call.
+
+A :class:`ResourceBudget` is charged by the instrumented evaluation
+loops through :meth:`~repro.obs.context.Observation.tick`.  Charges are
+cheap (an integer add and compare); the wall-clock deadline is read on
+every charge, but charges arrive batched — per axis application, per
+join stream, per automaton pass, per fixpoint pop — so the clock is
+consulted a bounded number of times per unit of real work.
+
+Budgets are *per attempt*: when the planner falls back to another
+strategy after :class:`~repro.errors.ResourceBudgetExceeded`, the next
+attempt gets a fresh budget (a cheaper route deserves its own window;
+see docs/OBSERVABILITY.md for the semantics).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ResourceBudgetExceeded
+
+__all__ = ["ResourceBudget"]
+
+
+class ResourceBudget:
+    """Deadline and/or node-visit ceiling for one evaluation attempt."""
+
+    __slots__ = ("deadline_s", "max_visited", "visited", "_deadline_at", "_clock")
+
+    def __init__(
+        self,
+        deadline_s: "float | None" = None,
+        max_visited: "int | None" = None,
+        clock=time.monotonic,
+    ):
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be non-negative")
+        if max_visited is not None and max_visited < 0:
+            raise ValueError("max_visited must be non-negative")
+        self.deadline_s = deadline_s
+        self.max_visited = max_visited
+        self.visited = 0
+        self._clock = clock
+        self._deadline_at = None if deadline_s is None else clock() + deadline_s
+
+    def charge(self, n: int = 1) -> None:
+        """Account ``n`` units of work; raise if a limit is crossed."""
+        self.visited += n
+        if self.max_visited is not None and self.visited > self.max_visited:
+            raise ResourceBudgetExceeded(
+                "max_visited", limit=self.max_visited, spent=self.visited
+            )
+        if self._deadline_at is not None and self._clock() >= self._deadline_at:
+            raise ResourceBudgetExceeded(
+                "deadline", limit=self.deadline_s, spent=self.visited
+            )
+
+    def remaining_visits(self) -> "int | None":
+        if self.max_visited is None:
+            return None
+        return max(self.max_visited - self.visited, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResourceBudget(deadline_s={self.deadline_s}, "
+            f"max_visited={self.max_visited}, visited={self.visited})"
+        )

@@ -1,0 +1,105 @@
+"""The active observation context — the single gate all instrumentation
+checks.
+
+Instrumented code throughout the library (structural-join scanners,
+twig stacks, the Minoux fixpoint, the streaming engine, the linear
+XPath evaluator) begins with::
+
+    ctx = current()
+
+and does *nothing else* when ``ctx`` is None — that one module-global
+read is the entire disabled-tracing cost, which is how the engine keeps
+the <5% overhead contract (measured by
+``benchmarks/bench_engine_reuse.py``).  When a context is active, the
+code charges counters, ticks the resource budget, and opens spans
+through it.
+
+An :class:`Observation` bundles the optional :class:`~repro.obs.tracer.Tracer`
+(spans) with the optional :class:`~repro.obs.budget.ResourceBudget`
+(deadlines / visit ceilings) and accumulates flat counter totals either
+way.  :func:`observed` activates one for the duration of a call and
+restores the previous context afterwards, so nested engine calls (e.g.
+a fallback re-execution) stack correctly.
+
+The active context is a plain module global: the engine is
+single-threaded per Database, and a global read is the cheapest gate
+Python offers.  Concurrent Databases on separate threads should not
+share tracing (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import Any, Iterator
+
+from repro.obs.budget import ResourceBudget
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["Observation", "current", "observed"]
+
+# one shared, reentrant no-op context manager for span() without a tracer
+_NULL_SPAN = nullcontext()
+
+_active: "Observation | None" = None
+
+
+def current() -> "Observation | None":
+    """The observation context of the running engine call, if any."""
+    return _active
+
+
+class Observation:
+    """Tracing + governance state for one engine call."""
+
+    __slots__ = ("tracer", "budget", "counters")
+
+    def __init__(
+        self,
+        tracer: "Tracer | None" = None,
+        budget: "ResourceBudget | None" = None,
+    ):
+        self.tracer = tracer
+        self.budget = budget
+        #: flat counter totals for the whole call (all attempts)
+        self.counters: dict[str, int] = {}
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str, **meta: Any):
+        """A context manager timing a region; no-op without a tracer."""
+        if self.tracer is None:
+            return _NULL_SPAN
+        return self.tracer.span(name, **meta)
+
+    # -- counters and budget ----------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Charge a named counter (flat total + innermost open span)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        if self.tracer is not None:
+            self.tracer.count(name, n)
+
+    def tick(self, n: int = 1) -> None:
+        """Account ``n`` visited nodes and enforce the budget.
+
+        This is the instrumentation workhorse: evaluation loops call it
+        (usually batched — per axis application, per stream, per pop)
+        so governance checks stay cheap and periodic.  Raises
+        :class:`~repro.errors.ResourceBudgetExceeded` on a crossed
+        limit.
+        """
+        self.count("nodes.visited", n)
+        if self.budget is not None:
+            self.budget.charge(n)
+
+
+@contextmanager
+def observed(obs: Observation) -> Iterator[Observation]:
+    """Activate ``obs`` as the process-wide current context."""
+    global _active
+    previous = _active
+    _active = obs
+    try:
+        yield obs
+    finally:
+        _active = previous

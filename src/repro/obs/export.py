@@ -1,0 +1,58 @@
+"""Trace export: JSON documents and a pretty text rendering.
+
+Both operate on the :class:`~repro.obs.tracer.Span` tree carried by
+``ExecutionStats.trace``.  The JSON form is what the CLI's
+``--trace FILE`` writes (and what CI uploads as a build artifact); the
+pretty form is what ``--trace`` without a file prints to stderr.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.tracer import Span
+
+__all__ = ["trace_to_dict", "trace_json", "write_trace", "render_pretty"]
+
+
+def trace_to_dict(span: Span) -> dict[str, Any]:
+    """The JSON-serializable view of a span tree."""
+    return span.to_dict()
+
+
+def trace_json(span: Span, indent: "int | None" = 2) -> str:
+    return json.dumps(trace_to_dict(span), indent=indent, sort_keys=False)
+
+
+def write_trace(span: Span, path: str) -> None:
+    """Write one span tree as a JSON document."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_json(span))
+        fh.write("\n")
+
+
+def render_pretty(span: Span) -> str:
+    """An indented one-span-per-line rendering with times and counters::
+
+        query:xpath                          1.42 ms
+          plan                               0.08 ms
+          execute:structural-join            1.02 ms  sj.pairs=4 ...
+    """
+    lines: list[str] = []
+
+    def visit(s: Span, depth: int) -> None:
+        counters = " ".join(
+            f"{k}={v}" for k, v in sorted(s.counters.items())
+        )
+        meta = " ".join(f"{k}={v}" for k, v in s.meta.items())
+        label = "  " * depth + s.name
+        tail = " ".join(part for part in (meta, counters) if part)
+        lines.append(
+            f"{label:<44s} {s.duration_ms:>9.3f} ms" + (f"  {tail}" if tail else "")
+        )
+        for child in s.children:
+            visit(child, depth + 1)
+
+    visit(span, 0)
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""The process-wide metrics registry.
+
+Every observed engine call (one with tracing or a resource budget
+active) flushes its counter totals here when it finishes, so long-lived
+processes — servers, benchmark sweeps, the CLI — can read cumulative
+counts across queries without keeping every ``ExecutionStats`` around.
+
+Unobserved calls are *not* counted: the registry aggregates exactly the
+work the observation layer saw, keeping the disabled path free of even
+dictionary updates.  Benchmarks that want counters opt in by running
+their workload with ``trace=True`` (see
+``benchmarks/bench_engine_reuse.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["MetricsRegistry", "METRICS"]
+
+
+class MetricsRegistry:
+    """A named-counter accumulator with snapshot/reset semantics."""
+
+    def __init__(self):
+        self._counters: dict[str, int] = {}
+        self._queries = 0
+
+    def add(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def merge(self, counters: Mapping[str, int]) -> None:
+        """Fold one call's counter totals into the registry."""
+        for name, value in counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._queries += 1
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    @property
+    def queries_observed(self) -> int:
+        """How many observed calls have been merged since the last reset."""
+        return self._queries
+
+    def snapshot(self) -> dict[str, int]:
+        """A copy of all counter totals (sorted by name for stable output)."""
+        return dict(sorted(self._counters.items()))
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._queries = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{self._queries} observed calls)"
+        )
+
+
+#: the process-wide registry observed engine calls merge into
+METRICS = MetricsRegistry()

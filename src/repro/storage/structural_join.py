@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.obs.context import current as _obs_current
 from repro.trees.tree import Tree
 
 __all__ = [
@@ -39,6 +40,12 @@ def stack_structural_join(
 ) -> list[tuple[Label, Label]]:
     """Stack-Tree-Desc: both inputs sorted by pre; output sorted by the
     descendant's pre.  Runs in O(|A| + |D| + |output|)."""
+    ctx = _obs_current()
+    if ctx is not None:
+        # both streams will be scanned once — charge them up front so a
+        # visit budget can refuse a join before the scan starts
+        ctx.count("sj.elements_scanned", len(ancestors) + len(descendants))
+        ctx.tick(len(ancestors) + len(descendants))
     out: list[tuple[Label, Label]] = []
     stack: list[Label] = []
     ai = 0
@@ -59,6 +66,10 @@ def stack_structural_join(
             stack.pop()
         for a in stack:
             out.append((a, d))
+    if ctx is not None:
+        ctx.count("sj.stack_pushes", ai)
+        ctx.count("sj.pairs", len(out))
+        ctx.tick(len(out))
     return out
 
 
@@ -72,6 +83,10 @@ def merge_structural_join(
     """A simpler two-cursor variant: for each d, scan the currently-open
     ancestors.  On tree-shaped inputs the open set is a chain, so the
     cost matches the stack algorithm; kept as the ablation partner."""
+    ctx = _obs_current()
+    if ctx is not None:
+        ctx.count("sj.elements_scanned", len(ancestors) + len(descendants))
+        ctx.tick(len(ancestors) + len(descendants))
     out: list[tuple[Label, Label]] = []
     open_anc: list[Label] = []
     ai = 0
@@ -86,6 +101,9 @@ def merge_structural_join(
         for a in open_anc:
             if _contains(a, d):
                 out.append((a, d))
+    if ctx is not None:
+        ctx.count("sj.pairs", len(out))
+        ctx.tick(len(out))
     return out
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.errors import QueryError
+from repro.obs.context import current as _obs_current
 from repro.streaming.events import Event
 from repro.streaming.memory import MemoryMeter
 from repro.trees.axes import Axis
@@ -83,6 +84,9 @@ def stream_select(
     """
     steps = compile_path_nfa(expr)
     k = len(steps)
+    ctx = _obs_current()
+    events_seen = 0
+    selected = 0
 
     def labels_ok(required: frozenset[str], label: str) -> bool:
         return all(r == label for r in required)
@@ -90,6 +94,9 @@ def stream_select(
     # stack of (S, C) per open element
     stack: list[tuple[set[int], set[int]]] = []
     for event in events:
+        if ctx is not None:
+            ctx.tick()
+            events_seen += 1
         if meter is not None:
             meter.tick()
         kind, node_id, label = event[0], event[1], event[2]
@@ -126,7 +133,11 @@ def stream_select(
         if meter is not None:
             meter.push(2 + len(s) + len(c))
         if k in s:
+            selected += 1
             yield node_id
+    if ctx is not None:
+        ctx.count("stream.events", events_seen)
+        ctx.count("stream.selected", selected)
 
 
 def stream_match_twig(
@@ -145,11 +156,16 @@ def stream_match_twig(
             by_label.setdefault(q.label, []).append(q.index)
 
     # stack frames: (matched_at_child, matched_at_strict_descendant)
+    ctx = _obs_current()
+    events_seen = 0
     stack: list[tuple[set[int], set[int]]] = []
     root_edge = pattern.root.edge
     root_idx = pattern.root.index
     found = False
     for event in events:
+        if ctx is not None:
+            ctx.tick()
+            events_seen += 1
         if meter is not None:
             meter.tick()
         kind, _node_id, label = event[0], event[1], event[2]
@@ -187,4 +203,6 @@ def stream_match_twig(
             p_desc |= child_set | desc_set | matched_here
             if meter is not None:
                 meter.push(len(p_child) + len(p_desc) - before)
+    if ctx is not None:
+        ctx.count("stream.events", events_seen)
     return found

@@ -14,6 +14,7 @@ are comparable in one coordinate system: a contains v iff
 from __future__ import annotations
 
 from repro.errors import QueryError
+from repro.obs.context import current as _obs_current
 from repro.twigjoin.pattern import TwigPattern
 from repro.trees.tree import Tree
 
@@ -50,6 +51,8 @@ def path_stack(
     k = len(order)
     position_of = {idx: i for i, idx in enumerate(order)}
 
+    ctx = _obs_current()
+    pushes = 0
     if streams is None:
         streams = _streams(pattern, tree)
     cursors = [0] * len(pattern.nodes)
@@ -99,6 +102,9 @@ def path_stack(
                 best_i, best_v = i, v
         if best_v is None or next_pre(k - 1) is None:
             break
+        if ctx is not None:
+            ctx.tick()
+        pushes += 1
         clean(best_v)
         idx = order[best_i]
         cursors[idx] += 1
@@ -109,4 +115,7 @@ def path_stack(
             # in a path match, so they are not kept on the stack
         else:
             stacks[best_i].append((best_v, ptr))
+    if ctx is not None:
+        ctx.count("pathstack.pushes", pushes)
+        ctx.count("pathstack.solutions", len(results))
     return results

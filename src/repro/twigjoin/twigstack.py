@@ -26,6 +26,7 @@ tree-shaped CQ over any axis signature, not just /-and-// twigs.
 from __future__ import annotations
 
 from repro.consistency.enumerate import solutions_with_pointers
+from repro.obs.context import current as _obs_current
 from repro.twigjoin.pathstack import _streams
 from repro.twigjoin.pattern import TwigPattern
 from repro.trees.tree import Tree
@@ -59,6 +60,7 @@ def twig_stack(
     ``streams`` lets callers supply pre-materialized per-node candidate
     streams (document order), e.g. from a cached label index.
     """
+    ctx = _obs_current()
     stats = stats if stats is not None else TwigStats()
     nodes = pattern.nodes
     n_pat = len(nodes)
@@ -117,6 +119,8 @@ def twig_stack(
                 best_i, best_v = i, v
         if best_v is None:
             break
+        if ctx is not None:
+            ctx.tick()
         clean(best_v)
         cursors[best_i] += 1
         p = parent[best_i]
@@ -134,6 +138,11 @@ def twig_stack(
         n_pat, [(paths[leaf], path_solutions[leaf]) for leaf in leaf_indices]
     )
     stats.merge_output = len(result)
+    if ctx is not None:
+        ctx.count("twig.stack_pushes", stats.pushes)
+        ctx.count("twig.path_solutions", stats.path_solutions)
+        ctx.count("twig.merge_output", stats.merge_output)
+        ctx.tick(stats.path_solutions + stats.merge_output)
     return result
 
 

@@ -19,6 +19,7 @@ that single primitive is what makes the whole evaluator linear.
 
 from __future__ import annotations
 
+from repro.obs.context import current as _obs_current
 from repro.trees.axes import Axis, inverse_axis, resolve_axis
 from repro.trees.tree import Tree
 from repro.errors import QueryError
@@ -41,6 +42,21 @@ __all__ = ["apply_axis_to_set", "evaluate_query_linear", "reverse_image"]
 
 def apply_axis_to_set(tree: Tree, axis: "str | Axis", nodes: set[int]) -> set[int]:
     """{ v : ∃u ∈ nodes, axis(u, v) } in O(||A||) amortized time."""
+    ctx = _obs_current()
+    if ctx is None:
+        return _apply_axis_to_set(tree, axis, nodes)
+    # the axis application is the evaluator's unit of work: charge the
+    # input frontier before the scan, the produced set after it
+    ctx.count("linear.axis_applications")
+    ctx.tick(len(nodes))
+    result = _apply_axis_to_set(tree, axis, nodes)
+    ctx.tick(len(result))
+    return result
+
+
+def _apply_axis_to_set(
+    tree: Tree, axis: "str | Axis", nodes: set[int]
+) -> set[int]:
     axis = resolve_axis(axis)
     n = tree.n
     result: set[int] = set()

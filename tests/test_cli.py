@@ -128,6 +128,53 @@ class TestDatalogEngines:
         assert cli_main(["datalog", program, doc, "--engine", "all"]) == 0
 
 
+class TestObservabilityFlags:
+    def test_bare_trace_pretty_prints_to_stderr(self, doc, capsys):
+        assert cli_main(["xpath", XPATH_QUERY, doc, "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.split() == XPATH_NODES  # answers untouched
+        assert "query:xpath" in captured.err
+        assert "ms" in captured.err
+
+    def test_trace_file_writes_json(self, doc, tmp_path, capsys):
+        import json
+
+        trace_path = os.path.join(tmp_path, "trace.json")
+        assert cli_main(["xpath", XPATH_QUERY, doc, "--trace", trace_path]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.split() == XPATH_NODES
+        assert f"trace written to {trace_path}" in captured.err
+        with open(trace_path) as fh:
+            data = json.load(fh)
+        assert data["name"] == "query:xpath"
+        assert any(
+            child["name"].startswith("execute:") for child in data["children"]
+        )
+
+    def test_max_visited_exceeded_exit_3(self, doc, capsys):
+        rc = cli_main(
+            ["xpath", XPATH_QUERY, doc, "--engine", "linear", "--max-visited", "1"]
+        )
+        assert rc == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_generous_budget_unchanged_answers(self, doc, capsys):
+        rc = cli_main(
+            [
+                "xpath", XPATH_QUERY, doc,
+                "--deadline-ms", "60000", "--max-visited", "1000000",
+            ]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.split() == XPATH_NODES
+
+    def test_trace_works_on_twig_and_datalog(self, doc, program, capsys):
+        assert cli_main(["twig", "//item[keyword]", doc, "--trace"]) == 0
+        assert "query:twig" in capsys.readouterr().err
+        assert cli_main(["datalog", program, doc, "--trace"]) == 0
+        assert "query:datalog" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_stats(self, doc, capsys):
         assert cli_main(["stats", doc]) == 0

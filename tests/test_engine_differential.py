@@ -157,3 +157,113 @@ def test_planner_choice_always_among_applicable():
                 f"planner chose inapplicable {plan.strategy!r} for {text!r} "
                 f"(seed {10 * tree_seed + query_seed})"
             )
+
+
+# ---------------------------------------------------------------------------
+# fault injection: a strategy that always blows the visit budget must be
+# transparently downgraded away from, with identical answers
+# ---------------------------------------------------------------------------
+
+
+def _register_budget_hog():
+    """Install an xpath strategy whose first act is to charge a visit
+    count no budget survives; returns an uninstall callback."""
+    from repro.engine.strategies import STRATEGIES, Strategy, _register
+    from repro.obs.context import current
+
+    def hog_execute(query, index):
+        ctx = current()
+        if ctx is not None:
+            ctx.tick(10**9)
+        raise AssertionError(
+            "the hog must only ever run under a budget that stops it"
+        )
+
+    _register(
+        Strategy(
+            kind="xpath",
+            name="budget-hog",
+            summary="fault injection: always exceeds max_visited",
+            applicable=lambda query, index: True,
+            execute=hog_execute,
+        )
+    )
+
+    def uninstall():
+        del STRATEGIES["xpath"]["budget-hog"]
+
+    return uninstall
+
+
+def test_budget_fallback_is_differentially_transparent():
+    """Seeded sweep: with a fault-injected strategy ranked first, every
+    budgeted auto query downgrades to the next route and returns exactly
+    the unbudgeted answer, recording the hog in ``fallback_from``."""
+    from repro.engine.planner import Plan
+
+    uninstall = _register_budget_hog()
+    try:
+        for tree_seed in range(10):
+            db = Database(
+                random_tree(20 + 5 * tree_seed, seed=tree_seed, alphabet=LABELS)
+            )
+            planner = db._planner
+            original_ranked = planner.ranked
+
+            def hog_first(kind, query, index):
+                plans = original_ranked(kind, query, index)
+                return [
+                    Plan(kind, "budget-hog", "fault injection: ranked first")
+                ] + [p for p in plans if p.strategy != "budget-hog"]
+
+            planner.ranked = hog_first
+            try:
+                for query_seed in range(3):
+                    text = random_xpath(
+                        n_steps=1 + query_seed,
+                        labels=LABELS,
+                        seed=100 * tree_seed + query_seed,
+                    )
+                    context = (
+                        f"tree seed={tree_seed} query seed="
+                        f"{100 * tree_seed + query_seed} {text!r}"
+                    )
+                    expected = db.xpath(text)  # unbudgeted, hog never ranked
+                    result = db.xpath(text, max_visited=1_000_000)
+                    assert set(result.answer) == set(expected.answer), (
+                        f"{context}: budget fallback changed the answer"
+                    )
+                    assert result.stats.fallback_from == ("budget-hog",), (
+                        f"{context}: expected a recorded downgrade, got "
+                        f"{result.stats.fallback_from!r}"
+                    )
+                    assert result.stats.strategy != "budget-hog", context
+            finally:
+                planner.ranked = original_ranked
+    finally:
+        uninstall()
+
+
+def test_budget_fallback_preserves_cross_strategy_agreement():
+    """After a forced downgrade the surviving strategies still agree —
+    the differential invariant holds under resource governance too."""
+    uninstall = _register_budget_hog()
+    try:
+        db = _db(40, 4000)
+        text = "Child+[lab() = a]/Child[lab() = b]"
+        # explicitly requested strategies never fall back, so the hog
+        # itself must be excluded from the budgeted sweep
+        survivors = [
+            name for name in db.strategies("xpath", text)
+            if name != "budget-hog"
+        ]
+        budgeted = db.cross_check(
+            "xpath", text, survivors, max_visited=1_000_000
+        )
+        unbudgeted = db.cross_check("xpath", text, survivors)
+        for name, result in budgeted.items():
+            assert set(result.answer) == set(unbudgeted[name].answer), (
+                f"strategy {name!r} changed its answer under a generous budget"
+            )
+    finally:
+        uninstall()

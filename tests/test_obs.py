@@ -1,0 +1,336 @@
+"""Tests for the observability layer itself (repro.obs).
+
+Three groups:
+
+- unit tests of the primitives — Span/Tracer nesting and counter
+  attribution, ResourceBudget limits, the metrics registry,
+- exact-counter tests on a hand-built 10-node document, pinning the
+  instrumentation points of the structural-join and linear routes,
+- disabled-path tests proving that without ``trace``/budget kwargs the
+  engine allocates no tracer, no spans and touches no registry.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ResourceBudgetExceeded
+from repro.obs import (
+    METRICS,
+    Observation,
+    ResourceBudget,
+    Span,
+    Tracer,
+    current,
+    observed,
+    render_pretty,
+    trace_json,
+    trace_to_dict,
+)
+
+# 10 nodes; ids are pre-order positions:
+#   0:a  1:b  2:c  3:b  4:c  5:b  6:a  7:b  8:c  9:d
+# so the b-partition is [1, 3, 5, 7] and the c-partition [2, 4, 8].
+DOC = "<a><b><c/><b/></b><c><b/></c><a><b><c/></b></a><d/></a>"
+B_NODES = {1, 3, 5, 7}
+
+
+# ---------------------------------------------------------------------------
+# Tracer / Span primitives
+# ---------------------------------------------------------------------------
+
+
+def test_span_nesting_matches_call_structure():
+    tracer = Tracer()
+    with tracer.span("outer", tag="x"):
+        with tracer.span("inner-1"):
+            tracer.count("work", 2)
+        with tracer.span("inner-2"):
+            with tracer.span("leaf"):
+                tracer.count("work", 3)
+    root = tracer.root
+    assert root.name == "outer"
+    assert root.meta == {"tag": "x"}
+    assert [c.name for c in root.children] == ["inner-1", "inner-2"]
+    assert [c.name for c in root.children[1].children] == ["leaf"]
+    # counters attach to the innermost open span, not the root
+    assert root.find("inner-1").counters == {"work": 2}
+    assert root.find("leaf").counters == {"work": 3}
+    assert root.counters == {}
+    assert root.total_counters() == {"work": 5}
+
+
+def test_tracer_durations_are_monotone():
+    ticks = iter(range(100))
+    tracer = Tracer(clock=lambda: next(ticks))
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer, inner = tracer.root, tracer.root.children[0]
+    assert outer.start_s <= inner.start_s <= inner.end_s <= outer.end_s
+    assert outer.duration_s >= inner.duration_s
+
+
+def test_tracer_second_toplevel_span_reparented_under_root():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    assert tracer.root.name == "first"
+    assert [c.name for c in tracer.root.children] == ["second"]
+
+
+def test_tracer_end_unwinds_spans_abandoned_by_exceptions():
+    tracer = Tracer()
+    outer = tracer.start("outer")
+    tracer.start("abandoned")  # never explicitly ended
+    tracer.end(outer)
+    assert tracer.current is None
+    abandoned = tracer.root.children[0]
+    assert abandoned.end_s == outer.end_s  # closed by the unwind
+
+
+def test_span_find_is_preorder_first_match():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            tracer.count("hits", 1)
+        with tracer.span("b"):
+            tracer.count("hits", 7)
+    assert tracer.root.find("b").counters == {"hits": 1}
+    assert tracer.root.find("zzz") is None
+
+
+def test_trace_export_roundtrip_and_pretty():
+    tracer = Tracer()
+    with tracer.span("query", q="test"):
+        with tracer.span("step"):
+            tracer.count("nodes.visited", 4)
+    d = trace_to_dict(tracer.root)
+    assert d["name"] == "query"
+    assert d["meta"] == {"q": "test"}
+    assert d["children"][0]["counters"] == {"nodes.visited": 4}
+    parsed = json.loads(trace_json(tracer.root))
+    assert parsed == d
+    pretty = render_pretty(tracer.root)
+    assert "query" in pretty and "step" in pretty
+    assert "nodes.visited=4" in pretty
+
+
+# ---------------------------------------------------------------------------
+# ResourceBudget
+# ---------------------------------------------------------------------------
+
+
+def test_budget_max_visited_raises_with_details():
+    budget = ResourceBudget(max_visited=10)
+    budget.charge(10)  # exactly at the limit: fine
+    assert budget.remaining_visits() == 0
+    with pytest.raises(ResourceBudgetExceeded) as exc_info:
+        budget.charge(1)
+    err = exc_info.value
+    assert err.reason == "max_visited"
+    assert err.limit == 10
+    assert err.spent == 11
+
+
+def test_budget_deadline_uses_injected_clock():
+    now = [0.0]
+    budget = ResourceBudget(deadline_s=5.0, clock=lambda: now[0])
+    budget.charge()
+    now[0] = 4.9
+    budget.charge()
+    now[0] = 5.0
+    with pytest.raises(ResourceBudgetExceeded) as exc_info:
+        budget.charge()
+    assert exc_info.value.reason == "deadline"
+    assert exc_info.value.limit == 5.0
+
+
+def test_budget_rejects_negative_limits():
+    with pytest.raises(ValueError):
+        ResourceBudget(deadline_s=-1.0)
+    with pytest.raises(ValueError):
+        ResourceBudget(max_visited=-1)
+
+
+def test_observation_tick_counts_and_charges():
+    obs = Observation(budget=ResourceBudget(max_visited=5))
+    with observed(obs):
+        assert current() is obs
+        current().tick(3)
+        with pytest.raises(ResourceBudgetExceeded):
+            current().tick(3)
+    assert current() is None
+    assert obs.counters["nodes.visited"] == 6  # counted before the raise
+
+
+def test_observed_restores_previous_context_on_exception():
+    obs = Observation()
+    with pytest.raises(RuntimeError):
+        with observed(obs):
+            raise RuntimeError("boom")
+    assert current() is None
+
+
+# ---------------------------------------------------------------------------
+# exact counters on the hand-built document
+# ---------------------------------------------------------------------------
+
+
+def test_structural_join_exact_counters():
+    db = Database.from_xml(DOC)
+    result = db.xpath("Child+[lab() = b]", "structural-join", trace=True)
+    assert set(result.answer) == B_NODES
+    counters = result.stats.counters
+    # the index was built inside this (first) observed call
+    assert counters["index.builds"] == 1
+    assert counters["index.nodes_indexed"] == 10
+    assert counters["index.labels_indexed"] == 4  # a, b, c, d
+    # one join step: ancestors {root} (1) + b-stream (4) scanned, then
+    # 4 result pairs ticked on output → 5 + 4 visits
+    assert counters["sj.elements_scanned"] == 5
+    assert counters["sj.pairs"] == 4
+    assert counters["sj.frontier"] == 4
+    assert counters["nodes.visited"] == 9
+    assert counters["strategy.executions"] == 1
+
+
+def test_linear_exact_counters():
+    db = Database.from_xml(DOC)
+    db.xpath("Self")  # warm the index outside observation
+    result = db.xpath("Child+[lab() = b]", "linear", trace=True)
+    assert set(result.answer) == B_NODES
+    counters = result.stats.counters
+    assert counters["linear.axis_applications"] == 1
+    assert counters["index.labels_touched"] == 1
+    # _touch streams the b-partition (4), the axis application charges
+    # its input frontier {root} (1) and its output, the 9 descendants
+    assert counters["nodes.visited"] == 4 + 1 + 9
+    assert "index.builds" not in counters  # index pre-built above
+
+
+def test_trace_span_tree_shape():
+    db = Database.from_xml(DOC)
+    result = db.xpath("Child+[lab() = b]", trace=True)
+    root = result.stats.trace
+    assert root is not None
+    assert root.name == "query:xpath"
+    assert root.meta["query"] == "Child+[lab() = b]"
+    names = [c.name for c in root.children]
+    assert names == ["index-build", "plan", "execute:structural-join"]
+    execute = root.children[2]
+    assert [c.name for c in execute.children] == [
+        "strategy:xpath:structural-join"
+    ]
+    strategy = execute.children[0]
+    assert [c.name for c in strategy.children] == ["sj-step"]
+    step = strategy.children[0]
+    assert step.meta == {"axis": "Child+", "labels": "b"}
+    # per-span counters roll up to the stats totals
+    totals = root.total_counters()
+    assert totals == result.stats.counters
+    assert result.stats.counter("sj.pairs") == 4
+
+
+def test_every_registered_strategy_emits_a_span():
+    """Acceptance: with tracing on, each registered strategy that runs
+    emits at least one span (the strategy:<kind>:<name> wrapper)."""
+    from repro.engine.strategies import STRATEGIES
+
+    db = Database.from_xml(DOC)
+    cases = [
+        ("xpath", "Child+[lab() = b]"),
+        ("xpath", "Child+[lab() = b]/Child[lab() = c][not(Child)]"),
+        ("twig", "//a[b]//c"),
+        ("twig", "//a//b//c"),
+        ("cq", "ans(x) :- Child+(y, x), Child+(y, z), Child+(x, z), Lab:b(x)"),
+        ("cq", "ans(x) :- Child+(y, x), Lab:b(x)"),
+        ("datalog", "Q(x) :- Lab:b(x).\n% query: Q"),
+    ]
+    seen: set[tuple[str, str]] = set()
+    for kind, query in cases:
+        for name, result in db.cross_check(kind, query, trace=True).items():
+            span = result.stats.trace.find(f"strategy:{kind}:{name}")
+            assert span is not None, f"no span for {kind}:{name}"
+            seen.add((kind, name))
+    missing = {
+        (kind, name)
+        for kind, registry in STRATEGIES.items()
+        for name in registry
+    } - seen
+    assert not missing, f"strategies never exercised with a span: {missing}"
+
+
+# ---------------------------------------------------------------------------
+# disabled path
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_path_allocates_no_tracer_or_span(monkeypatch):
+    def forbidden(self, *args, **kwargs):
+        raise AssertionError("allocated on the disabled path")
+
+    monkeypatch.setattr(Tracer, "__init__", forbidden)
+    monkeypatch.setattr(Span, "__init__", forbidden)
+    db = Database.from_xml(DOC)
+    result = db.xpath("Child+[lab() = b]")
+    assert set(result.answer) == B_NODES
+    assert result.stats.trace is None
+    assert result.stats.counters is None
+    assert current() is None
+
+
+def test_disabled_path_does_not_touch_metrics():
+    db = Database.from_xml(DOC)
+    METRICS.reset()
+    db.xpath("Child+[lab() = b]")
+    assert METRICS.queries_observed == 0
+    assert METRICS.snapshot() == {}
+
+
+def test_observed_calls_merge_into_metrics():
+    db = Database.from_xml(DOC)
+    METRICS.reset()
+    try:
+        db.xpath("Child+[lab() = b]", trace=True)
+        db.xpath("Child+[lab() = b]", "linear", max_visited=10_000)
+        assert METRICS.queries_observed == 2
+        snap = METRICS.snapshot()
+        assert snap["strategy.executions"] == 2
+        assert snap["nodes.visited"] > 0
+    finally:
+        METRICS.reset()
+
+
+# ---------------------------------------------------------------------------
+# budget enforcement through the engine
+# ---------------------------------------------------------------------------
+
+
+def test_explicit_strategy_budget_propagates():
+    db = Database.from_xml(DOC)
+    with pytest.raises(ResourceBudgetExceeded):
+        db.xpath("Child+[lab() = b]", "linear", max_visited=2)
+
+
+def test_auto_budget_exhausting_all_strategies_reraises():
+    db = Database.from_xml(DOC)
+    # no route can answer this within 0 visits
+    with pytest.raises(ResourceBudgetExceeded):
+        db.xpath("Child+[lab() = b]", max_visited=0)
+
+
+def test_generous_budget_changes_nothing():
+    db = Database.from_xml(DOC)
+    plain = db.xpath("Child+[lab() = b]")
+    budgeted = db.xpath(
+        "Child+[lab() = b]", deadline=60.0, max_visited=10_000_000
+    )
+    assert set(budgeted.answer) == set(plain.answer)
+    assert budgeted.stats.strategy == plain.stats.strategy
+    assert budgeted.stats.fallback_from == ()

@@ -1,0 +1,198 @@
+"""Snapshot tests: every documented planner heuristic branch.
+
+The planner's docstring enumerates its rules; this module exercises
+each branch with a query built to hit exactly that rule and pins both
+the chosen strategy and the *reason string* (the reasons surface in
+``--stats`` output and in traces, so they are user-facing contract).
+
+Includes the regression pin for the twig rule ordering: the "≤ 2
+pattern nodes" rule must fire *before* the path-pattern rule — every
+≤ 2-node pattern is also a path, so the old ordering made the single
+structural-join branch unreachable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+
+# 10 nodes: b×4, c×3, a×2, d×1 (see tests/test_obs.py for the layout)
+DOC = "<a><b><c/><b/></b><c><b/></c><a><b><c/></b></a><d/></a>"
+
+# 4 nodes, b on 3 of them: the b-partition is NOT selective (3 > 0.5·4)
+DENSE_DOC = "<a><b/><b/><b/></a>"
+
+
+@pytest.fixture()
+def db():
+    return Database.from_xml(DOC)
+
+
+# ---------------------------------------------------------------------------
+# Core XPath branches
+# ---------------------------------------------------------------------------
+
+
+def test_xpath_rule_1_position_forces_denotational(db):
+    plan = db.plan("xpath", "Child[lab() = b][position() = 1]")
+    assert plan.strategy == "denotational"
+    assert plan.reason == (
+        "position() needs the memoized denotational evaluator"
+    )
+
+
+def test_xpath_rule_2a_absent_label_short_circuits(db):
+    plan = db.plan("xpath", "Child+[lab() = zzz]")
+    assert plan.strategy == "structural-join"
+    assert plan.reason == (
+        "a referenced label is absent; the join plan "
+        "short-circuits to the empty answer"
+    )
+
+
+def test_xpath_rule_2b_selective_partitions(db):
+    plan = db.plan("xpath", "Child+[lab() = b]")
+    assert plan.strategy == "structural-join"
+    # 4 b-nodes of 10: under the 0.5 selectivity fraction
+    assert plan.reason == "label partitions are selective (4/10 nodes touched)"
+
+
+def test_xpath_rule_3_downward_with_nested_qualifiers(db):
+    plan = db.plan("xpath", "Child+[lab() = a][Child[lab() = b]]")
+    assert plan.strategy == "automaton"
+    assert plan.reason == (
+        "downward query with nested path qualifiers: one "
+        "bottom-up pass computes all of them"
+    )
+
+
+def test_xpath_rule_4_general_fallback_linear(db):
+    plan = db.plan("xpath", "Following[lab() = b]")
+    assert plan.strategy == "linear"
+    assert plan.reason == (
+        "general query: O(|Q|·||A||) context-set evaluator"
+    )
+
+
+def test_xpath_unselective_downward_falls_through_to_linear():
+    db = Database.from_xml(DENSE_DOC)
+    # sj-compatible spine, but the b-partition covers 3/4 of the
+    # document: the selectivity gate rejects it; no nested qualifier,
+    # so the automaton rule passes too → linear
+    plan = db.plan("xpath", "Child+[lab() = b]")
+    assert plan.strategy == "linear"
+    assert plan.reason == (
+        "general query: O(|Q|·||A||) context-set evaluator"
+    )
+
+
+# ---------------------------------------------------------------------------
+# twig branches
+# ---------------------------------------------------------------------------
+
+
+def test_twig_rule_1_absent_label(db):
+    plan = db.plan("twig", "//zzz[b]//c")
+    assert plan.strategy == "binary"
+    assert plan.reason == (
+        "a pattern label is absent; the first empty stream "
+        "empties the join plan"
+    )
+
+
+def test_twig_rule_2_two_node_pattern_uses_single_join(db):
+    """Regression: this branch was unreachable before the reordering —
+    a 2-node pattern is also a path, and the path rule fired first."""
+    plan = db.plan("twig", "//a//b")
+    assert plan.strategy == "binary"
+    assert plan.reason == "≤ 2 pattern nodes: a single structural join"
+
+
+def test_twig_rule_3_path_pattern_uses_pathstack(db):
+    plan = db.plan("twig", "//a//b//c")
+    assert plan.strategy == "pathstack"
+    assert plan.reason == "path pattern: PathStack suffices"
+
+
+def test_twig_rule_4_branching_uses_twigstack(db):
+    plan = db.plan("twig", "//a[b]//c")
+    assert plan.strategy == "twigstack"
+    assert plan.reason == (
+        "branching twig: holistic TwigStack bounds "
+        "intermediate state by document depth"
+    )
+
+
+# ---------------------------------------------------------------------------
+# CQ branches
+# ---------------------------------------------------------------------------
+
+
+def test_cq_rule_1_acyclic_uses_yannakakis(db):
+    plan = db.plan("cq", "ans(x) :- Child+(y, x), Lab:b(x)")
+    assert plan.strategy == "yannakakis"
+    assert plan.reason == "acyclic query: Yannakakis is O(||A||·|Q|)"
+
+
+def test_cq_rule_2_treewidth_2_uses_dp(db):
+    # a triangle over Child+ is cyclic with tree-width exactly 2
+    plan = db.plan(
+        "cq", "ans(x) :- Child+(x, y), Child+(y, z), Child+(x, z)"
+    )
+    assert plan.strategy == "treewidth"
+    assert plan.reason == "cyclic query of tree-width 2: Theorem 4.1 DP"
+
+
+def test_cq_rule_3_high_treewidth_backtracks(db):
+    # K4 over Child+ has tree-width 3, above the DP cutoff
+    plan = db.plan(
+        "cq",
+        "ans(w) :- Child+(w, x), Child+(w, y), Child+(w, z), "
+        "Child+(x, y), Child+(x, z), Child+(y, z)",
+    )
+    assert plan.strategy == "backtracking"
+    assert plan.reason == (
+        "tree-width 3 exceeds the DP cutoff; falling back "
+        "to backtracking search"
+    )
+
+
+# ---------------------------------------------------------------------------
+# datalog, explicit requests, and the fallback ranking
+# ---------------------------------------------------------------------------
+
+
+def test_datalog_always_minoux(db):
+    plan = db.plan("datalog", "Q(x) :- Lab:b(x).\n% query: Q")
+    assert plan.strategy == "minoux"
+    assert plan.reason == "TMNF → Horn-SAT → Minoux pipeline"
+
+
+def test_explicit_request_reason(db):
+    result = db.xpath("Child+[lab() = b]", "linear")
+    assert result.stats.strategy == "linear"
+    assert result.stats.reason == "explicitly requested"
+
+
+def test_ranked_puts_plan_first_then_registry_order(db):
+    from repro.engine.strategies import strategies_for
+    from repro.xpath.parser import parse_xpath
+
+    text = "Child+[lab() = b]"
+    expr = parse_xpath(text)
+    index = db.index
+    planner = db._planner
+    plans = planner.ranked("xpath", expr, index)
+    chosen = planner.plan("xpath", expr, index)
+    assert plans[0] == chosen
+    expected_rest = [
+        s.name
+        for s in strategies_for("xpath", expr, index)
+        if s.name != chosen.strategy
+    ]
+    assert [p.strategy for p in plans[1:]] == expected_rest
+    for p in plans[1:]:
+        assert p.reason == (
+            f"budget fallback after {chosen.strategy!r} (registry order)"
+        )
