@@ -14,7 +14,7 @@ from repro.rewrite import evaluate_via_rewriting, rewrite_lazy
 from repro.cq.yannakakis import yannakakis
 from repro.trees import random_tree
 
-from _benchutil import report, timed
+from _benchutil import report, sizes, timed
 
 # a fixed positive Boolean query: an a-node with two Child+-related
 # witnesses below (cyclic as written, rewritten into acyclic disjuncts)
@@ -30,14 +30,14 @@ def _evaluate_union(tree) -> bool:
 
 def test_linear_data_complexity():
     points = []
-    for n in (500, 1_000, 2_000, 4_000):
+    for n in sizes((500, 1_000, 2_000, 4_000), (250, 500, 1_000)):
         t = random_tree(n, seed=1)
         points.append(ScalingPoint(n, timed(_evaluate_union, t)))
     slope = fit_loglog_slope(points)
     report(
         "E10/Cor5.2: fixed positive Boolean query, rewritten once",
         ["n", "seconds"],
-        [[p.size, f"{p.seconds:.5f}"] for p in points] + [["slope", f"{slope:.2f}"]],
+        [[p.size, p.seconds] for p in points],
     )
     assert slope < 1.8  # linear-ish in ||A|| (Child+ materialization noise)
 
@@ -45,18 +45,18 @@ def test_linear_data_complexity():
 def test_vs_naive_fo_model_checking():
     formula = cq_to_fo(QUERY)
     rows = []
-    for n in (30, 60):
+    for n in sizes((30, 60), (20, 30)):
         t = random_tree(n, seed=2, alphabet=("c", "d"))  # no matches: worst case
         tf = timed(fo_eval, formula, t, repeats=1)
         tr = timed(_evaluate_union, t, repeats=1)
-        rows.append([n, f"{tr:.4f}", f"{tf:.4f}", f"{tf / max(tr, 1e-9):.0f}x"])
+        rows.append([n, tr, tf, f"{tf / max(tr, 1e-9):.0f}x"])
         assert fo_eval(formula, t) == _evaluate_union(t)
     report(
         "E10/Cor5.2: rewriting route vs naive FO evaluation",
         ["n", "rewrite+Yannakakis", "naive FO", "speedup"],
         rows,
     )
-    assert float(rows[-1][1]) < float(rows[-1][2])
+    assert rows[-1][1] < rows[-1][2]
 
 
 @pytest.mark.benchmark(group="cor52")

@@ -18,9 +18,10 @@ behaviour (``index_built`` exactly once, ``index_hits > 0`` on reuse).
 import time
 
 from repro.engine import Database
+from repro.perf import Sample
 from repro.workloads import xmark_like
 
-from _benchutil import report, sizes
+from _benchutil import record_metrics_snapshot, report, sizes
 
 XPATH_WORKLOAD = [
     "Child*[lab() = item]/Child[lab() = keyword]",
@@ -60,7 +61,7 @@ def test_index_built_once_and_reused():
 
 def test_repeated_query_amortization():
     rows = []
-    for n in sizes((100, 200, 400), (60, 120)):
+    for n in sizes((100, 200, 400), (60, 120, 240)):
         tree = xmark_like(n, seed=11)
 
         start = time.perf_counter()
@@ -82,8 +83,8 @@ def test_repeated_query_amortization():
         rows.append(
             [
                 db.tree.n,
-                f"{t_cold:.5f}",
-                f"{t_warm:.5f}",
+                Sample.from_value(t_cold),
+                Sample.from_value(t_warm),
                 f"{t_cold / max(t_warm, 1e-9):.2f}x",
             ]
         )
@@ -95,7 +96,7 @@ def test_repeated_query_amortization():
     # amortization must not lose: warm runs skip every rebuild (generous
     # factor — the build is O(n) against O(n) queries, so the win is
     # real but modest, and CI machines are noisy)
-    assert float(rows[-1][2]) <= float(rows[-1][1]) * 1.5
+    assert rows[-1][2] <= rows[-1][1] * 1.5
 
 
 def test_planner_choices_are_stable():
@@ -130,6 +131,10 @@ def test_observed_workload_counter_report():
         )
         snapshot = METRICS.snapshot()
         assert snapshot.get("nodes.visited", 0) > 0
+        # cumulative per-strategy latency is queryable, not just counts
+        assert METRICS.total_seconds("query.xpath") > 0.0
+        assert any(name.startswith("strategy.") for name in METRICS.durations())
+        record_metrics_snapshot(snapshot)  # survives the reset below
         report(
             "E-ENG: counter totals over the observed workload "
             f"({METRICS.queries_observed} queries, n={tree.n})",

@@ -17,7 +17,7 @@ from repro.trees.orders import (
     pre_lt_from_axes,
 )
 
-from _benchutil import report, timed
+from _benchutil import report, sizes, timed
 
 
 def _rebuild(tree: Tree) -> Tree:
@@ -28,14 +28,14 @@ def test_index_construction_scaling():
     from repro.complexity import ScalingPoint
 
     points = []
-    for n in (2_000, 4_000, 8_000, 16_000, 32_000):
+    for n in sizes((2_000, 4_000, 8_000, 16_000, 32_000), (1_000, 2_000, 4_000)):
         t = random_tree(n, seed=1)
         points.append(ScalingPoint(n, timed(_rebuild, t)))
     slope = fit_loglog_slope(points)
     report(
         "E1/Fig1: index construction",
         ["n", "seconds"],
-        [[p.size, f"{p.seconds:.5f}"] for p in points],
+        [[p.size, p.seconds] for p in points],
     )
     print(f"fitted slope {slope:.2f} ({classify_growth(points)})")
     assert slope < 1.6  # linear-ish

@@ -11,24 +11,24 @@ from repro.complexity import ScalingPoint, classify_growth, fit_loglog_slope
 from repro.hornsat import minoux, naive_fixpoint
 from repro.workloads import random_horn_program
 
-from _benchutil import report, timed
+from _benchutil import report, sizes, timed
 
 
 def test_scaling_shapes():
     minoux_points, naive_points, rows = [], [], []
-    for n in (400, 800, 1_600, 3_200):
+    for n in sizes((400, 800, 1_600, 3_200), (200, 400, 800)):
         program = random_horn_program(n, n * 2, chain_fraction=0.8, seed=1)
         tm = timed(minoux, program)
         tn = timed(naive_fixpoint, program)
         minoux_points.append(ScalingPoint(n, tm))
         naive_points.append(ScalingPoint(n, tn))
-        rows.append([n, f"{tm:.5f}", f"{tn:.5f}", f"{tn / max(tm, 1e-9):.1f}x"])
+        rows.append([n, tm, tn, f"{tn / max(tm, 1e-9):.1f}x"])
     m_slope = fit_loglog_slope(minoux_points)
     n_slope = fit_loglog_slope(naive_points)
     report(
         "E3/Fig3: Horn-SAT on chain-heavy programs",
         ["atoms", "minoux", "naive fixpoint", "speedup"],
-        rows + [["slope", f"{m_slope:.2f}", f"{n_slope:.2f}", ""]],
+        rows,
     )
     # minoux near-linear; naive pays a large and growing absolute cost
     # (slope comparisons at sub-millisecond scales are too noisy to
@@ -43,7 +43,7 @@ def test_scaling_shapes():
 def test_work_bound_is_linear():
     from repro.hornsat import MinouxTrace
 
-    for n in (500, 1_000, 2_000):
+    for n in sizes((500, 1_000, 2_000), (250, 500, 1_000)):
         program = random_horn_program(n, n * 3, seed=2)
         trace = MinouxTrace()
         minoux(program, trace=trace)

@@ -27,7 +27,7 @@ from repro.xpath import (
 )
 from repro.xpath.translate import evaluate_datalog_translation
 
-from _benchutil import report, timed
+from _benchutil import record_series, report, sizes as _sizes, timed
 
 XPATH_QUERY = parse_xpath("Child*[lab() = a][not(Child[lab() = b])]/Child+[lab() = c]")
 POSITIVE_XPATH = parse_xpath("Child*[lab() = a]/Child+[lab() = c]")
@@ -46,25 +46,28 @@ AUTOMATON = label_count_mod_automaton("a", 3)
 def test_summary_table():
     languages = [
         ("Core XPath (linear eval)", lambda t: evaluate_query_linear(XPATH_QUERY, t),
-         "PTIME-complete (combined)", (1_000, 2_000, 4_000)),
+         "PTIME-complete (combined)",
+         _sizes((1_000, 2_000, 4_000), (500, 1_000, 2_000))),
         ("pos. Core XPath", lambda t: evaluate_query_linear(POSITIVE_XPATH, t),
-         "LOGCFL-complete", (1_000, 2_000, 4_000)),
+         "LOGCFL-complete", _sizes((1_000, 2_000, 4_000), (500, 1_000, 2_000))),
         ("acyclic CQ (Yannakakis)", lambda t: yannakakis_unary(ACYCLIC_CQ, t),
-         "O(||A||·|Q|)", (500, 1_000, 2_000)),
+         "O(||A||·|Q|)", _sizes((500, 1_000, 2_000), (250, 500, 1_000))),
         ("CQ[X] (arc-consistency)", lambda t: evaluate_boolean_xproperty(XPROP_CQ, t),
-         "P via Thm 6.5", (500, 1_000, 2_000)),
+         "P via Thm 6.5", _sizes((500, 1_000, 2_000), (250, 500, 1_000))),
         ("monadic datalog", lambda t: datalog_evaluate(DATALOG, t),
-         "O(|P|·|Dom|)", (1_000, 2_000, 4_000)),
+         "O(|P|·|Dom|)", _sizes((1_000, 2_000, 4_000), (500, 1_000, 2_000))),
         ("MSO (tree automaton)", lambda t: run_automaton(AUTOMATON, t),
-         "linear data complexity", (5_000, 10_000, 20_000)),
+         "linear data complexity",
+         _sizes((5_000, 10_000, 20_000), (2_000, 4_000, 8_000))),
     ]
     rows = []
-    for name, fn, paper_bound, sizes in languages:
+    for name, fn, paper_bound, sweep in languages:
         points = []
-        for n in sizes:
+        for n in sweep:
             t = random_tree(n, seed=7)
             points.append(ScalingPoint(n, timed(fn, t)))
         slope = fit_loglog_slope(points)
+        record_series(f"summary/{name}", points)
         rows.append(
             [name, f"{slope:.2f}", classify_growth(points), paper_bound]
         )

@@ -16,7 +16,7 @@ from repro.trees import caterpillar_tree, path_tree
 from repro.twigjoin import parse_twig
 from repro.xpath import parse_xpath
 
-from _benchutil import report, timed
+from _benchutil import report, sizes, timed
 
 QUERY = parse_xpath("Child*[lab() = a]/Child[lab() = b]")
 TWIG = parse_twig("//a//b")
@@ -31,7 +31,7 @@ def _peak_select(tree) -> int:
 
 def test_memory_linear_in_depth():
     points, rows = [], []
-    for depth in (250, 500, 1_000, 2_000):
+    for depth in sizes((250, 500, 1_000, 2_000), (250, 500, 1_000)):
         t = path_tree(depth)
         peak = _peak_select(t)
         points.append(ScalingPoint(depth, max(peak, 1) * 1e-6))
@@ -40,7 +40,7 @@ def test_memory_linear_in_depth():
     report(
         "E15: peak memory vs depth (path documents)",
         ["depth", "peak units"],
-        rows + [["slope", f"{slope:.2f}"]],
+        rows,
     )
     assert 0.8 < slope < 1.2
 
@@ -74,7 +74,7 @@ def test_twig_matching_memory_profile():
 
 def test_throughput_linear():
     points = []
-    for legs in (200, 400, 800, 1_600):
+    for legs in sizes((200, 400, 800, 1_600), (200, 400, 800)):
         t = caterpillar_tree(spine=10, legs=legs)
         points.append(
             ScalingPoint(t.n, timed(lambda: list(stream_select(QUERY, tree_events(t)))))
@@ -83,7 +83,7 @@ def test_throughput_linear():
     report(
         "E15: streaming throughput",
         ["n", "seconds"],
-        [[p.size, f"{p.seconds:.5f}"] for p in points] + [["slope", f"{slope:.2f}"]],
+        [[p.size, p.seconds] for p in points],
     )
     assert slope < 1.5
 
@@ -98,7 +98,7 @@ def test_concurrency_forces_buffering():
     expr = parse_xpath("Child[lab() = a][NextSibling+[lab() = b]]")
     rows = []
     peaks = []
-    for n in (500, 1_000, 2_000):
+    for n in sizes((500, 1_000, 2_000), (250, 500, 1_000)):
         wide = tree_from_parents(
             [-1] + [0] * (n - 1), ["r"] + ["a"] * (n - 2) + ["b"]
         )
@@ -131,14 +131,14 @@ def test_counting_vs_enumeration_cost():
         te = timed(solutions_with_pointers, query, t, repeats=1)
         count = count_solutions(query, t)
         assert count == len(solutions_with_pointers(query, t, project_to_head=False))
-        rows.append([n, count, f"{tc:.4f}", f"{te:.4f}"])
+        rows.append([n, count, tc, te])
     report(
         "E13+: count vs enumerate (x < y < z chains on a path)",
         ["n", "|solutions|", "count", "enumerate"],
         rows,
     )
     # counting must not pay for the (cubically growing) output
-    assert float(rows[-1][2]) < float(rows[-1][3])
+    assert rows[-1][2] < rows[-1][3]
 
 
 @pytest.mark.benchmark(group="streaming")

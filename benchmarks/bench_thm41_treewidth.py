@@ -20,7 +20,7 @@ from repro.cq import (
 from repro.cq.treewidth import graph_treewidth, tree_structure_graph
 from repro.trees import random_tree
 
-from _benchutil import report, timed
+from _benchutil import record_series, report, sizes, timed
 
 PATH_QUERY = parse_cq("ans(x) :- Child(x, y), Child(y, z), Lab:a(z)")
 CYCLE_QUERY = parse_cq(
@@ -46,19 +46,19 @@ def test_query_widths():
 def test_scaling_by_width():
     rows = []
     slopes = {}
-    for name, query, sizes in (
-        ("tw=1 path", PATH_QUERY, (100, 200, 400)),
-        ("tw=2 cycle", CYCLE_QUERY, (50, 100, 200)),
+    for name, query, sweep in (
+        ("tw=1 path", PATH_QUERY, sizes((100, 200, 400), (50, 100, 200))),
+        ("tw=2 cycle", CYCLE_QUERY, sizes((50, 100, 200), (25, 50, 100))),
     ):
         points = []
-        for n in sizes:
+        for n in sweep:
             t = random_tree(n, seed=1)
             points.append(
                 ScalingPoint(n, timed(evaluate_bounded_treewidth, query, t))
             )
-            rows.append([name, n, f"{points[-1].seconds:.5f}"])
+            rows.append([name, n, points[-1].seconds])
         slopes[name] = fit_loglog_slope(points)
-        rows.append([name, "slope", f"{slopes[name]:.2f}"])
+        record_series(f"treewidth/{name}", points)
     report("E6/Thm4.1: evaluation by query tree-width", ["query", "n", "sec"], rows)
     # the O(|A|^{k+1}) upper bound: exponent <= k+1 (plus fit noise);
     # constraint pruning often lands the cyclic query well below n^3
@@ -68,14 +68,14 @@ def test_scaling_by_width():
 
 def test_bounded_tw_beats_backtracking_on_cyclic_query():
     rows = []
-    for n in (60, 120):
+    for n in sizes((60, 120), (30, 60)):
         t = random_tree(n, seed=2, alphabet=("a", "b"))
         tb = timed(evaluate_backtracking, CYCLE_QUERY, t, repeats=1)
         tw = timed(evaluate_bounded_treewidth, CYCLE_QUERY, t, repeats=1)
         assert evaluate_backtracking(CYCLE_QUERY, t) == evaluate_bounded_treewidth(
             CYCLE_QUERY, t
         )
-        rows.append([n, f"{tw:.4f}", f"{tb:.4f}"])
+        rows.append([n, tw, tb])
     report(
         "E6/Thm4.1: tw-evaluator vs backtracking (cyclic query)",
         ["n", "bounded-tw", "backtracking"],

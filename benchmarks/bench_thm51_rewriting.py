@@ -25,7 +25,7 @@ from repro.rewrite import (
 from repro.trees import random_tree
 from repro.trees.structure import lab
 
-from _benchutil import report, timed
+from _benchutil import report, sizes, timed
 
 
 def star_query(k: int) -> ConjunctiveQuery:
@@ -67,12 +67,12 @@ def test_disjunct_growth():
 def test_rewriting_route_correct_and_fast():
     q = star_query(3)
     rows = []
-    for n in (100, 200, 400):
+    for n in sizes((100, 200, 400), (50, 100, 200)):
         t = random_tree(n, seed=1, alphabet=("a", "b"))
         tr = timed(evaluate_via_rewriting, q, t, repeats=1)
         tb = timed(evaluate_backtracking, q, t, repeats=1)
         assert evaluate_via_rewriting(q, t) == evaluate_backtracking(q, t)
-        rows.append([n, f"{tr:.4f}", f"{tb:.4f}"])
+        rows.append([n, tr, tb])
     report(
         "E9/Cor5.2: evaluate via rewriting vs backtracking",
         ["n", "rewrite+Yannakakis", "backtracking"],

@@ -22,7 +22,7 @@ from repro.twigjoin.twigstack import TwigStats
 from repro.trees.generate import tree_from_parents
 from repro.workloads import xmark_like
 
-from _benchutil import report, timed
+from _benchutil import report, sizes, timed
 
 #: A pattern whose (item, description) join is big but whose keyword
 #: branch is selective: binary plans pay for the big join first.
@@ -87,7 +87,7 @@ def test_intermediate_size_gap():
 
 
 def test_times_on_xmark():
-    t = xmark_like(250, seed=1)
+    t = xmark_like(sizes(250, 120), seed=1)
     rows = []
     t_twig = timed(twig_stack, PATTERN, t)
     t_ac = timed(holistic_via_arc_consistency, PATTERN, t)
@@ -97,9 +97,7 @@ def test_times_on_xmark():
         == holistic_via_arc_consistency(PATTERN, t)
         == binary_join_plan(PATTERN, t)
     )
-    rows.append(
-        [t.n, f"{t_twig:.4f}", f"{t_ac:.4f}", f"{t_binary:.4f}"]
-    )
+    rows.append([t.n, t_twig, t_ac, t_binary])
     report(
         "E14: //item[.//keyword]//description on XMark-like data",
         ["n", "twig_stack", "arc-consistency", "binary joins"],
@@ -111,12 +109,12 @@ def test_holistic_state_bounded_on_skew():
     """On the skewed workload the binary plan's work is dominated by
     doomed partial matches; holistic wins in wall clock as skew grows."""
     rows = []
-    for blocks in (20, 40):
+    for blocks in sizes((20, 40), (10, 20)):
         t = _skewed_tree(blocks=blocks, block_size=40)
         pattern = parse_twig("//a[c]//b")
         tt = timed(twig_stack, pattern, t, repeats=1)
         tb = timed(binary_join_plan, pattern, t, repeats=1)
-        rows.append([blocks, f"{tt:.4f}", f"{tb:.4f}"])
+        rows.append([blocks, tt, tb])
     report(
         "E14: skew sweep //a[c]//b",
         ["blocks", "twig_stack", "binary joins"],

@@ -1,1 +1,13 @@
-"""Pytest hooks for the benchmark suite (helpers live in _benchutil)."""
+"""Pytest hooks for the benchmark suite (helpers live in _benchutil).
+
+The telemetry glue — per-module begin/end on :data:`repro.perf.RECORDER`,
+failure marking, and the ``REPRO_BENCH_RECORD`` session-end handoff used
+by ``repro bench run`` — lives in :mod:`repro.perf.hooks` and is pulled
+in by name so plain ``pytest benchmarks/`` records identically.
+"""
+
+from repro.perf.hooks import (  # noqa: F401
+    _bench_telemetry_module,
+    pytest_runtest_logreport,
+    pytest_sessionfinish,
+)

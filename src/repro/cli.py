@@ -9,6 +9,7 @@
     python -m repro datalog  program.dl doc.xml
     python -m repro convert  doc.xml doc.rtre        (and back: .rtre -> .xml)
     python -m repro classify Child+ Following        (Theorem 6.8 verdict)
+    python -m repro bench    run | compare | export  (benchmark telemetry)
 
 Every query command goes through :class:`repro.engine.Database`:
 ``--engine auto`` (the default) lets the planner pick a strategy,
@@ -22,6 +23,13 @@ the span tree to stderr, ``--trace=FILE`` writes it as JSON instead;
 ``--deadline-ms N`` and ``--max-visited N`` set a resource budget —
 exceeding it is a clean exit-3 error (the planner falls back to the
 next applicable strategy first when the engine is ``auto``).
+
+Benchmark telemetry (the "Benchmark telemetry" section of
+docs/OBSERVABILITY.md): ``repro bench run`` sweeps ``benchmarks/`` and
+writes the next ``BENCH_<n>.json``; ``repro bench compare`` diffs two
+runs (growth-class changes always fail; timing-band breaches fail
+unless ``--timing-warn-only``); ``repro bench export`` renders a run as
+OpenMetrics text.
 """
 
 from __future__ import annotations
@@ -177,6 +185,70 @@ def cmd_convert(args) -> int:
     return 0
 
 
+def cmd_bench_run(args) -> int:
+    from repro.perf import run_benchmarks
+
+    outcome = run_benchmarks(
+        benchmarks_dir=args.benchmarks,
+        out_dir=args.out,
+        select=args.select,
+        fast=True if args.fast else None,
+    )
+    if outcome.path is None:
+        print("bench run: no telemetry captured (pytest failed to start?)",
+              file=sys.stderr)
+        return outcome.pytest_exit or 1
+    print(f"bench run: {outcome.modules} modules, {outcome.series} series "
+          f"-> {outcome.path}", file=sys.stderr)
+    if outcome.pytest_exit:
+        print(f"bench run: pytest exited {outcome.pytest_exit} "
+              "(failures recorded in the run file)", file=sys.stderr)
+    return outcome.pytest_exit
+
+
+def cmd_bench_compare(args) -> int:
+    from repro.perf import compare_runs, latest_runs, load_run
+
+    if args.old and args.new:
+        old_path, new_path = args.old, args.new
+    elif args.old or args.new:
+        print("bench compare: give two run files or none (= latest two)",
+              file=sys.stderr)
+        return 2
+    else:
+        runs = latest_runs(args.dir, 2)
+        if len(runs) < 2:
+            print(f"bench compare: need two BENCH_*.json under {args.dir!r}, "
+                  f"found {len(runs)} — run `repro bench run` first",
+                  file=sys.stderr)
+            return 2
+        old_path, new_path = runs
+    report = compare_runs(
+        load_run(old_path),
+        load_run(new_path),
+        band=args.band,
+        timing_fail=not args.timing_warn_only,
+    )
+    print(f"# baseline {old_path} vs {new_path}", file=sys.stderr)
+    print(report.render())
+    return report.exit_code
+
+
+def cmd_bench_export(args) -> int:
+    from repro.perf import latest_runs, load_run, render_bench_openmetrics
+
+    path = args.run
+    if path is None:
+        runs = latest_runs(args.dir, 1)
+        if not runs:
+            print(f"bench export: no BENCH_*.json under {args.dir!r}",
+                  file=sys.stderr)
+            return 2
+        path = runs[0]
+    print(render_bench_openmetrics(load_run(path)), end="")
+    return 0
+
+
 def cmd_classify(args) -> int:
     from repro.consistency import classify_signature
 
@@ -281,6 +353,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("classify", help="Theorem 6.8 verdict for an axis set")
     p.add_argument("axes", nargs="+")
     p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser(
+        "bench", help="benchmark telemetry: run the sweep, compare runs, export"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser("run", help="sweep benchmarks/ into BENCH_<n>.json")
+    b.add_argument("--benchmarks", default="benchmarks",
+                   help="benchmark suite directory (default: benchmarks)")
+    b.add_argument("--out", default=".",
+                   help="directory the BENCH_<n>.json is written to (default: .)")
+    b.add_argument("--select", default=None, metavar="EXPR",
+                   help="only run bench modules matching this pytest -k expression")
+    b.add_argument("--fast", action="store_true",
+                   help="force REPRO_BENCH_FAST=1 (smoke-size sweeps)")
+    b.set_defaults(func=cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "compare", help="diff a run against a baseline (nonzero exit on regression)"
+    )
+    b.add_argument("old", nargs="?", default=None, help="baseline run file")
+    b.add_argument("new", nargs="?", default=None, help="candidate run file")
+    b.add_argument("--dir", default=".",
+                   help="where to look for BENCH_*.json (default: .)")
+    b.add_argument("--band", type=float, default=1.6, metavar="X",
+                   help="allowed median ratio before noise widening (default 1.6)")
+    b.add_argument("--timing-warn-only", action="store_true",
+                   help="downgrade timing-band breaches to warnings (shared "
+                        "runners); growth-class changes and count drifts still fail")
+    b.set_defaults(func=cmd_bench_compare)
+
+    b = bench_sub.add_parser("export", help="render a run as OpenMetrics text")
+    b.add_argument("run", nargs="?", default=None, help="run file (default: latest)")
+    b.add_argument("--dir", default=".",
+                   help="where to look for BENCH_*.json (default: .)")
+    b.set_defaults(func=cmd_bench_export)
 
     return parser
 

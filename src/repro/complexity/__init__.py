@@ -11,7 +11,9 @@ from repro.complexity.scaling import (
     measure_scaling,
     fit_loglog_slope,
     classify_growth,
+    growth_class_from_slope,
     format_table,
+    ratio_test,
 )
 
 __all__ = [
@@ -19,5 +21,7 @@ __all__ = [
     "measure_scaling",
     "fit_loglog_slope",
     "classify_growth",
+    "growth_class_from_slope",
     "format_table",
+    "ratio_test",
 ]

@@ -21,6 +21,7 @@ __all__ = [
     "measure_scaling",
     "fit_loglog_slope",
     "classify_growth",
+    "growth_class_from_slope",
     "format_table",
     "ratio_test",
 ]
@@ -69,9 +70,8 @@ def fit_loglog_slope(points: Sequence[ScalingPoint]) -> float:
     return num / den
 
 
-def classify_growth(points: Sequence[ScalingPoint]) -> str:
-    """Bucket the fitted slope into a growth class."""
-    slope = fit_loglog_slope(points)
+def growth_class_from_slope(slope: float) -> str:
+    """Bucket a fitted log-log slope into a growth class."""
     if slope < 0.5:
         return "constant-ish"
     if slope < 1.5:
@@ -81,6 +81,11 @@ def classify_growth(points: Sequence[ScalingPoint]) -> str:
     if slope < 3.5:
         return "cubic"
     return "superpolynomial"
+
+
+def classify_growth(points: Sequence[ScalingPoint]) -> str:
+    """Bucket the fitted slope of a sweep into a growth class."""
+    return growth_class_from_slope(fit_loglog_slope(points))
 
 
 def ratio_test(points: Sequence[ScalingPoint]) -> list[float]:

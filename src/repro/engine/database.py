@@ -417,6 +417,13 @@ class Database:
         elapsed = time.perf_counter() - start
         obs.budget = None
         METRICS.merge(obs.counters)
+        # wall time, not just counts: cumulative per-kind and
+        # per-strategy latency stays queryable after the call is gone
+        METRICS.observe_duration("query." + kind, elapsed)
+        METRICS.observe_duration("strategy." + final_plan.strategy, elapsed)
+        if tracer is not None and tracer.root is not None:
+            for span in tracer.root.iter_spans():
+                METRICS.observe_duration("span." + span.name, span.duration_s)
         stats = ExecutionStats(
             kind=kind,
             query=text,

@@ -18,12 +18,19 @@ The instrumentation contract, in one line::
 from repro.errors import ResourceBudgetExceeded
 from repro.obs.budget import ResourceBudget
 from repro.obs.context import Observation, current, observed
-from repro.obs.export import render_pretty, trace_json, trace_to_dict, write_trace
-from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.export import (
+    render_openmetrics,
+    render_pretty,
+    trace_json,
+    trace_to_dict,
+    write_trace,
+)
+from repro.obs.metrics import METRICS, DurationHistogram, MetricsRegistry
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
     "METRICS",
+    "DurationHistogram",
     "MetricsRegistry",
     "Observation",
     "ResourceBudget",
@@ -32,6 +39,7 @@ __all__ = [
     "Tracer",
     "current",
     "observed",
+    "render_openmetrics",
     "render_pretty",
     "trace_json",
     "trace_to_dict",

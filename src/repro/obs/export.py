@@ -1,9 +1,14 @@
-"""Trace export: JSON documents and a pretty text rendering.
+"""Trace and metrics export: JSON documents, pretty text, OpenMetrics.
 
-Both operate on the :class:`~repro.obs.tracer.Span` tree carried by
-``ExecutionStats.trace``.  The JSON form is what the CLI's
-``--trace FILE`` writes (and what CI uploads as a build artifact); the
-pretty form is what ``--trace`` without a file prints to stderr.
+The span-tree functions operate on the :class:`~repro.obs.tracer.Span`
+tree carried by ``ExecutionStats.trace``.  The JSON form is what the
+CLI's ``--trace FILE`` writes (and what CI uploads as a build
+artifact); the pretty form is what ``--trace`` without a file prints to
+stderr.  :func:`render_openmetrics` exposes a
+:class:`~repro.obs.metrics.MetricsRegistry` — counters and duration
+histograms — in the OpenMetrics text format, for scraping long-lived
+processes (the benchmark-run sibling is
+:func:`repro.perf.render_bench_openmetrics`).
 """
 
 from __future__ import annotations
@@ -11,9 +16,16 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span
 
-__all__ = ["trace_to_dict", "trace_json", "write_trace", "render_pretty"]
+__all__ = [
+    "trace_to_dict",
+    "trace_json",
+    "write_trace",
+    "render_pretty",
+    "render_openmetrics",
+]
 
 
 def trace_to_dict(span: Span) -> dict[str, Any]:
@@ -56,3 +68,35 @@ def render_pretty(span: Span) -> str:
 
     visit(span, 0)
     return "\n".join(lines)
+
+
+def _om_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """The registry in OpenMetrics text format.
+
+    Counters become ``repro_counter_total{name="..."}`` samples;
+    duration histograms become a summary family
+    ``repro_duration_seconds`` with p50/p90/p99 quantile samples plus
+    the ``_count``/``_sum`` pair per name.
+    """
+    lines: list[str] = []
+    lines.append("# TYPE repro_queries_observed counter")
+    lines.append(f"repro_queries_observed_total {registry.queries_observed}")
+    lines.append("# TYPE repro_counter counter")
+    for name, total in registry.snapshot().items():
+        lines.append(f'repro_counter_total{{name="{_om_escape(name)}"}} {total}')
+    lines.append("# TYPE repro_duration_seconds summary")
+    for name, summary in registry.durations().items():
+        label = f'name="{_om_escape(name)}"'
+        for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            lines.append(
+                f'repro_duration_seconds{{{label},quantile="{quantile}"}} '
+                f"{summary[key]:.9g}"
+            )
+        lines.append(f"repro_duration_seconds_count{{{label}}} {summary['count']}")
+        lines.append(f"repro_duration_seconds_sum{{{label}}} {summary['sum']:.9g}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

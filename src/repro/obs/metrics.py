@@ -4,26 +4,144 @@ Every observed engine call (one with tracing or a resource budget
 active) flushes its counter totals here when it finishes, so long-lived
 processes — servers, benchmark sweeps, the CLI — can read cumulative
 counts across queries without keeping every ``ExecutionStats`` around.
+Since the telemetry PR the registry also keeps **duration histograms**:
+each observed call's elapsed time is folded in under ``query.<kind>``
+and ``strategy.<name>``, and (when a tracer ran) every span's duration
+under ``span.<name>`` — so cumulative per-strategy latency and its
+percentiles are queryable, not just event counts.
 
 Unobserved calls are *not* counted: the registry aggregates exactly the
 work the observation layer saw, keeping the disabled path free of even
 dictionary updates.  Benchmarks that want counters opt in by running
 their workload with ``trace=True`` (see
-``benchmarks/bench_engine_reuse.py``).
+``benchmarks/bench_engine_reuse.py``).  For the text exposition format
+see :func:`repro.obs.export.render_openmetrics`.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Mapping
 
-__all__ = ["MetricsRegistry", "METRICS"]
+__all__ = ["DurationHistogram", "MetricsRegistry", "METRICS"]
+
+
+def _bucket_bounds() -> "tuple[float, ...]":
+    # geometric ladder 1µs .. ~537s, factor 2: 30 buckets covers every
+    # duration this library can plausibly produce
+    return tuple(1e-6 * (2.0 ** i) for i in range(30))
+
+
+_BOUNDS = _bucket_bounds()
+
+
+class DurationHistogram:
+    """Fixed-bucket (log-spaced) histogram of durations in seconds.
+
+    Buckets are cheap and mergeable; percentiles are estimated by
+    geometric interpolation inside the winning bucket, which is plenty
+    for the "did p99 move an order of magnitude" questions telemetry
+    answers.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "_buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._buckets = [0] * (len(_BOUNDS) + 1)
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        self.count += 1
+        self.sum += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        lo, hi = 0, len(_BOUNDS)
+        while lo < hi:  # first bound >= seconds
+            mid = (lo + hi) // 2
+            if _BOUNDS[mid] < seconds:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._buckets[lo] += 1
+
+    def merge(self, other: "DurationHistogram") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for i, n in enumerate(other._buckets):
+            self._buckets[i] += n
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]) from the buckets."""
+        if self.count == 0:
+            return 0.0
+        rank = max(q, 0.0) * self.count
+        seen = 0
+        for i, n in enumerate(self._buckets):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                upper = _BOUNDS[i] if i < len(_BOUNDS) else self.max
+                lower = _BOUNDS[i - 1] if i > 0 else upper / 2.0
+                lower = max(lower, self.min)
+                upper = min(max(upper, lower), self.max) or upper
+                if upper <= 0 or lower <= 0:
+                    return upper
+                frac = (rank - seen) / n
+                return lower * (upper / lower) ** min(max(frac, 0.0), 1.0)
+            seen += n
+        return self.max
+
+    def buckets(self) -> "list[tuple[float, int]]":
+        """Cumulative (upper_bound, count) pairs for non-empty prefixes."""
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for i, n in enumerate(self._buckets):
+            cumulative += n
+            if n:
+                bound = _BOUNDS[i] if i < len(_BOUNDS) else math.inf
+                out.append((bound, cumulative))
+        return out
+
+    def to_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "min": round(self.min, 9),
+            "max": round(self.max, 9),
+            "p50": round(self.percentile(0.50), 9),
+            "p90": round(self.percentile(0.90), 9),
+            "p99": round(self.percentile(0.99), 9),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DurationHistogram(count={self.count}, sum={self.sum:.6f}s, "
+            f"p50={self.percentile(0.5):.6f}s)"
+        )
 
 
 class MetricsRegistry:
-    """A named-counter accumulator with snapshot/reset semantics."""
+    """A named-counter + duration-histogram accumulator with
+    snapshot/reset semantics."""
 
     def __init__(self):
         self._counters: dict[str, int] = {}
+        self._durations: dict[str, DurationHistogram] = {}
         self._queries = 0
 
     def add(self, name: str, n: int = 1) -> None:
@@ -38,6 +156,29 @@ class MetricsRegistry:
     def get(self, name: str) -> int:
         return self._counters.get(name, 0)
 
+    # -- durations ---------------------------------------------------------
+
+    def observe_duration(self, name: str, seconds: float) -> None:
+        """Fold one measured duration into the named histogram."""
+        hist = self._durations.get(name)
+        if hist is None:
+            hist = self._durations[name] = DurationHistogram()
+        hist.observe(seconds)
+
+    def duration(self, name: str) -> "DurationHistogram | None":
+        return self._durations.get(name)
+
+    def total_seconds(self, name: str) -> float:
+        """Cumulative wall time recorded under ``name`` (0.0 if unseen)."""
+        hist = self._durations.get(name)
+        return hist.sum if hist is not None else 0.0
+
+    def durations(self) -> dict[str, dict]:
+        """Summaries of all histograms (sorted by name for stable output)."""
+        return {
+            name: hist.to_dict() for name, hist in sorted(self._durations.items())
+        }
+
     @property
     def queries_observed(self) -> int:
         """How many observed calls have been merged since the last reset."""
@@ -49,11 +190,13 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._counters.clear()
+        self._durations.clear()
         self._queries = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._durations)} histograms, "
             f"{self._queries} observed calls)"
         )
 

@@ -1,0 +1,285 @@
+"""Noise-aware comparison of two benchmark runs.
+
+The comparator answers one question: *did a route regress since the
+baseline?* — without flaking on shared-runner noise.  The rules, in
+order of authority:
+
+- **growth classes are the contract.**  A confident growth-class change
+  (both runs have ≥3 sweep points and timings above the noise floor) is
+  always a failure, whatever the raw timings say: the paper's claims
+  are complexity shapes, not milliseconds.  One carve-out: when the two
+  fitted slopes sit within ``SLOPE_JITTER`` of each other the series is
+  straddling a class boundary (e.g. 0.48 vs 0.52 around the
+  constant/linear cut) — that is measurement jitter, not a complexity
+  change, and is reported as a warning.  A real regression (linear →
+  quadratic) moves the fitted slope by ≈1.0, far beyond the jitter
+  allowance.
+- **timings get ratio bands.**  Per matched sweep size, the new median
+  must stay within ``band × (1 + rel_IQR_old + rel_IQR_new)`` of the
+  old one; sub-noise-floor pairs are skipped.  Timing breaches can be
+  downgraded to warnings (``timing_fail=False``) for shared CI runners.
+- **counts are deterministic.**  Series in unit ``"n"`` (memory peaks,
+  search-tree sizes, output cardinalities) use the bare band with no
+  noise widening, and keep failing even in timing-warn-only mode — a
+  count drift is a behaviour change, not scheduler jitter.
+- coverage losses (module or series present in the baseline but absent
+  from the new run) are warnings; new coverage is informational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.perf.record import NOISE_FLOOR_S
+
+__all__ = ["Finding", "ComparisonReport", "compare_runs", "SLOPE_JITTER"]
+
+#: Two fitted slopes closer than this are treated as the same shape even
+#: when they land in different growth classes (boundary straddle).
+SLOPE_JITTER = 0.25
+
+FAIL = "fail"
+WARN = "warn"
+INFO = "info"
+
+_SEVERITY_ORDER = {FAIL: 0, WARN: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    severity: str  # fail | warn | info
+    module: str
+    metric: str
+    message: str
+
+    def render(self) -> str:
+        where = f"{self.module}/{self.metric}" if self.metric else self.module
+        return f"{self.severity.upper():4s} {where}: {self.message}"
+
+
+@dataclass
+class ComparisonReport:
+    old_run: int
+    new_run: int
+    band: float
+    timing_fail: bool
+    findings: list[Finding] = field(default_factory=list)
+    series_compared: int = 0
+
+    @property
+    def failures(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == FAIL]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        lines = [
+            f"bench compare: run {self.old_run} (baseline) -> run {self.new_run}",
+            f"  band x{self.band:.2f}, timing breaches "
+            + ("fail" if self.timing_fail else "warn only")
+            + f"; {self.series_compared} series compared",
+        ]
+        shown = sorted(
+            self.findings,
+            key=lambda f: (_SEVERITY_ORDER[f.severity], f.module, f.metric),
+        )
+        for finding in shown:
+            lines.append("  " + finding.render())
+        counts = {
+            severity: sum(1 for f in self.findings if f.severity == severity)
+            for severity in (FAIL, WARN, INFO)
+        }
+        lines.append(
+            f"  verdict: {'REGRESSION' if not self.ok else 'ok'} "
+            f"({counts[FAIL]} fail, {counts[WARN]} warn, {counts[INFO]} info)"
+        )
+        return "\n".join(lines)
+
+
+def _series_points(series: dict[str, Any]) -> dict[float, dict[str, Any]]:
+    return {float(p["size"]): p for p in series.get("points", [])}
+
+
+def _rel_iqr(point: dict[str, Any]) -> float:
+    return float(point.get("iqr", 0.0)) / max(float(point["median"]), 1e-12)
+
+
+def _compare_series(
+    module: str,
+    name: str,
+    old: dict[str, Any],
+    new: dict[str, Any],
+    band: float,
+    timing_fail: bool,
+    findings: list[Finding],
+) -> None:
+    unit = new.get("unit", old.get("unit", "s"))
+    if old.get("unit") != new.get("unit"):
+        findings.append(
+            Finding(WARN, module, name,
+                    f"unit changed {old.get('unit')!r} -> {new.get('unit')!r}")
+        )
+        return
+
+    # growth classes: the always-on gate
+    old_growth, new_growth = old.get("growth"), new.get("growth")
+    if old_growth and new_growth and old_growth != new_growth:
+        confident = old.get("confident") and new.get("confident")
+        old_slope, new_slope = old.get("slope"), new.get("slope")
+        boundary_jitter = (
+            isinstance(old_slope, (int, float))
+            and isinstance(new_slope, (int, float))
+            and abs(float(new_slope) - float(old_slope)) < SLOPE_JITTER
+        )
+        hard_fail = confident and not boundary_jitter
+        findings.append(
+            Finding(
+                FAIL if hard_fail else WARN,
+                module,
+                name,
+                f"growth class changed: {old_growth} -> {new_growth} "
+                f"(slopes {old_slope} -> {new_slope}"
+                + ("" if confident else ", low confidence")
+                + (", boundary jitter" if boundary_jitter else "")
+                + ")",
+            )
+        )
+        if hard_fail:
+            return  # the class flip is the headline; skip ratio noise
+
+    # per-size ratio bands
+    old_points, new_points = _series_points(old), _series_points(new)
+    common = sorted(set(old_points) & set(new_points))
+    if not common:
+        findings.append(
+            Finding(INFO, module, name, "no common sweep sizes; timings not compared")
+        )
+        return
+    worst: "tuple[float, float, float, float, float] | None" = None
+    best: "tuple[float, float, float] | None" = None
+    for size in common:
+        o, n = old_points[size], new_points[size]
+        old_median, new_median = float(o["median"]), float(n["median"])
+        if unit == "s" and max(old_median, new_median) < NOISE_FLOOR_S:
+            continue  # both sides below the noise floor: pure jitter
+        ratio = (new_median + 1e-12) / (old_median + 1e-12)
+        if unit == "s":
+            allowed = band * (1.0 + min(_rel_iqr(o) + _rel_iqr(n), 1.0))
+        else:
+            allowed = band
+        if worst is None or ratio / allowed > worst[0] / worst[1]:
+            worst = (ratio, allowed, size, old_median, new_median)
+        if best is None or ratio < best[0]:
+            best = (ratio, size, allowed)
+    if worst is None:
+        return
+    ratio, allowed, size, old_median, new_median = worst
+    if ratio > allowed:
+        severity = FAIL if (timing_fail or unit == "n") else WARN
+        findings.append(
+            Finding(
+                severity,
+                module,
+                name,
+                f"regressed x{ratio:.2f} at size {size:g} "
+                f"({old_median:.6g} -> {new_median:.6g}, allowed x{allowed:.2f})",
+            )
+        )
+    elif best is not None and best[0] < 1.0 / best[2]:
+        findings.append(
+            Finding(INFO, module, name,
+                    f"improved x{1.0 / best[0]:.2f} at size {best[1]:g}")
+        )
+
+
+def _compare_counters(
+    module: str,
+    old: dict[str, Any],
+    new: dict[str, Any],
+    band: float,
+    findings: list[Finding],
+) -> None:
+    for key in sorted(set(old) & set(new)):
+        old_value, new_value = old[key], new[key]
+        if not old_value and not new_value:
+            continue
+        ratio = (new_value + 1e-9) / (old_value + 1e-9)
+        if ratio > band or ratio < 1.0 / band:
+            findings.append(
+                Finding(
+                    WARN, module, f"counter:{key}",
+                    f"counter moved x{ratio:.2f} ({old_value} -> {new_value})",
+                )
+            )
+
+
+def compare_runs(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    band: float = 1.6,
+    timing_fail: bool = True,
+) -> ComparisonReport:
+    """Diff two run payloads (as loaded by :func:`repro.perf.store.load_run`)."""
+    report = ComparisonReport(
+        old_run=old.get("run", 0),
+        new_run=new.get("run", 0),
+        band=band,
+        timing_fail=timing_fail,
+    )
+    findings = report.findings
+
+    if old.get("fast_mode") != new.get("fast_mode"):
+        findings.append(
+            Finding(WARN, "run", "",
+                    f"fast_mode differs ({old.get('fast_mode')} vs "
+                    f"{new.get('fast_mode')}): sweep ladders likely disjoint")
+        )
+    old_env, new_env = old.get("environment", {}), new.get("environment", {})
+    for key in sorted(set(old_env) | set(new_env)):
+        if old_env.get(key) != new_env.get(key):
+            findings.append(
+                Finding(INFO, "env", key,
+                        f"{old_env.get(key)!r} -> {new_env.get(key)!r}")
+            )
+
+    old_modules, new_modules = old.get("modules", {}), new.get("modules", {})
+    for name in sorted(set(old_modules) - set(new_modules)):
+        findings.append(Finding(WARN, name, "", "module missing from new run"))
+    for name in sorted(set(new_modules) - set(old_modules)):
+        findings.append(Finding(INFO, name, "", "new module (no baseline)"))
+
+    for name in sorted(set(old_modules) & set(new_modules)):
+        old_record, new_record = old_modules[name], new_modules[name]
+        if new_record.get("status") == "failed":
+            findings.append(
+                Finding(FAIL, name, "",
+                        "module failed: " + ", ".join(new_record.get("failures", [])))
+            )
+        old_series = old_record.get("series", {})
+        new_series = new_record.get("series", {})
+        for series_name in sorted(set(old_series) - set(new_series)):
+            findings.append(
+                Finding(WARN, name, series_name, "series missing from new run")
+            )
+        for series_name in sorted(set(new_series) - set(old_series)):
+            findings.append(
+                Finding(INFO, name, series_name, "new series (no baseline)")
+            )
+        for series_name in sorted(set(old_series) & set(new_series)):
+            report.series_compared += 1
+            _compare_series(
+                name, series_name, old_series[series_name],
+                new_series[series_name], band, timing_fail, findings,
+            )
+        _compare_counters(
+            name, old_record.get("counters", {}), new_record.get("counters", {}),
+            max(band, 2.0), findings,
+        )
+    return report

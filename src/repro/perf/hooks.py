@@ -1,0 +1,62 @@
+"""Pytest glue for benchmark telemetry.
+
+``benchmarks/conftest.py`` imports these names so that:
+
+- every ``bench_*`` module is bracketed by
+  :meth:`~repro.perf.record.BenchRecorder.begin_module` /
+  ``end_module`` (capturing the :data:`repro.obs.METRICS` delta the
+  module's workload produced),
+- test failures mark their module's telemetry record as failed,
+- when ``REPRO_BENCH_RECORD`` points at a file (set by
+  :func:`repro.perf.runner.run_benchmarks`), the recorder payload is
+  written there at session end.
+
+Import into a conftest with::
+
+    from repro.perf.hooks import (  # noqa: F401
+        _bench_telemetry_module, pytest_runtest_logreport, pytest_sessionfinish,
+    )
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.perf.record import RECORDER
+from repro.perf.runner import RECORD_ENV
+
+__all__ = [
+    "_bench_telemetry_module",
+    "pytest_runtest_logreport",
+    "pytest_sessionfinish",
+]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _bench_telemetry_module(request):
+    name = request.module.__name__
+    RECORDER.begin_module(name)
+    yield
+    RECORDER.end_module(name)
+
+
+def _module_of(nodeid: str) -> str:
+    filename = nodeid.split("::", 1)[0]
+    return os.path.splitext(os.path.basename(filename))[0]
+
+
+def pytest_runtest_logreport(report):
+    if report.failed and report.when in ("setup", "call"):
+        RECORDER.mark_failed(_module_of(report.nodeid), report.nodeid)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get(RECORD_ENV)
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"modules": RECORDER.as_dict()}, fh, indent=2)
+        fh.write("\n")

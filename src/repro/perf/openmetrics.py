@@ -1,0 +1,68 @@
+"""OpenMetrics-style text rendering of a benchmark run.
+
+``repro bench export`` turns a ``BENCH_<n>.json`` payload into the flat
+exposition format scrapers and dashboards expect: one gauge per sweep
+point (median/min/IQR seconds), one gauge per fitted slope, and one
+counter line per recorded engine counter, all labelled by bench module
+and series.  The registry-side sibling (live process metrics) is
+:func:`repro.obs.export.render_openmetrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["render_bench_openmetrics"]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(**kv: Any) -> str:
+    inner = ",".join(f'{k}="{_escape(str(v))}"' for k, v in kv.items() if v != "")
+    return "{" + inner + "}" if inner else ""
+
+
+def render_bench_openmetrics(payload: dict[str, Any]) -> str:
+    """Render one run payload (see :mod:`repro.perf.store`) as text."""
+    lines: list[str] = []
+    run = payload.get("run", 0)
+    lines.append("# TYPE repro_bench_run_info gauge")
+    env = payload.get("environment", {})
+    lines.append(
+        "repro_bench_run_info"
+        + _labels(
+            run=run,
+            schema=payload.get("schema", ""),
+            python=env.get("python", ""),
+            platform=env.get("platform", ""),
+            fast_mode=str(bool(payload.get("fast_mode"))).lower(),
+        )
+        + " 1"
+    )
+
+    lines.append("# TYPE repro_bench_median gauge")
+    lines.append("# TYPE repro_bench_min gauge")
+    lines.append("# TYPE repro_bench_iqr gauge")
+    lines.append("# TYPE repro_bench_slope gauge")
+    lines.append("# TYPE repro_bench_counter counter")
+    for module, record in sorted(payload.get("modules", {}).items()):
+        for series_name, series in sorted(record.get("series", {}).items()):
+            unit = series.get("unit", "s")
+            base = _labels(module=module, series=series_name, unit=unit)
+            for point in series.get("points", []):
+                labels = _labels(
+                    module=module, series=series_name, unit=unit,
+                    size=f"{point['size']:g}",
+                )
+                lines.append(f"repro_bench_median{labels} {point['median']:.9g}")
+                lines.append(f"repro_bench_min{labels} {point['min']:.9g}")
+                lines.append(f"repro_bench_iqr{labels} {point.get('iqr', 0):.9g}")
+            if series.get("slope") is not None:
+                lines.append(f"repro_bench_slope{base} {series['slope']:.4g}")
+        for counter, total in sorted(record.get("counters", {}).items()):
+            labels = _labels(module=module, name=counter)
+            lines.append(f"repro_bench_counter_total{labels} {total}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,106 @@
+"""Drive the bench suite and persist a telemetry run.
+
+``run_benchmarks`` launches pytest on ``benchmarks/`` in a subprocess
+(hash seed pinned for deterministic counters, ``pytest-benchmark``-style
+micro-bench tests deselected — the telemetry sweeps are the product
+here), has the suite's :data:`repro.perf.RECORDER` payload written to a
+handoff file by the ``pytest_sessionfinish`` hook in
+:mod:`repro.perf.hooks`, and wraps it into the next ``BENCH_<n>.json``
+at the output root.  This is what ``repro bench run`` calls, so perf
+tracking works identically from the CLI, CI, and cron — no pytest
+invocation knowledge required.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+
+from repro.perf import store
+
+__all__ = ["RunOutcome", "run_benchmarks", "RECORD_ENV", "FAST_ENV"]
+
+#: handoff file the in-suite hook writes the recorder payload to
+RECORD_ENV = "REPRO_BENCH_RECORD"
+#: the bench suite's own smoke-mode switch
+FAST_ENV = "REPRO_BENCH_FAST"
+
+
+@dataclass
+class RunOutcome:
+    pytest_exit: int
+    path: "str | None"  # the BENCH_<n>.json written, if any
+    modules: int
+    series: int
+
+
+def _repro_src_dir() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def run_benchmarks(
+    benchmarks_dir: str = "benchmarks",
+    out_dir: str = ".",
+    select: "str | None" = None,
+    fast: "bool | None" = None,
+    extra_pytest_args: "tuple[str, ...]" = (),
+) -> RunOutcome:
+    """Run the sweep and write the next run file; see module docstring.
+
+    ``fast=None`` inherits ``REPRO_BENCH_FAST`` from the environment;
+    True/False force it.  ``select`` is a pytest ``-k`` expression.
+    """
+    if not os.path.isdir(benchmarks_dir):
+        raise FileNotFoundError(f"benchmark directory not found: {benchmarks_dir}")
+
+    handle, record_path = tempfile.mkstemp(prefix="repro-bench-", suffix=".json")
+    os.close(handle)
+    os.unlink(record_path)  # the hook creates it; absence means no telemetry
+
+    env = os.environ.copy()
+    env[RECORD_ENV] = record_path
+    # deterministic str hashing => deterministic counter/memory series
+    env.setdefault("PYTHONHASHSEED", "0")
+    if fast is True:
+        env[FAST_ENV] = "1"
+    elif fast is False:
+        env.pop(FAST_ENV, None)
+    fast_effective = env.get(FAST_ENV, "") not in ("", "0")
+    src = _repro_src_dir()
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+
+    cmd = [
+        sys.executable, "-m", "pytest", benchmarks_dir,
+        "-q", "-p", "no:cacheprovider", "-m", "not benchmark",
+    ]
+    if select:
+        cmd += ["-k", select]
+    cmd += list(extra_pytest_args)
+
+    proc = subprocess.run(cmd, env=env)
+
+    try:
+        with open(record_path, "r", encoding="utf-8") as fh:
+            recorded = json.load(fh)
+    except FileNotFoundError:
+        return RunOutcome(proc.returncode or 1, None, 0, 0)
+    finally:
+        try:
+            os.unlink(record_path)
+        except FileNotFoundError:
+            pass
+
+    modules = recorded.get("modules", {})
+    path = store.write_run(
+        modules, root=out_dir, fast_mode=fast_effective, pytest_exit=proc.returncode
+    )
+    series = sum(len(m.get("series", {})) for m in modules.values())
+    return RunOutcome(proc.returncode, path, len(modules), series)

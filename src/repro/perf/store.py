@@ -1,0 +1,153 @@
+"""Canonical ``BENCH_<n>.json`` run files at the repository root.
+
+One benchmark run = one numbered JSON document (``BENCH_0001.json``,
+``BENCH_0002.json``, ...) so the perf trajectory of the repo is an
+append-only sequence the comparator can walk.  Every file carries the
+schema version and an environment fingerprint; runs from different
+machines are still comparable on growth classes and counters, while the
+comparator treats raw timings from mismatched environments with wider
+suspicion (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import platform
+import re
+import sys
+from typing import Any
+
+__all__ = [
+    "SCHEMA",
+    "environment_fingerprint",
+    "make_payload",
+    "write_run",
+    "list_runs",
+    "latest_runs",
+    "load_run",
+    "validate_payload",
+]
+
+SCHEMA = "repro.perf.bench/1"
+
+_RUN_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Where a run was produced — enough to judge comparability."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def make_payload(
+    modules: dict[str, Any],
+    run: int,
+    fast_mode: bool,
+    pytest_exit: int = 0,
+) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA,
+        "run": run,
+        "created": _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
+        "fast_mode": bool(fast_mode),
+        "environment": environment_fingerprint(),
+        "pytest_exit": int(pytest_exit),
+        "modules": modules,
+    }
+
+
+def list_runs(root: str = ".") -> list[str]:
+    """All run files under ``root``, ordered by run number."""
+    entries = []
+    for name in os.listdir(root or "."):
+        match = _RUN_RE.match(name)
+        if match:
+            entries.append((int(match.group(1)), os.path.join(root, name)))
+    return [path for _, path in sorted(entries)]
+
+
+def _next_run_number(root: str) -> int:
+    numbers = [
+        int(_RUN_RE.match(name).group(1))
+        for name in os.listdir(root or ".")
+        if _RUN_RE.match(name)
+    ]
+    return max(numbers, default=0) + 1
+
+
+def write_run(
+    modules: dict[str, Any],
+    root: str = ".",
+    fast_mode: bool = False,
+    pytest_exit: int = 0,
+) -> str:
+    """Write the next ``BENCH_<n>.json`` in sequence; returns its path."""
+    os.makedirs(root or ".", exist_ok=True)
+    run = _next_run_number(root)
+    payload = make_payload(modules, run, fast_mode, pytest_exit)
+    errors = validate_payload(payload)
+    if errors:
+        raise ValueError("refusing to write invalid run file: " + "; ".join(errors))
+    path = os.path.join(root, f"BENCH_{run:04d}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_run(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    errors = validate_payload(payload)
+    if errors:
+        raise ValueError(f"{path}: not a valid bench run file: " + "; ".join(errors))
+    return payload
+
+
+def latest_runs(root: str = ".", count: int = 2) -> list[str]:
+    """The last ``count`` run files (oldest first)."""
+    runs = list_runs(root)
+    return runs[-count:]
+
+
+def validate_payload(payload: Any) -> list[str]:
+    """Light structural validation; returns a list of problems."""
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != SCHEMA:
+        errors.append(f"schema is {payload.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(payload.get("run"), int):
+        errors.append("missing integer 'run'")
+    if not isinstance(payload.get("environment"), dict):
+        errors.append("missing 'environment' fingerprint")
+    modules = payload.get("modules")
+    if not isinstance(modules, dict):
+        errors.append("missing 'modules' mapping")
+        return errors
+    for name, record in modules.items():
+        if not isinstance(record, dict):
+            errors.append(f"module {name}: record is not an object")
+            continue
+        for key in ("status", "tables", "series", "counters"):
+            if key not in record:
+                errors.append(f"module {name}: missing {key!r}")
+        for series_name, series in record.get("series", {}).items():
+            if not isinstance(series, dict) or "points" not in series:
+                errors.append(f"module {name}: series {series_name} has no points")
+                continue
+            for point in series["points"]:
+                if not {"size", "median"} <= set(point):
+                    errors.append(
+                        f"module {name}: series {series_name} point "
+                        f"missing size/median"
+                    )
+                    break
+    return errors

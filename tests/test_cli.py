@@ -193,3 +193,79 @@ class TestOtherCommands:
     def test_error_exit_1(self):
         assert cli_main(["stats", "/nonexistent/file.xml"]) == 1
         assert cli_main(["xpath", "Child[", "/nonexistent.xml"]) == 1
+
+
+class TestBenchCommands:
+    """The `repro bench` subcommands against hand-written run files —
+    the subprocess sweep itself is covered in tests/test_perf.py."""
+
+    @staticmethod
+    def _write_run(tmp_path, seconds_by_size):
+        from repro.perf import BenchRecorder, Sample, write_run
+
+        rec = BenchRecorder()
+        rec.record_series(
+            "metric",
+            [(n, Sample(s * 0.9, s, s * 0.05, 3)) for n, s in seconds_by_size],
+            module="bench_m",
+        )
+        return write_run(rec.as_dict(), root=str(tmp_path))
+
+    LINEAR = [(100, 0.1), (200, 0.2), (400, 0.4)]
+    QUADRATIC = [(100, 0.1), (200, 0.4), (400, 1.6)]
+
+    def test_compare_identical_runs_exit_0(self, tmp_path, capsys):
+        old = self._write_run(tmp_path, self.LINEAR)
+        new = self._write_run(tmp_path, self.LINEAR)
+        assert cli_main(["bench", "compare", old, new]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_compare_growth_class_flip_exit_1(self, tmp_path, capsys):
+        old = self._write_run(tmp_path, self.LINEAR)
+        new = self._write_run(tmp_path, self.QUADRATIC)
+        assert cli_main(["bench", "compare", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "growth class changed" in out and "REGRESSION" in out
+
+    def test_compare_defaults_to_latest_two_in_dir(self, tmp_path, capsys):
+        self._write_run(tmp_path, self.LINEAR)
+        self._write_run(tmp_path, self.LINEAR)
+        assert cli_main(["bench", "compare", "--dir", str(tmp_path)]) == 0
+        assert "run 1 (baseline) -> run 2" in capsys.readouterr().out
+
+    def test_compare_timing_warn_only_downgrades(self, tmp_path, capsys):
+        old = self._write_run(tmp_path, self.LINEAR)
+        new = self._write_run(
+            tmp_path, [(n, s * 5) for n, s in self.LINEAR]
+        )
+        assert cli_main(["bench", "compare", old, new]) == 1
+        capsys.readouterr()
+        assert (
+            cli_main(["bench", "compare", old, new, "--timing-warn-only"]) == 0
+        )
+
+    def test_compare_needs_two_runs(self, tmp_path, capsys):
+        assert cli_main(["bench", "compare", "--dir", str(tmp_path)]) == 2
+        assert "need two BENCH_*.json" in capsys.readouterr().err
+        self._write_run(tmp_path, self.LINEAR)
+        assert cli_main(["bench", "compare", "--dir", str(tmp_path)]) == 2
+
+    def test_compare_rejects_single_positional(self, tmp_path, capsys):
+        old = self._write_run(tmp_path, self.LINEAR)
+        assert cli_main(["bench", "compare", old]) == 2
+        assert "two run files or none" in capsys.readouterr().err
+
+    def test_export_renders_openmetrics(self, tmp_path, capsys):
+        path = self._write_run(tmp_path, self.LINEAR)
+        assert cli_main(["bench", "export", path]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        assert "repro_bench_median" in out
+        capsys.readouterr()
+        # default: the latest run under --dir
+        assert cli_main(["bench", "export", "--dir", str(tmp_path)]) == 0
+        assert "repro_bench_run_info" in capsys.readouterr().out
+
+    def test_export_without_runs_exit_2(self, tmp_path, capsys):
+        assert cli_main(["bench", "export", "--dir", str(tmp_path)]) == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err

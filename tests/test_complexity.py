@@ -1,0 +1,106 @@
+"""Tests for the scaling toolkit (repro.complexity): slope fitting,
+growth-class bucketing, and the ratio test on synthetic sweeps with
+known shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity import (
+    ScalingPoint,
+    classify_growth,
+    fit_loglog_slope,
+    growth_class_from_slope,
+    ratio_test,
+)
+
+
+def _sweep(shape) -> list[ScalingPoint]:
+    return [ScalingPoint(n, shape(n)) for n in (100, 200, 400, 800)]
+
+
+# ---------------------------------------------------------------------------
+# fit_loglog_slope
+# ---------------------------------------------------------------------------
+
+
+def test_slope_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_loglog_slope([])
+    with pytest.raises(ValueError):
+        fit_loglog_slope([ScalingPoint(10, 1.0)])
+
+
+def test_slope_of_exact_shapes():
+    assert fit_loglog_slope(_sweep(lambda n: 0.5)) == pytest.approx(0.0)
+    assert fit_loglog_slope(_sweep(lambda n: n * 1e-6)) == pytest.approx(1.0)
+    assert fit_loglog_slope(_sweep(lambda n: n * n * 1e-9)) == pytest.approx(2.0)
+
+
+def test_slope_clamps_non_positive_times():
+    # zero/negative samples are floored rather than crashing the log fit
+    points = [ScalingPoint(10, 0.0), ScalingPoint(20, 0.0)]
+    assert fit_loglog_slope(points) == pytest.approx(0.0)
+
+
+# ---------------------------------------------------------------------------
+# growth_class_from_slope / classify_growth
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "slope, label",
+    [
+        (-0.2, "constant-ish"),
+        (0.0, "constant-ish"),
+        (0.49, "constant-ish"),
+        (0.5, "linear"),
+        (1.0, "linear"),
+        (1.49, "linear"),
+        (1.5, "quadratic"),
+        (2.49, "quadratic"),
+        (2.5, "cubic"),
+        (3.49, "cubic"),
+        (3.5, "superpolynomial"),
+        (10.0, "superpolynomial"),
+    ],
+)
+def test_growth_class_boundaries(slope, label):
+    assert growth_class_from_slope(slope) == label
+
+
+def test_classify_growth_delegates_to_slope_fit():
+    linear = _sweep(lambda n: n * 1e-6)
+    assert classify_growth(linear) == growth_class_from_slope(
+        fit_loglog_slope(linear)
+    )
+    assert classify_growth(linear) == "linear"
+    assert classify_growth(_sweep(lambda n: n * n * 1e-9)) == "quadratic"
+
+
+# ---------------------------------------------------------------------------
+# ratio_test
+# ---------------------------------------------------------------------------
+
+
+def test_ratio_test_constant_series():
+    ratios = ratio_test(_sweep(lambda n: 0.25))
+    assert len(ratios) == 3
+    assert all(r == pytest.approx(1.0) for r in ratios)
+
+
+def test_ratio_test_linear_series_tracks_size_ratio():
+    # sizes double each step, so a linear series doubles too
+    ratios = ratio_test(_sweep(lambda n: n * 1e-6))
+    assert all(r == pytest.approx(2.0) for r in ratios)
+
+
+def test_ratio_test_quadratic_series():
+    ratios = ratio_test(_sweep(lambda n: n * n * 1e-9))
+    assert all(r == pytest.approx(4.0) for r in ratios)
+
+
+def test_ratio_test_guards_division_by_zero():
+    points = [ScalingPoint(10, 0.0), ScalingPoint(20, 1.0)]
+    assert ratio_test(points) == [pytest.approx(1e9)]

@@ -334,3 +334,117 @@ def test_generous_budget_changes_nothing():
     assert set(budgeted.answer) == set(plain.answer)
     assert budgeted.stats.strategy == plain.stats.strategy
     assert budgeted.stats.fallback_from == ()
+
+
+# ---------------------------------------------------------------------------
+# duration histograms and the OpenMetrics exposition
+# ---------------------------------------------------------------------------
+
+
+def test_duration_histogram_single_observation_is_exact():
+    from repro.obs import DurationHistogram
+
+    hist = DurationHistogram()
+    hist.observe(0.25)
+    d = hist.to_dict()
+    assert d["count"] == 1
+    assert d["sum"] == pytest.approx(0.25)
+    assert d["min"] == d["max"] == pytest.approx(0.25)
+    assert d["p50"] == pytest.approx(0.25)
+
+
+def test_duration_histogram_percentiles_are_monotone_and_bracketed():
+    from repro.obs import DurationHistogram
+
+    hist = DurationHistogram()
+    for ms in range(1, 101):  # 1ms .. 100ms
+        hist.observe(ms * 1e-3)
+    p50, p90, p99 = (hist.percentile(q) for q in (0.5, 0.9, 0.99))
+    assert hist.min <= p50 <= p90 <= p99 <= hist.max
+    assert hist.mean == pytest.approx(0.0505, rel=1e-6)
+    # bucket resolution is a factor of two: estimates stay within that
+    assert 0.025 <= p50 <= 0.1
+    assert 0.05 <= p90 <= 0.2
+
+
+def test_duration_histogram_merge_matches_combined_stream():
+    from repro.obs import DurationHistogram
+
+    left, right, combined = (DurationHistogram() for _ in range(3))
+    for t in (0.001, 0.004, 0.016):
+        left.observe(t)
+        combined.observe(t)
+    for t in (0.002, 0.064):
+        right.observe(t)
+        combined.observe(t)
+    left.merge(right)
+    assert left.count == combined.count == 5
+    assert left.sum == pytest.approx(combined.sum)
+    assert left.buckets() == combined.buckets()
+    assert left.percentile(0.9) == pytest.approx(combined.percentile(0.9))
+
+
+def test_empty_histogram_is_all_zeros():
+    from repro.obs import DurationHistogram
+
+    hist = DurationHistogram()
+    assert hist.percentile(0.5) == 0.0
+    assert hist.mean == 0.0
+    assert hist.to_dict()["count"] == 0
+    assert hist.buckets() == []
+
+
+def test_registry_duration_accessors():
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    assert reg.total_seconds("nope") == 0.0 and reg.duration("nope") is None
+    reg.observe_duration("query.xpath", 0.1)
+    reg.observe_duration("query.xpath", 0.3)
+    assert reg.total_seconds("query.xpath") == pytest.approx(0.4)
+    assert reg.duration("query.xpath").count == 2
+    assert list(reg.durations()) == ["query.xpath"]
+    reg.reset()
+    assert reg.durations() == {}
+
+
+def test_observed_calls_fold_durations_per_strategy_and_span():
+    db = Database.from_xml(DOC)
+    METRICS.reset()
+    try:
+        result = db.xpath("Child+[lab() = b]", trace=True)
+        strategy = result.stats.strategy
+        assert METRICS.total_seconds("query.xpath") > 0.0
+        assert METRICS.total_seconds(f"strategy.{strategy}") > 0.0
+        # with a tracer attached, every span contributes its duration
+        assert METRICS.duration("span.query:xpath").count == 1
+        assert METRICS.duration("span.plan").count == 1
+    finally:
+        METRICS.reset()
+
+
+def test_budget_only_calls_fold_query_duration_without_spans():
+    db = Database.from_xml(DOC)
+    METRICS.reset()
+    try:
+        db.xpath("Child+[lab() = b]", max_visited=10_000)
+        assert METRICS.duration("query.xpath").count == 1
+        assert not any(name.startswith("span.") for name in METRICS.durations())
+    finally:
+        METRICS.reset()
+
+
+def test_render_openmetrics_exposition():
+    from repro.obs import MetricsRegistry, render_openmetrics
+
+    reg = MetricsRegistry()
+    reg.merge({"sj.pairs": 4, 'odd"name': 2})
+    reg.observe_duration("strategy.linear", 0.01)
+    text = render_openmetrics(reg)
+    assert text.endswith("# EOF\n")
+    assert "repro_queries_observed_total 1" in text
+    assert 'repro_counter_total{name="sj.pairs"} 4' in text
+    assert 'repro_counter_total{name="odd\\"name"} 2' in text
+    assert 'repro_duration_seconds{name="strategy.linear",quantile="0.5"}' in text
+    assert 'repro_duration_seconds_count{name="strategy.linear"} 1' in text
+    assert 'repro_duration_seconds_sum{name="strategy.linear"} 0.01' in text
