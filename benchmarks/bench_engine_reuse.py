@@ -21,7 +21,7 @@ from repro.engine import Database
 from repro.perf import Sample
 from repro.workloads import xmark_like
 
-from _benchutil import record_metrics_snapshot, report, sizes
+from _benchutil import record_metrics_snapshot, record_series, report, sizes, timed
 
 XPATH_WORKLOAD = [
     "Child*[lab() = item]/Child[lab() = keyword]",
@@ -106,6 +106,54 @@ def test_planner_choices_are_stable():
         assert db.plan("xpath", q) == db.plan("xpath", q)
     for q in TWIG_WORKLOAD:
         assert db.plan("twig", q) == db.plan("twig", q)
+
+
+def test_faultpoint_overhead_disabled():
+    """The fault-injection contract (docs/ROBUSTNESS.md): with no
+    FaultPlan armed, every ``faultpoint(site)`` the engine passes
+    through is one module-global read and a None check.  Recorded as
+    its own series so a future hook regression shows up in ``repro
+    bench compare``; the workload timing here doubles as the
+    disabled-faultpoints variant of the reuse sweep."""
+    from repro.faults import active_plan, faultpoint
+
+    assert active_plan() is None  # nothing armed: the disabled path
+
+    rows = []
+    for n in sizes((100, 200, 400), (60, 120)):
+        tree = xmark_like(n, seed=11)
+        db = Database(tree)
+        t_workload = timed(_run_workload, db, repeats=3)
+        rows.append([db.tree.n, t_workload])
+    report(
+        "E-ENG: warm workload with faultpoints compiled in, no plan armed",
+        ["nodes", "workload (disabled faultpoints)"],
+        rows,
+    )
+
+    # the hook itself, microbenchmarked against an empty loop
+    calls = sizes(200_000, 40_000)
+
+    def hook_loop():
+        for _ in range(calls):
+            faultpoint("index.build")
+
+    def empty_loop():
+        for _ in range(calls):
+            pass
+
+    t_hook = timed(hook_loop, repeats=3)
+    t_empty = timed(empty_loop, repeats=3)
+    per_call = max(float(t_hook) - float(t_empty), 0.0) / calls
+    record_series("faultpoint disabled per-call overhead", [(calls, per_call)])
+    report(
+        "E-ENG: faultpoint() hook cost, disabled",
+        ["calls", "hook loop", "empty loop", "per-call (s)"],
+        [[calls, t_hook, t_empty, f"{per_call:.2e}"]],
+    )
+    # generous absolute ceiling: a global read + None check in CPython
+    # is tens of nanoseconds; even a noisy CI box stays far under 5 µs
+    assert per_call < 5e-6
 
 
 def test_observed_workload_counter_report():

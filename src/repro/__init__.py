@@ -28,20 +28,30 @@ Subpackages
 __version__ = "1.0.0"
 
 from repro.errors import (
+    AllStrategiesFailedError,
     EvaluationError,
+    InjectedFault,
     IntractableSignatureError,
     NotAcyclicError,
     ParseError,
     QueryError,
     ReproError,
+    ResourceBudgetExceeded,
+    StorageError,
+    TransientError,
     UnsupportedAxisError,
 )
 
 from repro.engine import Database
+from repro.faults import FaultPlan, FaultRule, faultpoint, registered_sites
 
 __all__ = [
     "__version__",
     "Database",
+    "FaultPlan",
+    "FaultRule",
+    "faultpoint",
+    "registered_sites",
     "ReproError",
     "ParseError",
     "QueryError",
@@ -49,4 +59,9 @@ __all__ = [
     "UnsupportedAxisError",
     "EvaluationError",
     "IntractableSignatureError",
+    "ResourceBudgetExceeded",
+    "StorageError",
+    "TransientError",
+    "InjectedFault",
+    "AllStrategiesFailedError",
 ]

@@ -1,0 +1,557 @@
+"""The chaos differential harness (docs/ROBUSTNESS.md).
+
+The safety contract this module enforces end-to-end: **under any single
+injected fault, at any registered site, the library either returns the
+exact clean answer or raises a typed** :class:`~repro.errors.ReproError`
+— never a wrong answer, never a foreign exception.
+
+:func:`chaos_sweep` runs a seeded matrix of documents × queries ×
+single-fault scenarios covering *every* registered injection site
+(:func:`repro.faults.registered_sites`), differentially comparing each
+faulted run against its clean twin.  Each scenario's outcome is one of:
+
+``match``
+    The fault plan was armed but the rule never tripped (the chosen
+    strategy never reached that site) — answer equals the clean run.
+``recovered``
+    The rule tripped and the run still produced the clean answer: the
+    supervisor retried a transient, fell back past a poisoned strategy,
+    or a latency fault merely delayed the call.
+``typed-error``
+    The run failed with a :class:`~repro.errors.ReproError` subclass —
+    an acceptable, contractual failure.
+``degraded``
+    Recovery-mode ingestion kept a repaired (smaller) document and said
+    so through :class:`~repro.trees.xmlio.ParseWarning` records.
+``wrong-answer`` / ``foreign-error``
+    Contract violations.  :meth:`ChaosReport.ok` is False if any occur.
+
+The sweep is what the ``repro chaos`` subcommand and the
+``chaos-smoke`` CI job run; ``fast=True`` trims the matrix (fewer
+queries and fault kinds per site) while still touching every site.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError, ReproError
+from repro.faults import FaultPlan, registered_sites
+from repro.engine.database import Database
+from repro.engine.stats import ExecutionStats
+
+# sites register at the instrumented module's import; the sweep matrix
+# snapshots registered_sites(), so every instrumented module must be
+# imported before generation — not left to lazy, path-dependent imports
+import repro.engine.index  # noqa: F401,E402
+import repro.engine.planner  # noqa: F401,E402
+import repro.engine.strategies  # noqa: F401,E402
+import repro.storage.diskstore  # noqa: F401,E402
+import repro.storage.structural_join  # noqa: F401,E402
+import repro.streaming.events  # noqa: F401,E402
+import repro.trees.xmlio  # noqa: F401,E402
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosReport",
+    "ChaosScenario",
+    "chaos_sweep",
+    "default_documents",
+    "default_queries",
+    "fallback_demos",
+]
+
+# ---------------------------------------------------------------------------
+# the corpus: documents and queries the scenarios run over
+# ---------------------------------------------------------------------------
+
+
+def default_documents() -> dict[str, str]:
+    """Small deterministic documents exercising depth, width and labels."""
+    deep = "".join(f"<d{i % 3}>" for i in range(12))
+    deep += "<b/>" + "".join(f"</d{i % 3}>" for i in reversed(range(12)))
+    wide = "".join(
+        f"<item><name/><keyword/></item>" if i % 3 else "<item><b/></item>"
+        for i in range(8)
+    )
+    return {
+        "tiny": "<a><b><c/></b><b/></a>",
+        "deep": f"<a>{deep}</a>",
+        "wide": f"<site><people>{wide}</people><b/></site>",
+    }
+
+
+def default_queries() -> list[tuple[str, str]]:
+    """(kind, concrete syntax) pairs spanning every query language."""
+    return [
+        ("xpath", "Child+[lab() = b]"),
+        ("xpath", "Child*[lab() = item]/Child[lab() = name]"),
+        ("xpath", "Child[lab() = people]"),
+        ("twig", "//item[keyword]"),
+        ("twig", "//a//b"),
+        ("cq", "ans() :- Child+(x, y), Lab:b(y)"),
+        ("datalog", "Q(x) :- Lab:b(x).\n% query: Q"),
+    ]
+
+
+# engine-path sites are driven through a Database call; ingestion sites
+# each need their own driver (they fire before/without an engine call)
+_INGESTION_SITES = ("xml.parse", "stream.events", "disk.read")
+
+
+# ---------------------------------------------------------------------------
+# scenarios and outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One cell of the sweep matrix: a fault spec against one workload.
+
+    ``strategy`` is ``"auto"`` except for ``strategy.<name>`` sites,
+    which are driven with the explicit strategy so the site is
+    guaranteed to be reached (the planner would otherwise never route
+    some workloads through e.g. the naive datalog baseline)."""
+
+    site: str
+    spec: str  # FaultRule spec, e.g. "strategy.linear:error@nth=1"
+    doc: str  # document name from the corpus
+    kind: str  # query kind ("xpath"/"twig"/"cq"/"datalog"), or "ingest"
+    query: str  # concrete query syntax, or the ingestion driver name
+    seed: int
+    strategy: str = "auto"
+
+    def describe(self) -> str:
+        return f"{self.spec} × {self.doc} × {self.kind}:{self.query!r}"
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    scenario: ChaosScenario
+    # match | recovered | typed-error | degraded | skipped
+    #   | wrong-answer | foreign-error
+    status: str
+    detail: str = ""
+    tripped: bool = False
+    stats: "ExecutionStats | None" = None
+
+
+@dataclass
+class ChaosReport:
+    """The sweep's verdict: outcomes plus the contract checks."""
+
+    seed: int
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    def by_status(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    def violations(self) -> list[ChaosOutcome]:
+        return [
+            o for o in self.outcomes
+            if o.status in ("wrong-answer", "foreign-error")
+        ]
+
+    def tripped_sites(self) -> set[str]:
+        return {o.scenario.site for o in self.outcomes if o.tripped}
+
+    def targeted_sites(self) -> set[str]:
+        """The sites this sweep's scenarios set out to trip."""
+        return {o.scenario.site for o in self.outcomes}
+
+    def uncovered_sites(self) -> set[str]:
+        """Targeted sites the sweep never actually tripped.  For an
+        unfiltered, uncapped sweep this equals the registered sites
+        minus the tripped ones; with ``sites=`` / ``max_scenarios=``
+        restrictions only the sites actually swept are held to the
+        coverage bar."""
+        return self.targeted_sites() - self.tripped_sites()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{status}={count}" for status, count in sorted(self.by_status().items())
+        )
+        verdict = "OK" if self.ok else "CONTRACT VIOLATED"
+        lines = [
+            f"chaos sweep (seed={self.seed}): {len(self.outcomes)} scenarios, "
+            f"{len(self.tripped_sites())} sites tripped — {counts} — {verdict}"
+        ]
+        for violation in self.violations():
+            lines.append(
+                f"  VIOLATION [{violation.status}] "
+                f"{violation.scenario.describe()}: {violation.detail}"
+            )
+        for site in sorted(self.uncovered_sites()):
+            lines.append(f"  note: site {site!r} never tripped in this sweep")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# scenario generation
+# ---------------------------------------------------------------------------
+
+
+def generate_scenarios(
+    seed: int = 0,
+    sites: "list[str] | None" = None,
+    fast: bool = False,
+) -> list[ChaosScenario]:
+    """The deterministic sweep matrix for the given seed.
+
+    Every registered (or requested) site appears; ``fast`` trims fault
+    kinds to error+transient and one workload per site where the full
+    sweep crosses all four kinds with several workloads.
+    """
+    documents = default_documents()
+    queries = default_queries()
+    if sites is None:
+        all_sites = sorted(registered_sites())
+    else:
+        # each entry is an exact site name or a glob over the registry
+        known = registered_sites()
+        selected: set[str] = set()
+        for pattern in sites:
+            matched = [
+                name
+                for name in known
+                if name == pattern or fnmatch.fnmatchcase(name, pattern)
+            ]
+            if not matched:
+                raise QueryError(
+                    f"unknown fault site {pattern!r}; "
+                    "see repro.faults.registered_sites()"
+                )
+            selected.update(matched)
+        all_sites = sorted(selected)
+    kinds = ("error", "transient") if fast else ("error", "transient", "latency", "corrupt")
+    scenarios: list[ChaosScenario] = []
+    for site in all_sites:
+        strategy = "auto"
+        if site in _INGESTION_SITES:
+            workloads = [("ingest", site)]
+        elif site.startswith("strategy."):
+            # drive the site with its explicit strategy so it is
+            # guaranteed to be reached, through queries of its kind
+            strategy_kind = _strategy_kind(site)
+            strategy = site.split(".", 1)[1]
+            workloads = [
+                (kind, query) for kind, query in queries if kind == strategy_kind
+            ]
+        else:
+            workloads = list(queries)
+        if fast and len(workloads) > 1:
+            workloads = workloads[:1]
+        doc_names = list(documents)
+        if fast:
+            doc_names = doc_names[:1]
+        for fault_kind in kinds:
+            spec = f"{site}:{fault_kind}@nth=1"
+            for doc in doc_names if site != "query.parse" else doc_names[:1]:
+                for kind, query in workloads:
+                    scenarios.append(
+                        ChaosScenario(
+                            site, spec, doc, kind, query, seed, strategy
+                        )
+                    )
+    return scenarios
+
+
+def _strategy_kind(site: str) -> str:
+    """Map a ``strategy.<name>`` site to the query kind that can reach it."""
+    from repro.engine.strategies import STRATEGIES
+
+    name = site.split(".", 1)[1]
+    for kind, registry in STRATEGIES.items():
+        if name in registry:
+            return kind
+    return "xpath"
+
+
+# ---------------------------------------------------------------------------
+# scenario execution
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(scenario: ChaosScenario) -> ChaosOutcome:
+    """Execute one scenario differentially against its clean twin."""
+    text = default_documents()[scenario.doc]
+    if scenario.kind == "ingest":
+        return _run_ingestion(scenario, text)
+    return _run_engine(scenario, text)
+
+
+def _run_engine(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    try:
+        clean = Database.from_xml(text).run(
+            scenario.kind, scenario.query, scenario.strategy
+        ).answer
+    except ReproError as exc:
+        # the workload itself is inapplicable to this explicit strategy
+        # (e.g. pathstack on a branching twig) — nothing to differ with
+        return ChaosOutcome(
+            scenario, "skipped", f"clean run failed: {exc}"
+        )
+    db = Database.from_xml(text)  # fresh: index.build must fire again
+    with FaultPlan([scenario.spec], seed=scenario.seed) as plan:
+        try:
+            result = db.run(
+                scenario.kind, scenario.query, scenario.strategy,
+                retries=1, on_error="fallback",
+            )
+        except ReproError as exc:
+            return ChaosOutcome(
+                scenario, "typed-error", f"{type(exc).__name__}: {exc}",
+                tripped=bool(plan.trips),
+            )
+        except Exception as exc:  # noqa: BLE001 - the contract check itself
+            return ChaosOutcome(
+                scenario, "foreign-error", f"{type(exc).__name__}: {exc}",
+                tripped=bool(plan.trips),
+            )
+    if result.answer != clean:
+        return ChaosOutcome(
+            scenario, "wrong-answer",
+            f"faulted answer {sorted(result.answer)!r} != clean "
+            f"{sorted(clean)!r}",
+            tripped=bool(plan.trips), stats=result.stats,
+        )
+    status = "recovered" if plan.trips else "match"
+    return ChaosOutcome(
+        scenario, status, tripped=bool(plan.trips), stats=result.stats
+    )
+
+
+def _run_ingestion(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    if scenario.site == "xml.parse":
+        return _run_xml_parse(scenario, text)
+    if scenario.site == "stream.events":
+        return _run_stream_events(scenario, text)
+    return _run_disk_read(scenario, text)
+
+
+def _retrying(scenario: ChaosScenario, action):
+    """Run ``action`` under the armed plan, retrying one transient —
+    the harness-level analogue of the engine supervisor's retry policy.
+
+    Returns ``(value, plan, status)`` where status is None on success.
+    """
+    from repro.errors import TransientError
+
+    with FaultPlan([scenario.spec], seed=scenario.seed) as plan:
+        for attempt in (0, 1):
+            try:
+                return action(), plan, None
+            except TransientError as exc:
+                if attempt == 1:
+                    return None, plan, ChaosOutcome(
+                        scenario, "typed-error",
+                        f"TransientError: {exc}", tripped=True,
+                    )
+            except ReproError as exc:
+                return None, plan, ChaosOutcome(
+                    scenario, "typed-error", f"{type(exc).__name__}: {exc}",
+                    tripped=bool(plan.trips),
+                )
+            except Exception as exc:  # noqa: BLE001
+                return None, plan, ChaosOutcome(
+                    scenario, "foreign-error", f"{type(exc).__name__}: {exc}",
+                    tripped=bool(plan.trips),
+                )
+    return None, plan, None  # pragma: no cover - loop always returns
+
+
+def _run_xml_parse(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    from repro.trees.xmlio import parse_xml, to_xml
+
+    clean = to_xml(parse_xml(text))
+    recover = "corrupt" in scenario.spec  # corrupt runs exercise recovery
+    warnings: list = []
+
+    def action():
+        return parse_xml(text, recover=recover, warnings=warnings)
+
+    tree, plan, failure = _retrying(scenario, action)
+    if failure is not None:
+        return failure
+    faulted = to_xml(tree)
+    if faulted == clean:
+        status = "recovered" if plan.trips else "match"
+        return ChaosOutcome(scenario, status, tripped=bool(plan.trips))
+    if recover and plan.trips:
+        # recovery mode legitimately keeps a repaired smaller document —
+        # but it must say so, and what it kept must round-trip strictly
+        round_trips = to_xml(parse_xml(faulted)) == faulted
+        if warnings and round_trips:
+            return ChaosOutcome(
+                scenario, "degraded",
+                f"{len(warnings)} repairs reported", tripped=True,
+            )
+        return ChaosOutcome(
+            scenario, "wrong-answer",
+            "recovered document differs without warnings "
+            f"(round_trips={round_trips})",
+            tripped=True,
+        )
+    return ChaosOutcome(
+        scenario, "wrong-answer", "parsed tree differs from clean run",
+        tripped=bool(plan.trips),
+    )
+
+
+def _run_stream_events(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    from repro.streaming.events import xml_events
+
+    clean = list(xml_events(text))
+
+    def action():
+        return list(xml_events(text))
+
+    events, plan, failure = _retrying(scenario, action)
+    if failure is not None:
+        return failure
+    if events != clean:
+        return ChaosOutcome(
+            scenario, "wrong-answer",
+            f"faulted stream yielded {len(events)} events, clean "
+            f"{len(clean)}",
+            tripped=bool(plan.trips),
+        )
+    status = "recovered" if plan.trips else "match"
+    return ChaosOutcome(scenario, status, tripped=bool(plan.trips))
+
+
+def _run_disk_read(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    from repro.storage.diskstore import dump_tree, load_tree
+    from repro.trees.xmlio import parse_xml
+
+    clean_tree = parse_xml(text)
+    fd, path = tempfile.mkstemp(suffix=".rtre")
+    os.close(fd)
+    try:
+        dump_tree(clean_tree, path)
+
+        def action():
+            return load_tree(path)
+
+        tree, plan, failure = _retrying(scenario, action)
+        if failure is not None:
+            return failure
+        if tree.label != clean_tree.label or tree.parent != clean_tree.parent:
+            return ChaosOutcome(
+                scenario, "wrong-answer", "loaded tree differs from dumped",
+                tripped=bool(plan.trips),
+            )
+        status = "recovered" if plan.trips else "match"
+        return ChaosOutcome(scenario, status, tripped=bool(plan.trips))
+    finally:
+        os.unlink(path)
+
+
+# ---------------------------------------------------------------------------
+# the sweep and the fallback demos
+# ---------------------------------------------------------------------------
+
+
+def chaos_sweep(
+    seed: int = 0,
+    sites: "list[str] | None" = None,
+    fast: bool = False,
+    max_scenarios: "int | None" = None,
+) -> ChaosReport:
+    """Run the full differential sweep; see the module docstring."""
+    report = ChaosReport(seed=seed)
+    scenarios = generate_scenarios(seed, sites=sites, fast=fast)
+    if max_scenarios is not None:
+        scenarios = scenarios[:max_scenarios]
+    for scenario in scenarios:
+        report.outcomes.append(run_scenario(scenario))
+    return report
+
+
+def fallback_demos(seed: int = 0) -> dict[str, ExecutionStats]:
+    """Per engine site: a successful supervised recovery, with its
+    attempt chain — the planner's redundancy of algorithms (paper
+    Section 7) demonstrated as fault tolerance.
+
+    Strategy sites that the planner picks first for some workload get a
+    hard error there (the supervisor blacklists the strategy and falls
+    back to the next ranked one); strategy sites the planner never
+    ranks first, and the setup sites (``index.build``,
+    ``planner.plan``, ``query.parse``) plus ``join.merge``, get a
+    transient instead (the supervisor retries the same route).  Every
+    returned stats object has ≥ 2 attempts and the tripped site in
+    ``stats.faults``.
+    """
+    documents = default_documents()
+    demos: dict[str, ExecutionStats] = {}
+    for site in registered_sites():
+        if site in _INGESTION_SITES:
+            continue
+        if site.startswith("strategy."):
+            kind = _strategy_kind(site)
+            name = site.split(".", 1)[1]
+            workloads = [q for k, q in default_queries() if k == kind]
+            # a true fallback demo needs the planner to route through
+            # the poisoned strategy; then error -> blacklist -> next
+            stats = _demo(
+                site, f"{site}:error@nth=1", kind, workloads, "auto",
+                documents, seed, require_choice=name,
+            )
+            if stats is None:
+                # never the planner's first choice: demo the retry leg
+                stats = _demo(
+                    site, f"{site}:transient@nth=1", kind, workloads, name,
+                    documents, seed,
+                )
+        else:
+            workloads = [q for k, q in default_queries() if k == "xpath"]
+            stats = _demo(
+                site, f"{site}:transient@nth=1", "xpath", workloads, "auto",
+                documents, seed,
+            )
+        if stats is not None:
+            demos[site] = stats
+    return demos
+
+
+def _demo(
+    site: str,
+    spec: str,
+    kind: str,
+    workloads: list[str],
+    strategy: str,
+    documents: dict[str, str],
+    seed: int,
+    require_choice: "str | None" = None,
+) -> "ExecutionStats | None":
+    """First workload where the fault trips and the call still succeeds
+    with a ≥ 2-entry attempt chain; None when no workload qualifies."""
+    for doc in documents.values():
+        for query in workloads:
+            db = Database.from_xml(doc)
+            if require_choice is not None:
+                try:
+                    if db.plan(kind, query).strategy != require_choice:
+                        continue
+                except ReproError:
+                    continue
+            with FaultPlan([spec], seed=seed) as plan:
+                try:
+                    result = db.run(
+                        kind, query, strategy, retries=1, on_error="fallback"
+                    )
+                except ReproError:
+                    continue
+            if plan.trips and len(result.stats.attempts) >= 2:
+                return result.stats
+    return None

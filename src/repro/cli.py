@@ -24,6 +24,15 @@ the span tree to stderr, ``--trace=FILE`` writes it as JSON instead;
 exceeding it is a clean exit-3 error (the planner falls back to the
 next applicable strategy first when the engine is ``auto``).
 
+Robustness (see docs/ROBUSTNESS.md): ``--retries N`` re-attempts
+transient failures, ``--on-error {raise,fallback,partial}`` picks the
+degradation policy, and ``--fault SITE:KIND[:ARG][@TRIGGER]``
+(repeatable, with ``--fault-seed``) arms a deterministic fault plan
+around the query — injected failures that defeat the supervisor are a
+clean exit-4 error.  ``repro chaos`` runs the seeded differential
+sweep over every registered injection site and fails (exit 1) on any
+wrong answer or foreign exception.
+
 Benchmark telemetry (the "Benchmark telemetry" section of
 docs/OBSERVABILITY.md): ``repro bench run`` sweeps ``benchmarks/`` and
 writes the next ``BENCH_<n>.json``; ``repro bench compare`` diffs two
@@ -37,9 +46,19 @@ from __future__ import annotations
 import argparse
 import sys
 from collections import Counter
+from contextlib import nullcontext
+
+_NULL_PLAN = nullcontext()
 
 from repro.engine import Database, strategy_names
-from repro.errors import QueryError, ResourceBudgetExceeded
+from repro.errors import (
+    AllStrategiesFailedError,
+    InjectedFault,
+    QueryError,
+    ResourceBudgetExceeded,
+    TransientError,
+)
+from repro.faults import FaultPlan
 from repro.trees import Tree, to_xml
 
 __all__ = ["main", "build_parser"]
@@ -72,13 +91,23 @@ def cmd_stats(args) -> int:
 
 
 def _budget_kwargs(args) -> dict:
-    """Translate --trace/--deadline-ms/--max-visited into Database kwargs."""
+    """Translate the observability/supervision flags into Database kwargs."""
     deadline_ms = getattr(args, "deadline_ms", None)
     return {
         "trace": getattr(args, "trace", None) is not None,
         "deadline": deadline_ms / 1000.0 if deadline_ms is not None else None,
         "max_visited": getattr(args, "max_visited", None),
+        "retries": getattr(args, "retries", 0),
+        "on_error": getattr(args, "on_error", "raise"),
     }
+
+
+def _fault_plan(args) -> "FaultPlan | None":
+    """An armed FaultPlan from --fault/--fault-seed, or None."""
+    specs = getattr(args, "fault", None)
+    if not specs:
+        return None
+    return FaultPlan(specs, seed=getattr(args, "fault_seed", 0))
 
 
 def _emit_trace(args, name: str, result) -> None:
@@ -108,18 +137,29 @@ def _run_query(args, db: Database, kind: str, query) -> int:
         )
         return 2
     obs = _budget_kwargs(args)
+    plan = _fault_plan(args)
     try:
-        if chosen == "all":
-            results = db.cross_check(kind, query, **obs)
-        else:
-            result = db.run(kind, query, chosen, **obs)
-            results = {result.stats.strategy: result}
+        with plan if plan is not None else _NULL_PLAN:
+            if chosen == "all":
+                results = db.cross_check(kind, query, **obs)
+            else:
+                result = db.run(kind, query, chosen, **obs)
+                results = {result.stats.strategy: result}
     except QueryError as exc:
         print(f"engine {chosen!r} not applicable: {exc}", file=sys.stderr)
         return 2
     except ResourceBudgetExceeded as exc:
         print(f"budget exceeded: {exc}", file=sys.stderr)
         return 3
+    except (AllStrategiesFailedError, InjectedFault, TransientError) as exc:
+        print(f"supervision exhausted: {exc}", file=sys.stderr)
+        return 4
+    if plan is not None:
+        print(
+            f"# fault plan: {len(plan.trips)} trips at "
+            f"{plan.tripped_sites() or 'no sites'}",
+            file=sys.stderr,
+        )
 
     for name, result in results.items():
         print(f"# {name}: {result.stats.elapsed_ms:.1f} ms", file=sys.stderr)
@@ -249,6 +289,19 @@ def cmd_bench_export(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import chaos_sweep
+
+    report = chaos_sweep(
+        seed=args.seed,
+        sites=args.sites,
+        fast=args.fast,
+        max_scenarios=args.scenarios,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_classify(args) -> int:
     from repro.consistency import classify_signature
 
@@ -316,6 +369,41 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="N",
                 help="abort (exit 3) after visiting more than N nodes",
             )
+            p.add_argument(
+                "--retries",
+                type=int,
+                default=0,
+                metavar="N",
+                help="re-attempt transient failures up to N times",
+            )
+            p.add_argument(
+                "--on-error",
+                choices=("raise", "fallback", "partial"),
+                default="raise",
+                help=(
+                    "degradation policy: raise (default), fallback "
+                    "(blacklist the failed strategy, try the next), or "
+                    "partial (never fail: degrade to an empty answer)"
+                ),
+            )
+            p.add_argument(
+                "--fault",
+                action="append",
+                default=None,
+                metavar="SPEC",
+                help=(
+                    "arm a deterministic fault rule "
+                    "(SITE:KIND[:ARG][@TRIGGER], repeatable; "
+                    "see docs/ROBUSTNESS.md)"
+                ),
+            )
+            p.add_argument(
+                "--fault-seed",
+                type=int,
+                default=0,
+                metavar="N",
+                help="RNG seed for probabilistic fault triggers",
+            )
 
     p = sub.add_parser("stats", help="document statistics")
     p.add_argument("document")
@@ -349,6 +437,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target")
     p.add_argument("--attr-labels", action="store_true")
     p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection sweep: clean answer or typed error",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed (default 0); same seed, same trips")
+    p.add_argument("--fast", action="store_true",
+                   help="trimmed matrix (CI smoke); still touches every site")
+    p.add_argument("--scenarios", type=int, default=None, metavar="N",
+                   help="cap the number of scenarios run")
+    p.add_argument("--sites", nargs="+", default=None, metavar="SITE",
+                   help="restrict the sweep to these injection sites")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("classify", help="Theorem 6.8 verdict for an axis set")
     p.add_argument("axes", nargs="+")

@@ -1,14 +1,16 @@
 """Unified query engine: Database facade, DocumentIndex, Planner.
 
 See docs/ENGINE.md for the architecture and the planner's heuristics,
-and docs/OBSERVABILITY.md for tracing (``trace=True``) and resource
-governance (``deadline=``/``max_visited=``) on every query entry point.
+docs/OBSERVABILITY.md for tracing (``trace=True``) and resource
+governance (``deadline=``/``max_visited=``) on every query entry point,
+and docs/ROBUSTNESS.md for the retry/fallback supervisor
+(``retries=``/``on_error=``) and fault injection.
 """
 
 from repro.engine.database import Database
 from repro.engine.index import DocumentIndex
 from repro.engine.planner import Plan, Planner
-from repro.engine.stats import ExecutionStats, Result
+from repro.engine.stats import Attempt, ExecutionStats, Result
 from repro.engine.strategies import (
     STRATEGIES,
     Strategy,
@@ -18,6 +20,7 @@ from repro.engine.strategies import (
 )
 
 __all__ = [
+    "Attempt",
     "Database",
     "DocumentIndex",
     "ExecutionStats",

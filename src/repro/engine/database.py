@@ -26,9 +26,20 @@ keywords (docs/OBSERVABILITY.md)::
     db.xpath(q, deadline=0.05)           # 50 ms per evaluation attempt
     db.xpath(q, max_visited=10_000)      # node-visit ceiling per attempt
 
+and the supervision keywords (docs/ROBUSTNESS.md)::
+
+    db.xpath(q, retries=2)               # re-attempt TransientErrors
+    db.xpath(q, on_error="fallback")     # failed strategy -> next one
+    db.xpath(q, on_error="partial")      # never raise: degrade to empty
+
 Budgeted auto-planned queries fall back to the next applicable strategy
 when an attempt exceeds its budget; the abandoned strategies are listed
-in ``stats.fallback_from``.
+in ``stats.fallback_from``.  Under ``on_error="fallback"`` *any*
+failing strategy is blacklisted for the call and the next applicable
+one runs — the paper's redundancy of evaluation algorithms (Section 7)
+turned into fault tolerance.  Every attempt (including retries) is
+recorded in ``stats.attempts``, and injection sites tripped by an armed
+:class:`repro.faults.FaultPlan` land in ``stats.faults``.
 """
 
 from __future__ import annotations
@@ -36,7 +47,15 @@ from __future__ import annotations
 import time
 from typing import Any
 
-from repro.errors import QueryError, ResourceBudgetExceeded
+from repro.errors import (
+    AllStrategiesFailedError,
+    ParseError,
+    QueryError,
+    ResourceBudgetExceeded,
+    StorageError,
+    TransientError,
+)
+from repro.faults import active_plan, faultpoint, register_site
 from repro.obs.budget import ResourceBudget
 from repro.obs.context import Observation, observed
 from repro.obs.metrics import METRICS
@@ -44,10 +63,15 @@ from repro.obs.tracer import Tracer
 from repro.trees.tree import Tree
 from repro.engine.index import DocumentIndex
 from repro.engine.planner import Plan, Planner
-from repro.engine.stats import ExecutionStats, Result
+from repro.engine.stats import Attempt, ExecutionStats, Result
 from repro.engine.strategies import get_strategy, strategies_for
 
 __all__ = ["Database"]
+
+register_site("query.parse", "concrete query syntax -> AST parsing")
+
+#: degradation policies accepted by the ``on_error`` keyword
+ON_ERROR_POLICIES = ("raise", "fallback", "partial")
 
 
 class Database:
@@ -64,20 +88,47 @@ class Database:
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def from_xml(cls, text: str, attributes_as_labels: bool = False) -> "Database":
+    def from_xml(
+        cls,
+        text: str,
+        attributes_as_labels: bool = False,
+        recover: bool = False,
+    ) -> "Database":
         from repro.trees.xmlio import parse_xml
 
-        return cls(parse_xml(text, attributes_as_labels=attributes_as_labels))
+        return cls(
+            parse_xml(
+                text, attributes_as_labels=attributes_as_labels, recover=recover
+            )
+        )
 
     @classmethod
-    def from_file(cls, path: str, attributes_as_labels: bool = False) -> "Database":
-        """Load an ``.xml`` document or an ``.rtre`` binary store."""
+    def from_file(
+        cls,
+        path: str,
+        attributes_as_labels: bool = False,
+        recover: bool = False,
+    ) -> "Database":
+        """Load an ``.xml`` document or an ``.rtre`` binary store.
+
+        I/O failures never escape raw: a missing or unreadable file is a
+        :class:`~repro.errors.StorageError` and an undecodable one a
+        :class:`~repro.errors.ParseError`, both naming the path.  The
+        text read is a ``disk.read`` fault-injection site.
+        """
         if path.endswith(".rtre"):
             from repro.storage.diskstore import load_tree
 
             return cls(load_tree(path))
-        with open(path, "r", encoding="utf-8") as fh:
-            return cls.from_xml(fh.read(), attributes_as_labels)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except UnicodeDecodeError as exc:
+            raise ParseError(f"document {path!r} is not valid UTF-8: {exc}") from exc
+        except OSError as exc:
+            raise StorageError(f"cannot read document {path!r}: {exc}") from exc
+        text = faultpoint("disk.read", text, mutator=_truncate_text)
+        return cls.from_xml(text, attributes_as_labels, recover=recover)
 
     # -- document and index access ----------------------------------------
 
@@ -107,6 +158,8 @@ class Database:
         trace: bool = False,
         deadline: "float | None" = None,
         max_visited: "int | None" = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> Result:
         """Evaluate a Core XPath query against the document root.
 
@@ -116,10 +169,13 @@ class Database:
         :class:`~repro.errors.ResourceBudgetExceeded` — unless the
         planner chose the strategy (``"auto"``), in which case it falls
         back to the next applicable one and records the downgrade in
-        ``stats.fallback_from``."""
+        ``stats.fallback_from``.  ``retries`` re-attempts
+        :class:`~repro.errors.TransientError` failures; ``on_error``
+        picks the degradation policy (see the module docstring)."""
         return self._execute(
             "xpath", query, strategy,
             trace=trace, deadline=deadline, max_visited=max_visited,
+            retries=retries, on_error=on_error,
         )
 
     def twig(
@@ -130,11 +186,14 @@ class Database:
         trace: bool = False,
         deadline: "float | None" = None,
         max_visited: "int | None" = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> Result:
         """Match a twig pattern; answers are tuples over pattern nodes."""
         return self._execute(
             "twig", query, strategy,
             trace=trace, deadline=deadline, max_visited=max_visited,
+            retries=retries, on_error=on_error,
         )
 
     def cq(
@@ -145,11 +204,14 @@ class Database:
         trace: bool = False,
         deadline: "float | None" = None,
         max_visited: "int | None" = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> Result:
         """Evaluate a conjunctive query; answers are head tuples."""
         return self._execute(
             "cq", query, strategy,
             trace=trace, deadline=deadline, max_visited=max_visited,
+            retries=retries, on_error=on_error,
         )
 
     def datalog(
@@ -161,11 +223,14 @@ class Database:
         trace: bool = False,
         deadline: "float | None" = None,
         max_visited: "int | None" = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> Result:
         """Evaluate a monadic datalog program's query predicate."""
         return self._execute(
             "datalog", program, strategy, query_pred=query_pred,
             trace=trace, deadline=deadline, max_visited=max_visited,
+            retries=retries, on_error=on_error,
         )
 
     def run(
@@ -177,6 +242,8 @@ class Database:
         trace: bool = False,
         deadline: "float | None" = None,
         max_visited: "int | None" = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> Result:
         """Generic entry point: ``kind`` in xpath/twig/cq/datalog.
 
@@ -186,6 +253,7 @@ class Database:
         return self._execute(
             kind, query, strategy,
             trace=trace, deadline=deadline, max_visited=max_visited,
+            retries=retries, on_error=on_error,
         )
 
     def query(
@@ -196,6 +264,8 @@ class Database:
         trace: bool = False,
         deadline: "float | None" = None,
         max_visited: "int | None" = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> Result:
         """Dispatch on concrete syntax: ``:-`` → CQ, a leading ``/`` →
         twig, otherwise Core XPath."""
@@ -207,6 +277,7 @@ class Database:
         return self._execute(
             kind, text, strategy,
             trace=trace, deadline=deadline, max_visited=max_visited,
+            retries=retries, on_error=on_error,
         )
 
     # -- strategy introspection -------------------------------------------
@@ -229,6 +300,8 @@ class Database:
         trace: bool = False,
         deadline: "float | None" = None,
         max_visited: "int | None" = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> dict[str, Result]:
         """Run the query under every applicable (or the given) strategy.
 
@@ -243,6 +316,7 @@ class Database:
             name: self._execute(
                 kind, query, name,
                 trace=trace, deadline=deadline, max_visited=max_visited,
+                retries=retries, on_error=on_error,
             )
             for name in names
         }
@@ -289,6 +363,7 @@ class Database:
         cached = self._parse_cache.get(key)
         if cached is not None:
             return cached
+        faultpoint("query.parse")
         if kind == "xpath":
             from repro.xpath.parser import parse_xpath
 
@@ -319,15 +394,33 @@ class Database:
         trace: bool = False,
         deadline: "float | None" = None,
         max_visited: "int | None" = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> Result:
+        if on_error not in ON_ERROR_POLICIES:
+            raise QueryError(
+                f"unknown on_error policy {on_error!r}; options: "
+                + ", ".join(ON_ERROR_POLICIES)
+            )
+        if retries < 0:
+            raise QueryError("retries must be >= 0")
         text = query if isinstance(query, str) else str(query)
-        parsed = self._parsed(kind, query, query_pred)
-        if trace or deadline is not None or max_visited is not None:
-            return self._execute_observed(
-                kind, text, parsed, strategy, trace, deadline, max_visited
+        if (
+            trace
+            or deadline is not None
+            or max_visited is not None
+            or retries
+            or on_error != "raise"
+        ):
+            return self._execute_supervised(
+                kind, text, query, strategy, query_pred,
+                trace, deadline, max_visited, retries, on_error,
             )
         # fast path: no Observation, no spans, no counters — the only
         # instrumentation cost anywhere below is a None check
+        parsed = self._parsed(kind, query, query_pred)
+        plan_active = active_plan()
+        trips_before = len(plan_active.trips) if plan_active is not None else 0
         built_here = self._index is None
         index = self.index
         hits_before = index.hits
@@ -350,70 +443,220 @@ class Database:
             index_built=built_here,
             index_hits=index.hits - hits_before,
             nodes_streamed=index.nodes_streamed - streamed_before,
+            faults=_tripped_since(plan_active, trips_before),
         )
         self.history.append(stats)
         return Result(answer, stats)
 
-    def _execute_observed(
+    def _execute_supervised(
         self,
         kind: str,
         text: str,
-        parsed: Any,
+        query: Any,
         strategy: str,
+        query_pred: "str | None",
         trace: bool,
         deadline: "float | None",
         max_visited: "int | None",
+        retries: int,
+        on_error: str,
     ) -> Result:
-        """The observed execution path: spans, counters, budgets, fallback.
+        """The supervised execution path: spans, counters, budgets, the
+        retry policy and the degradation policy (docs/ROBUSTNESS.md).
 
-        Planner-chosen strategies (``"auto"``) walk ``Planner.ranked``:
-        an attempt that raises :class:`ResourceBudgetExceeded` is
-        abandoned, the next applicable strategy gets a *fresh* budget,
-        and every downgrade lands in ``stats.fallback_from``.  An
-        explicitly requested strategy never falls back — the exception
-        propagates to the caller.
+        Per attempt, in order of authority:
+
+        - :class:`TransientError` → re-attempt the same stage up to
+          ``retries`` times, then treat as a hard failure.
+        - :class:`ResourceBudgetExceeded` → under ``"raise"``,
+          planner-chosen strategies fall back to the next ranked one
+          (fresh budget) and explicit ones propagate — the historical
+          budget semantics; under ``"fallback"``/``"partial"`` it is a
+          hard attempt failure like any other.
+        - any other failure → under ``"raise"`` it propagates; under
+          ``"fallback"``/``"partial"`` the strategy joins the per-call
+          blacklist and the next ranked strategy runs.
+
+        Exhausting every strategy raises
+        :class:`~repro.errors.AllStrategiesFailedError` (carrying the
+        attempt chain) under ``"fallback"``, or degrades to an empty
+        answer with ``stats.degraded=True`` under ``"partial"``.
+        :class:`~repro.errors.QueryError` (a malformed request, an
+        inapplicable explicit strategy) always propagates — no policy
+        can repair a caller error.
         """
         tracer = Tracer() if trace else None
         obs = Observation(tracer=tracer)
+        plan_active = active_plan()
+        trips_before = len(plan_active.trips) if plan_active is not None else 0
+        may_fall_back = strategy in ("auto", None)
+        attempts: list[Attempt] = []
+        causes: list[BaseException] = []
+        fallback_from: list[str] = []
+        blacklist: set[str] = set()
+        degraded = False
+        succeeded = False
+        answer: Any = None
+        final_plan: "Plan | None" = None
         start = time.perf_counter()
+
+        def give_up(exc: "BaseException | None") -> "Result | None":
+            """Terminal failure handling per the degradation policy.
+
+            Returns a partial Result (``on_error="partial"``), raises
+            the wrapped chain (``"fallback"``), or re-raises ``exc``
+            (``"raise"``).
+            """
+            if on_error == "partial":
+                return None  # handled by the caller: degrade
+            if on_error == "fallback":
+                raise AllStrategiesFailedError(
+                    kind, text, tuple(attempts), tuple(causes)
+                )
+            assert exc is not None
+            raise exc
+
         with observed(obs):
             with obs.span("query:" + kind, query=text):
-                built_here = self._index is None
-                if built_here:
-                    with obs.span("index-build"):
-                        index = self.index
-                    obs.count("index.builds")
-                else:
-                    index = self.index
-                hits_before = index.hits
-                streamed_before = index.nodes_streamed
-                with obs.span("plan"):
-                    if strategy in ("auto", None):
-                        plans = self._planner.ranked(kind, parsed, index)
-                        may_fall_back = True
-                    else:
-                        plans = [
-                            self._planner.validate(kind, strategy, parsed, index)
-                        ]
-                        may_fall_back = False
-                fallback_from: list[str] = []
-                answer = None
-                final_plan = plans[-1]
-                for i, plan in enumerate(plans):
-                    if deadline is not None or max_visited is not None:
-                        obs.budget = ResourceBudget(deadline, max_visited)
-                    definition = get_strategy(kind, plan.strategy)
-                    with obs.span("execute:" + plan.strategy, reason=plan.reason):
-                        try:
-                            answer = definition.execute(parsed, index)
-                            final_plan = plan
-                            break
-                        except ResourceBudgetExceeded:
-                            obs.count("budget.exceeded")
-                            if not may_fall_back or i == len(plans) - 1:
+                # ---- setup: parse, index, plan (transients retryable) ----
+                setup_tries = 0
+                while True:
+                    try:
+                        parsed = self._parsed(kind, query, query_pred)
+                        built_here = self._index is None
+                        if built_here:
+                            with obs.span("index-build"):
+                                index = self.index
+                            obs.count("index.builds")
+                        else:
+                            index = self.index
+                        hits_before = index.hits
+                        streamed_before = index.nodes_streamed
+                        with obs.span("plan"):
+                            if may_fall_back:
+                                plans = self._planner.ranked(kind, parsed, index)
+                            else:
+                                plans = [
+                                    self._planner.validate(
+                                        kind, strategy, parsed, index
+                                    )
+                                ]
+                        break
+                    except QueryError:
+                        raise  # caller error: no policy can repair it
+                    except Exception as exc:
+                        transient = isinstance(exc, TransientError)
+                        attempts.append(
+                            Attempt(
+                                "(setup)",
+                                "transient" if transient else "error",
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        causes.append(exc)
+                        obs.count("engine.attempt_errors")
+                        if transient:
+                            obs.count("engine.transients")
+                            if setup_tries < retries:
+                                setup_tries += 1
+                                obs.count("engine.retries")
+                                continue
+                        if on_error == "raise":
+                            raise
+                        give_up(exc)  # raises under "fallback"
+                        degraded = True
+                        built_here = False
+                        index = None
+                        hits_before = streamed_before = 0
+                        plans = []
+                        break
+
+                # ---- attempts: retry transients, blacklist, fall back ----
+                if not degraded:
+                    for i, plan in enumerate(plans):
+                        if plan.strategy in blacklist:
+                            continue
+                        is_last = i == len(plans) - 1
+                        plan_tries = 0
+                        while True:
+                            if deadline is not None or max_visited is not None:
+                                obs.budget = ResourceBudget(deadline, max_visited)
+                            definition = get_strategy(kind, plan.strategy)
+                            attempt_start = time.perf_counter()
+                            try:
+                                with obs.span(
+                                    "execute:" + plan.strategy, reason=plan.reason
+                                ):
+                                    answer = definition.execute(parsed, index)
+                                attempts.append(
+                                    Attempt(
+                                        plan.strategy, "ok", None,
+                                        time.perf_counter() - attempt_start,
+                                    )
+                                )
+                                final_plan = plan
+                                succeeded = True
+                                break
+                            except ResourceBudgetExceeded as exc:
+                                obs.count("budget.exceeded")
+                                attempts.append(
+                                    Attempt(
+                                        plan.strategy, "budget", str(exc),
+                                        time.perf_counter() - attempt_start,
+                                    )
+                                )
+                                causes.append(exc)
+                                if may_fall_back and not is_last:
+                                    fallback_from.append(plan.strategy)
+                                    obs.count("budget.fallbacks")
+                                    break  # next ranked plan, fresh budget
+                                if on_error == "raise":
+                                    raise
+                                break  # hard failure: maybe degrade below
+                            except QueryError:
                                 raise
-                            fallback_from.append(plan.strategy)
-                            obs.count("budget.fallbacks")
+                            except Exception as exc:
+                                transient = isinstance(exc, TransientError)
+                                attempts.append(
+                                    Attempt(
+                                        plan.strategy,
+                                        "transient" if transient else "error",
+                                        f"{type(exc).__name__}: {exc}",
+                                        time.perf_counter() - attempt_start,
+                                    )
+                                )
+                                causes.append(exc)
+                                obs.count("engine.attempt_errors")
+                                if transient:
+                                    obs.count("engine.transients")
+                                    if plan_tries < retries:
+                                        plan_tries += 1
+                                        obs.count("engine.retries")
+                                        continue  # same strategy again
+                                if on_error == "raise":
+                                    raise
+                                blacklist.add(plan.strategy)
+                                obs.count("engine.blacklisted")
+                                fallback_from.append(plan.strategy)
+                                break  # next ranked plan
+                        if succeeded:
+                            break
+                    if not succeeded:
+                        give_up(causes[-1] if causes else None)
+                        degraded = True
+
+                if degraded:
+                    obs.count("engine.degraded")
+                    answer = set()
+                    final_plan = Plan(
+                        kind,
+                        "(degraded)",
+                        "every strategy failed; on_error='partial' "
+                        "degraded to an empty answer",
+                    )
+                    if index is None:
+                        hits_before = streamed_before = 0
+
         elapsed = time.perf_counter() - start
         obs.budget = None
         METRICS.merge(obs.counters)
@@ -432,11 +675,18 @@ class Database:
             elapsed_s=elapsed,
             answer_size=len(answer),
             index_built=built_here,
-            index_hits=index.hits - hits_before,
-            nodes_streamed=index.nodes_streamed - streamed_before,
+            index_hits=(index.hits - hits_before) if index is not None else 0,
+            nodes_streamed=(
+                (index.nodes_streamed - streamed_before)
+                if index is not None
+                else 0
+            ),
             counters=dict(obs.counters),
             trace=tracer.root if tracer is not None else None,
             fallback_from=tuple(fallback_from),
+            attempts=tuple(attempts),
+            faults=_tripped_since(plan_active, trips_before),
+            degraded=degraded,
         )
         self.history.append(stats)
         return Result(answer, stats)
@@ -444,3 +694,20 @@ class Database:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "indexed" if self._index is not None else "no index"
         return f"Database(n={self._tree.n}, {state}, {len(self.history)} queries)"
+
+
+def _truncate_text(text: str, rng) -> str:
+    """Corruption mutator for the ``disk.read`` site on ``.xml`` reads."""
+    if len(text) < 2:
+        return ""
+    return text[: rng.randrange(1, len(text))]
+
+
+def _tripped_since(plan, trips_before: int) -> tuple[str, ...]:
+    """Distinct sites tripped by ``plan`` after ``trips_before``."""
+    if plan is None or len(plan.trips) <= trips_before:
+        return ()
+    seen: dict[str, None] = {}
+    for trip in plan.trips[trips_before:]:
+        seen.setdefault(trip.site, None)
+    return tuple(seen)

@@ -26,11 +26,14 @@ call to report per-query index usage in
 
 from __future__ import annotations
 
+from repro.faults import faultpoint, register_site
 from repro.obs.context import current as _obs_current
 from repro.storage.structural_join import stack_structural_join
 from repro.trees.tree import Tree
 
 __all__ = ["DocumentIndex"]
+
+register_site("index.build", "DocumentIndex construction (orders + partitions)")
 
 
 class DocumentIndex:
@@ -49,6 +52,7 @@ class DocumentIndex:
     )
 
     def __init__(self, tree: Tree):
+        faultpoint("index.build")
         self.tree = tree
         self.n = tree.n
         self.pre = list(range(tree.n))

@@ -46,9 +46,12 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import QueryError
+from repro.faults import faultpoint, register_site
 from repro.engine.strategies import get_strategy, sj_spec, xpath_labels
 
 __all__ = ["Plan", "Planner"]
+
+register_site("planner.plan", "strategy selection for one query")
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,7 @@ class Planner:
     TREEWIDTH_CUTOFF = 2
 
     def plan(self, kind: str, query: Any, index: Any) -> Plan:
+        faultpoint("planner.plan")
         if kind == "xpath":
             return self._plan_xpath(query, index)
         if kind == "twig":
@@ -200,6 +204,7 @@ class Planner:
 
     def validate(self, kind: str, strategy: str, query: Any, index: Any) -> Plan:
         """A plan for an explicitly requested strategy (checked)."""
+        faultpoint("planner.plan")
         definition = get_strategy(kind, strategy)
         if not definition.applicable(query, index):
             raise QueryError(

@@ -19,7 +19,27 @@ from typing import TYPE_CHECKING, Any, Iterator
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.obs.tracer import Span
 
-__all__ = ["ExecutionStats", "Result"]
+__all__ = ["Attempt", "ExecutionStats", "Result"]
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One supervised execution attempt (docs/ROBUSTNESS.md).
+
+    ``stage`` is the strategy name, or ``"(setup)"`` for failures during
+    parse/index-build/planning.  ``outcome`` is one of ``"ok"``,
+    ``"transient"`` (retryable failure), ``"error"`` (hard failure) or
+    ``"budget"`` (:class:`~repro.errors.ResourceBudgetExceeded`).
+    """
+
+    strategy: str
+    outcome: str  # "ok" | "transient" | "error" | "budget"
+    error: "str | None" = None
+    elapsed_s: float = 0.0
+
+    def __str__(self) -> str:
+        detail = f": {self.error}" if self.error else ""
+        return f"{self.strategy}[{self.outcome}]{detail}"
 
 
 @dataclass(frozen=True)
@@ -46,10 +66,23 @@ class ExecutionStats:
     counters: "dict[str, int] | None" = None  # flat totals (observed calls)
     trace: "Span | None" = None  # span tree root (traced calls)
     fallback_from: tuple[str, ...] = ()  # strategies downgraded away from
+    #: supervised calls only: every attempt in execution order,
+    #: including retries of transients and abandoned strategies
+    attempts: "tuple[Attempt, ...]" = ()
+    #: injection sites that tripped during this call (armed FaultPlan)
+    faults: tuple[str, ...] = ()
+    #: True when ``on_error="partial"`` degraded the call to an empty
+    #: answer after every strategy failed
+    degraded: bool = False
 
     @property
     def elapsed_ms(self) -> float:
         return self.elapsed_s * 1e3
+
+    @property
+    def retry_count(self) -> int:
+        """Transient re-attempts performed during this call."""
+        return sum(1 for a in self.attempts if a.outcome == "transient")
 
     def counter(self, name: str) -> int:
         """A counter total, 0 when absent or the call was unobserved."""
@@ -64,10 +97,17 @@ class ExecutionStats:
             if self.fallback_from
             else ""
         )
+        extras = ""
+        if len(self.attempts) > 1:
+            extras += f", {len(self.attempts)} attempts"
+        if self.faults:
+            extras += f", faults: {'+'.join(self.faults)}"
+        if self.degraded:
+            extras += ", DEGRADED (partial result)"
         return (
             f"{self.kind}[{self.strategy}] {self.elapsed_ms:.2f} ms, "
             f"{self.answer_size} answers, {self.index_hits} index hits"
-            f"{built}{fallback}"
+            f"{built}{fallback}{extras}"
         )
 
 

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import QueryError
+from repro.faults import faultpoint, register_site
 from repro.obs.context import current as _obs_current
 from repro.trees.axes import Axis
 from repro.xpath.ast import (
@@ -383,13 +384,17 @@ STRATEGIES: dict[str, dict[str, Strategy]] = {}
 def _traced_execute(
     kind: str, name: str, execute: Callable[[Any, Any], Any]
 ) -> Callable[[Any, Any], Any]:
-    """Wrap an executor so every registered strategy emits a span.
+    """Wrap an executor so every registered strategy emits a span and
+    carries a ``strategy.<name>`` fault-injection site.
 
-    When no observation context is active this is one global read and a
-    None check — the strategy's own fast path is untouched.
+    When no observation context is active and no fault plan is armed
+    this is two global reads and two None checks — the strategy's own
+    fast path is untouched.
     """
+    site = register_site(f"strategy.{name}", f"{kind} executor: {name}")
 
     def run(query: Any, index: Any) -> Any:
+        faultpoint(site)
         ctx = _obs_current()
         if ctx is None:
             return execute(query, index)

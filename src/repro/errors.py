@@ -16,6 +16,10 @@ __all__ = [
     "EvaluationError",
     "IntractableSignatureError",
     "ResourceBudgetExceeded",
+    "StorageError",
+    "TransientError",
+    "InjectedFault",
+    "AllStrategiesFailedError",
 ]
 
 
@@ -81,3 +85,57 @@ class ResourceBudgetExceeded(ReproError):
         self.reason = reason
         self.limit = limit
         self.spent = spent
+
+
+class StorageError(ReproError):
+    """Raised when reading or writing a document file fails at the I/O
+    layer (missing file, permission denied, undecodable bytes).  Wraps
+    the underlying ``OSError`` so callers never see a raw one; the
+    offending path is always in the message."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed on re-attempt (a flaky
+    read, an injected transient fault).  The engine supervisor retries
+    these up to its ``retries`` bound before treating the attempt as a
+    hard failure — see docs/ROBUSTNESS.md."""
+
+
+class InjectedFault(EvaluationError):
+    """A deterministic fault injected by an active
+    :class:`repro.faults.FaultPlan`.  Never raised in production —
+    only when a plan is deliberately armed — but it derives from
+    :class:`EvaluationError` so the supervisor and callers handle it
+    exactly like a real evaluation failure.
+
+    ``site`` names the injection site that tripped.
+    """
+
+    def __init__(self, site: str, message: str | None = None):
+        super().__init__(message or f"injected fault at site {site!r}")
+        self.site = site
+
+
+class AllStrategiesFailedError(ReproError):
+    """Every applicable strategy (and every retry) failed for one
+    engine call running under ``on_error="fallback"``.
+
+    ``attempts`` is the per-attempt record — ``(strategy, outcome,
+    error)`` triples in execution order — and ``causes`` the caught
+    exceptions, so the full failure chain survives into logs and tests.
+    """
+
+    def __init__(self, kind: str, query: str, attempts=(), causes=()):
+        self.kind = kind
+        self.query = query
+        self.attempts = tuple(attempts)
+        self.causes = tuple(causes)
+        chain = "; ".join(
+            f"{a[0]}: {a[2]}" if isinstance(a, tuple) else
+            f"{a.strategy}: {a.error}"
+            for a in self.attempts
+        )
+        super().__init__(
+            f"all strategies failed for {kind} query {query!r}"
+            + (f" — attempts: {chain}" if chain else "")
+        )

@@ -1,0 +1,331 @@
+"""Deterministic fault injection for the whole library.
+
+The paper's core observation (Section 7 / Figure 7) is that *several*
+algorithms answer the same query class at different costs.  The engine
+already exploits that redundancy for performance (planner fallback);
+this module makes it exploitable for **fault tolerance testing**: every
+failure-prone boundary in the library — index construction, each
+strategy executor, XML parsing, event streams, disk reads, structural
+joins — carries a named *injection site*, and a seeded
+:class:`FaultPlan` can deterministically trip any of them.
+
+The contract, in three lines::
+
+    from repro.faults import faultpoint
+
+    faultpoint("index.build")                 # site with no payload
+    text = faultpoint("xml.parse", text, mutator=truncate)
+
+With no plan armed, :func:`faultpoint` is one module-global read and a
+``None`` check — the same near-zero-cost gate the observability layer
+uses (``benchmarks/bench_engine_reuse.py`` pins the overhead).  With a
+plan active (context-manager scoped), a matching rule can:
+
+- ``error`` —  raise a typed :class:`~repro.errors.InjectedFault`,
+- ``transient`` — raise a :class:`~repro.errors.TransientError`
+  (retryable by the engine supervisor),
+- ``latency`` — sleep a configured amount and continue,
+- ``corrupt`` — pass the payload through the *site-supplied* mutator
+  (truncate a document, cut an event stream, chop a byte buffer).
+
+Rules trigger deterministically: by nth matching call, every k-th call,
+or with probability ``p`` drawn from the plan's explicitly seeded RNG —
+the same plan and seed always trip the same calls.  Every trip is
+recorded into the :data:`repro.obs.metrics.METRICS` registry
+(``fault.trips`` / ``fault.<site>``) and, when an observation context
+is active, into the per-call counters (``faults.injected``), so trips
+show up in ``ExecutionStats``.
+
+Spec grammar (used by ``--fault`` on the CLI and by
+:meth:`FaultRule.parse`; see docs/ROBUSTNESS.md)::
+
+    SPEC    := SITE ":" KIND [":" ARG] ["@" TRIGGER]
+    KIND    := "error" | "transient" | "latency" | "corrupt"
+    ARG     := seconds of latency (float; "latency" only)
+    TRIGGER := "nth=" N | "every=" K | "p=" FLOAT      (default nth=1)
+
+``SITE`` may be a glob pattern (``strategy.*`` matches every strategy
+site).  Examples: ``strategy.linear:error``,
+``index.build:transient@nth=1``, ``xml.parse:corrupt``,
+``join.merge:latency:0.002@every=3``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import InjectedFault, QueryError, TransientError
+from repro.obs.context import current as _obs_current
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "FaultTrip",
+    "active_plan",
+    "faultpoint",
+    "register_site",
+    "registered_sites",
+]
+
+FAULT_KINDS = ("error", "transient", "latency", "corrupt")
+
+# ---------------------------------------------------------------------------
+# the site registry
+# ---------------------------------------------------------------------------
+
+#: site name -> one-line description; populated at import time by every
+#: instrumented module, so ``registered_sites()`` is the authoritative
+#: list the chaos harness sweeps (docs/ROBUSTNESS.md has the table).
+_SITES: dict[str, str] = {}
+
+
+def register_site(name: str, doc: str = "") -> str:
+    """Register (idempotently) a named injection site; returns ``name``."""
+    _SITES.setdefault(name, doc)
+    return name
+
+
+def registered_sites() -> dict[str, str]:
+    """All registered injection sites, name -> description."""
+    return dict(sorted(_SITES.items()))
+
+
+# ---------------------------------------------------------------------------
+# the hook
+# ---------------------------------------------------------------------------
+
+_PLAN: "FaultPlan | None" = None
+
+
+def active_plan() -> "FaultPlan | None":
+    """The armed :class:`FaultPlan`, if any."""
+    return _PLAN
+
+
+def faultpoint(
+    site: str,
+    payload: Any = None,
+    mutator: "Callable[[Any, random.Random], Any] | None" = None,
+) -> Any:
+    """The injection hook instrumented code calls at a named site.
+
+    Returns ``payload`` unchanged unless an armed plan's rule trips —
+    then it raises, sleeps, or returns the mutated payload.  With no
+    plan armed this is a global read and a None check.
+    """
+    plan = _PLAN
+    if plan is None:
+        return payload
+    return plan._hit(site, payload, mutator)
+
+
+# ---------------------------------------------------------------------------
+# rules, trips and plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic injection rule of a :class:`FaultPlan`."""
+
+    site: str  # exact site name or glob pattern ("strategy.*")
+    kind: str  # "error" | "transient" | "latency" | "corrupt"
+    nth: "int | None" = None  # trip exactly the nth matching call (1-based)
+    every: "int | None" = None  # trip every k-th matching call
+    p: "float | None" = None  # trip with this probability per call
+    latency_s: float = 0.001  # sleep duration for kind="latency"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise QueryError(
+                f"unknown fault kind {self.kind!r}; options: "
+                + ", ".join(FAULT_KINDS)
+            )
+        if self.nth is not None and self.nth < 1:
+            raise QueryError("fault trigger nth must be >= 1")
+        if self.every is not None and self.every < 1:
+            raise QueryError("fault trigger every must be >= 1")
+        if self.p is not None and not (0.0 <= self.p <= 1.0):
+            raise QueryError("fault trigger p must be in [0, 1]")
+        if self.nth is None and self.every is None and self.p is None:
+            # default trigger: the first matching call
+            object.__setattr__(self, "nth", 1)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultRule":
+        """Parse the ``SITE:KIND[:ARG][@TRIGGER]`` grammar (module doc)."""
+        body, _, trigger = spec.partition("@")
+        parts = body.split(":")
+        if len(parts) < 2 or not parts[0]:
+            raise QueryError(
+                f"bad fault spec {spec!r}: expected SITE:KIND[:ARG][@TRIGGER]"
+            )
+        site, kind = parts[0].strip(), parts[1].strip()
+        kwargs: dict[str, Any] = {}
+        if len(parts) > 2:
+            if kind != "latency":
+                raise QueryError(
+                    f"bad fault spec {spec!r}: only 'latency' takes an argument"
+                )
+            try:
+                kwargs["latency_s"] = float(parts[2])
+            except ValueError:
+                raise QueryError(
+                    f"bad fault spec {spec!r}: latency argument must be a float"
+                ) from None
+        if trigger:
+            key, eq, value = trigger.partition("=")
+            key = key.strip()
+            if not eq or key not in ("nth", "every", "p"):
+                raise QueryError(
+                    f"bad fault trigger {trigger!r}: expected nth=N, "
+                    "every=K or p=F"
+                )
+            try:
+                kwargs[key] = float(value) if key == "p" else int(value)
+            except ValueError:
+                raise QueryError(
+                    f"bad fault trigger {trigger!r}: malformed number"
+                ) from None
+        return cls(site, kind, **kwargs)
+
+    def matches(self, site: str) -> bool:
+        return self.site == site or fnmatch.fnmatchcase(site, self.site)
+
+    def triggers(self, call_index: int, rng: random.Random) -> bool:
+        """Whether this rule trips the ``call_index``-th matching call.
+
+        The probability draw consumes the plan RNG only for ``p`` rules,
+        so deterministic (nth/every) rules never perturb the stream.
+        """
+        if self.nth is not None:
+            return call_index == self.nth
+        if self.every is not None:
+            return call_index % self.every == 0
+        return rng.random() < self.p  # type: ignore[operator]
+
+    def spec(self) -> str:
+        """The canonical spec string this rule round-trips to."""
+        body = f"{self.site}:{self.kind}"
+        if self.kind == "latency":
+            body += f":{self.latency_s}"
+        if self.every is not None:
+            return f"{body}@every={self.every}"
+        if self.p is not None:
+            return f"{body}@p={self.p}"
+        return f"{body}@nth={self.nth}"
+
+
+@dataclass(frozen=True)
+class FaultTrip:
+    """One recorded injection: which site, which kind, which call."""
+
+    site: str
+    kind: str
+    call_index: int
+
+
+class FaultPlan:
+    """A seeded, context-manager-scoped set of injection rules.
+
+    ::
+
+        with FaultPlan(["strategy.linear:transient@nth=1"], seed=7) as plan:
+            db.xpath(query, retries=1, on_error="fallback")
+        plan.trips      # [FaultTrip(site="strategy.linear", ...)]
+
+    Plans nest: arming a plan inside another shadows the outer one and
+    restores it on exit.  Per-site call counts live on the plan, so two
+    plans with the same rules and seed trip identically.
+    """
+
+    def __init__(
+        self,
+        rules: "Iterable[FaultRule | str]",
+        seed: int = 0,
+    ):
+        self.rules: list[FaultRule] = [
+            rule if isinstance(rule, FaultRule) else FaultRule.parse(rule)
+            for rule in rules
+        ]
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: per-site count of faultpoint() calls seen while armed
+        self.calls: dict[str, int] = {}
+        #: every injection performed, in order
+        self.trips: list[FaultTrip] = []
+        self._previous: "FaultPlan | None" = None
+        self._sleep = time.sleep  # patchable in tests
+
+    # -- arming ------------------------------------------------------------
+
+    def __enter__(self) -> "FaultPlan":
+        global _PLAN
+        self._previous = _PLAN
+        _PLAN = self
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _PLAN
+        _PLAN = self._previous
+        self._previous = None
+
+    # -- the hot path ------------------------------------------------------
+
+    def _hit(self, site: str, payload: Any, mutator) -> Any:
+        count = self.calls.get(site, 0) + 1
+        self.calls[site] = count
+        for rule in self.rules:
+            if not rule.matches(site) or not rule.triggers(count, self.rng):
+                continue
+            self._record(site, rule.kind, count)
+            if rule.kind == "latency":
+                self._sleep(rule.latency_s)
+                return payload
+            if rule.kind == "corrupt":
+                if mutator is None:
+                    # the site offers nothing to corrupt — degrade the
+                    # rule to a hard injected fault rather than no-op
+                    raise InjectedFault(
+                        site, f"injected fault at {site!r} "
+                        "(corrupt requested, site has no mutator)"
+                    )
+                return mutator(payload, self.rng)
+            if rule.kind == "transient":
+                raise TransientError(
+                    f"injected transient fault at {site!r} (call {count})"
+                )
+            raise InjectedFault(
+                site, f"injected fault at {site!r} (call {count})"
+            )
+        return payload
+
+    def _record(self, site: str, kind: str, count: int) -> None:
+        self.trips.append(FaultTrip(site, kind, count))
+        METRICS.add("fault.trips")
+        METRICS.add(f"fault.{site}")
+        ctx = _obs_current()
+        if ctx is not None:
+            # distinct namespace from the global fault.* totals so the
+            # end-of-call merge cannot double count a trip
+            ctx.count("faults.injected")
+
+    def tripped_sites(self) -> list[str]:
+        """Distinct sites tripped so far, in first-trip order."""
+        seen: dict[str, None] = {}
+        for trip in self.trips:
+            seen.setdefault(trip.site, None)
+        return list(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rules = ", ".join(rule.spec() for rule in self.rules)
+        return (
+            f"FaultPlan([{rules}], seed={self.seed}, "
+            f"{len(self.trips)} trips)"
+        )

@@ -15,6 +15,7 @@ see docs/OBSERVABILITY.md for the semantics).
 
 from __future__ import annotations
 
+import math
 import time
 
 from repro.errors import ResourceBudgetExceeded
@@ -25,7 +26,14 @@ __all__ = ["ResourceBudget"]
 class ResourceBudget:
     """Deadline and/or node-visit ceiling for one evaluation attempt."""
 
-    __slots__ = ("deadline_s", "max_visited", "visited", "_deadline_at", "_clock")
+    __slots__ = (
+        "deadline_s",
+        "max_visited",
+        "visited",
+        "_deadline_at",
+        "_started_at",
+        "_clock",
+    )
 
     def __init__(
         self,
@@ -41,19 +49,39 @@ class ResourceBudget:
         self.max_visited = max_visited
         self.visited = 0
         self._clock = clock
-        self._deadline_at = None if deadline_s is None else clock() + deadline_s
+        if deadline_s is None:
+            self._started_at = self._deadline_at = None
+        else:
+            self._started_at = clock()
+            # a zero deadline is exhausted before any work: the first
+            # charge must fail deterministically, not depend on clock
+            # resolution having advanced past start + 0
+            self._deadline_at = (
+                -math.inf if deadline_s == 0 else self._started_at + deadline_s
+            )
 
     def charge(self, n: int = 1) -> None:
-        """Account ``n`` units of work; raise if a limit is crossed."""
-        self.visited += n
-        if self.max_visited is not None and self.visited > self.max_visited:
+        """Account ``n`` units of work; raise if a limit is crossed.
+
+        Charges arrive batched, so a crossing charge may overshoot the
+        ceiling; ``spent`` always reports the pre-batch total plus the
+        whole batch (the amount actually consumed), and a deadline
+        crossing reports elapsed *seconds* — the same unit as its limit.
+        """
+        spent = self.visited + n
+        self.visited = spent
+        if self.max_visited is not None and spent > self.max_visited:
             raise ResourceBudgetExceeded(
-                "max_visited", limit=self.max_visited, spent=self.visited
+                "max_visited", limit=self.max_visited, spent=spent
             )
-        if self._deadline_at is not None and self._clock() >= self._deadline_at:
-            raise ResourceBudgetExceeded(
-                "deadline", limit=self.deadline_s, spent=self.visited
-            )
+        if self._deadline_at is not None:
+            now = self._clock()
+            if now >= self._deadline_at:
+                raise ResourceBudgetExceeded(
+                    "deadline",
+                    limit=self.deadline_s,
+                    spent=max(now - self._started_at, 0.0),
+                )
 
     def remaining_visits(self) -> "int | None":
         if self.max_visited is None:

@@ -27,13 +27,35 @@ import json
 import struct
 from array import array
 
-from repro.errors import ParseError
+from repro.errors import ParseError, StorageError
+from repro.faults import faultpoint, register_site
 from repro.trees.tree import Tree
 
 __all__ = ["dump_tree", "load_tree", "dumps_tree", "loads_tree"]
 
 _MAGIC = b"RTRE"
 _VERSION = 1
+
+register_site("disk.read", "document bytes read from disk")
+
+
+def _truncate_bytes(data: bytes, rng) -> bytes:
+    """Corruption mutator for ``disk.read``: keep a seeded prefix."""
+    if len(data) < 2:
+        return b""
+    return data[: rng.randrange(1, len(data))]
+
+
+def _read_exact(buf: io.BytesIO, n: int, what: str) -> bytes:
+    """Read exactly ``n`` bytes or fail with a typed error — a short
+    read means the store was truncated or corrupted on disk."""
+    data = buf.read(n)
+    if len(data) != n:
+        raise ParseError(
+            f"truncated tree store: expected {n} bytes of {what}, "
+            f"got {len(data)}"
+        )
+    return data
 
 
 def dumps_tree(tree: Tree) -> bytes:
@@ -74,28 +96,45 @@ def dumps_tree(tree: Tree) -> bytes:
 
 
 def loads_tree(data: bytes) -> Tree:
-    """Deserialize the compact binary format back into a Tree."""
+    """Deserialize the compact binary format back into a Tree.
+
+    Any truncation or corruption surfaces as a typed
+    :class:`~repro.errors.ParseError` — never a raw ``struct.error`` or
+    an array size mismatch.
+    """
     buf = io.BytesIO(data)
     if buf.read(4) != _MAGIC:
         raise ParseError("not a repro tree store (bad magic)")
-    version, n, n_labels = struct.unpack("<III", buf.read(12))
+    version, n, n_labels = struct.unpack("<III", _read_exact(buf, 12, "header"))
     if version != _VERSION:
         raise ParseError(f"unsupported tree store version {version}")
     table: list[str] = []
-    for _ in range(n_labels):
-        (length,) = struct.unpack("<I", buf.read(4))
-        table.append(buf.read(length).decode("utf-8"))
+    try:
+        for _ in range(n_labels):
+            (length,) = struct.unpack(
+                "<I", _read_exact(buf, 4, "label length")
+            )
+            table.append(_read_exact(buf, length, "label").decode("utf-8"))
+    except UnicodeDecodeError as exc:
+        raise ParseError(f"corrupt tree store label table: {exc}") from exc
     parent = array("q")
-    parent.frombytes(buf.read(8 * n))
+    parent.frombytes(_read_exact(buf, 8 * n, "parent array"))
     label_ids = array("I")
-    label_ids.frombytes(buf.read(4 * n))
+    label_ids.frombytes(_read_exact(buf, 4 * n, "label ids"))
     offsets = array("I")
-    offsets.frombytes(buf.read(4 * (n + 1)))
-    n_children = offsets[-1]
+    offsets.frombytes(_read_exact(buf, 4 * (n + 1), "children offsets"))
+    n_children = offsets[-1] if len(offsets) else 0
     child_ids = array("I")
-    child_ids.frombytes(buf.read(4 * n_children))
-    (blob_len,) = struct.unpack("<I", buf.read(4))
-    extras = json.loads(buf.read(blob_len)) if blob_len else {}
+    child_ids.frombytes(_read_exact(buf, 4 * n_children, "children ids"))
+    (blob_len,) = struct.unpack("<I", _read_exact(buf, 4, "extras length"))
+    try:
+        extras = (
+            json.loads(_read_exact(buf, blob_len, "extras")) if blob_len else {}
+        )
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ParseError(f"corrupt tree store extras table: {exc}") from exc
+    if any(label_id >= len(table) for label_id in label_ids):
+        raise ParseError("corrupt tree store: label id out of range")
 
     primary = [table[i] for i in label_ids]
     labels = []
@@ -120,6 +159,20 @@ def dump_tree(tree: Tree, path: str) -> int:
 
 
 def load_tree(path: str) -> Tree:
-    """Load a store file written by :func:`dump_tree`."""
-    with open(path, "rb") as fh:
-        return loads_tree(fh.read())
+    """Load a store file written by :func:`dump_tree`.
+
+    I/O failures surface as :class:`~repro.errors.StorageError` with the
+    path in the message; corrupt content as
+    :class:`~repro.errors.ParseError`.  The read is a ``disk.read``
+    fault-injection site.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise StorageError(f"cannot read tree store {path!r}: {exc}") from exc
+    data = faultpoint("disk.read", data, mutator=_truncate_bytes)
+    try:
+        return loads_tree(data)
+    except ParseError as exc:
+        raise ParseError(f"tree store {path!r}: {exc}") from exc

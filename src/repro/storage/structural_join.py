@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.faults import faultpoint, register_site
 from repro.obs.context import current as _obs_current
 from repro.trees.tree import Tree
 
@@ -34,12 +35,15 @@ __all__ = [
 
 Label = tuple[int, int]
 
+register_site("join.merge", "stack/merge structural join over two streams")
+
 
 def stack_structural_join(
     ancestors: Sequence[Label], descendants: Sequence[Label]
 ) -> list[tuple[Label, Label]]:
     """Stack-Tree-Desc: both inputs sorted by pre; output sorted by the
     descendant's pre.  Runs in O(|A| + |D| + |output|)."""
+    faultpoint("join.merge")
     ctx = _obs_current()
     if ctx is not None:
         # both streams will be scanned once — charge them up front so a
@@ -83,6 +87,7 @@ def merge_structural_join(
     """A simpler two-cursor variant: for each d, scan the currently-open
     ancestors.  On tree-shaped inputs the open set is a chain, so the
     cost matches the stack algorithm; kept as the ablation partner."""
+    faultpoint("join.merge")
     ctx = _obs_current()
     if ctx is not None:
         ctx.count("sj.elements_scanned", len(ancestors) + len(descendants))

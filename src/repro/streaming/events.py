@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.errors import InjectedFault
+from repro.faults import faultpoint, register_site
 from repro.trees.tree import Tree
 from repro.trees.xmlio import iter_xml_events
 
@@ -16,10 +18,36 @@ __all__ = ["Event", "tree_events", "xml_events"]
 
 Event = tuple[str, int, str]
 
+register_site("stream.events", "SAX-style event stream handed to evaluators")
+
+
+def _truncate_events(events: Iterator[Event], rng) -> Iterator[Event]:
+    """Corruption mutator for ``stream.events``: cut the stream after a
+    seeded number of events.  The cut *raises* rather than silently
+    ending, so consumers see a typed failure instead of computing an
+    answer over a partial document."""
+    keep = rng.randrange(0, 32)
+
+    def cut() -> Iterator[Event]:
+        for i, event in enumerate(events):
+            if i >= keep:
+                raise InjectedFault(
+                    "stream.events",
+                    f"injected fault at 'stream.events': stream truncated "
+                    f"after {keep} events",
+                )
+            yield event
+
+    return cut()
+
 
 def tree_events(tree: Tree) -> Iterator[Event]:
     """Stream a materialized tree (used by tests and benchmarks; the
     evaluators never touch the tree object itself)."""
+    return faultpoint("stream.events", _tree_events(tree), mutator=_truncate_events)
+
+
+def _tree_events(tree: Tree) -> Iterator[Event]:
     # iterative pre-order with explicit close events
     stack: list[tuple[int, bool]] = [(tree.root, False)]
     while stack:
@@ -35,6 +63,10 @@ def tree_events(tree: Tree) -> Iterator[Event]:
 
 def xml_events(text: str) -> Iterator[Event]:
     """Stream an XML document without building the tree."""
+    return faultpoint("stream.events", _xml_events(text), mutator=_truncate_events)
+
+
+def _xml_events(text: str) -> Iterator[Event]:
     counter = 0
     open_ids: list[int] = []
     for event in iter_xml_events(text):

@@ -8,18 +8,49 @@ close tags, self-closing tags, comments, processing instructions, and a
 prolog.  Character data is skipped, matching the navigational model.
 
 The parser is a hand-rolled single-pass scanner (no recursion, no
-external dependencies) so that arbitrarily deep documents parse fine.
+external dependencies) so that arbitrarily deep documents parse fine —
+bounded only by the explicit ``max_depth`` ceiling, which protects a
+long-running service from pathological nesting.
+
+Two failure modes (docs/ROBUSTNESS.md):
+
+- **strict** (default): any malformation raises
+  :class:`~repro.errors.ParseError` carrying the offending position,
+- **recover=True**: the parser never raises on malformed input — it
+  skips garbage, drops unmatched close tags, auto-closes unclosed
+  elements, ignores extra roots — and reports everything it repaired as
+  :class:`ParseWarning` records (the error taxonomy) through the
+  ``warnings`` list the caller may pass in.  What it keeps round-trips:
+  the recovered tree serializes back to well-formed XML.
+
+``parse_xml`` is also a fault-injection site (``xml.parse``): an armed
+:class:`repro.faults.FaultPlan` can fail it, delay it, or truncate the
+document text before scanning (see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 
 from repro.errors import ParseError
+from repro.faults import faultpoint, register_site
 from repro.trees.node import Node
 from repro.trees.tree import Tree
 
-__all__ = ["parse_xml", "to_xml", "iter_xml_events"]
+__all__ = [
+    "DEFAULT_MAX_DEPTH",
+    "ParseWarning",
+    "parse_xml",
+    "to_xml",
+    "iter_xml_events",
+]
+
+#: default document depth ceiling: far beyond any real document, small
+#: enough to bound memory against adversarial nesting
+DEFAULT_MAX_DEPTH = 50_000
+
+register_site("xml.parse", "XML text -> Tree parsing")
 
 _NAME = r"[A-Za-z_][\w.\-]*"
 _TOKEN = re.compile(
@@ -34,51 +65,145 @@ _TOKEN = re.compile(
 _ATTR = re.compile(rf"({_NAME})\s*=\s*(\"[^\"]*\"|'[^']*')")
 
 
-def iter_xml_events(text: str):
+@dataclass(frozen=True)
+class ParseWarning:
+    """One repair the recovering parser performed.
+
+    ``code`` is the taxonomy entry: ``garbage`` (unscannable bytes
+    skipped), ``unmatched-close`` (close tag with no open element),
+    ``mismatched-close`` (close tag not matching the innermost open
+    element), ``unclosed`` (element auto-closed at a repair point or
+    EOF), ``multiple-roots`` (extra root element dropped),
+    ``max-depth`` (element deeper than the ceiling dropped), ``empty``
+    (no element survived; placeholder root synthesized).
+    """
+
+    code: str
+    message: str
+    position: "int | None" = None
+
+
+def _truncate_text(text: str, rng) -> str:
+    """Corruption mutator for the ``xml.parse`` site: keep a seeded
+    prefix of the document, which typically leaves elements unclosed."""
+    if len(text) < 2:
+        return ""
+    return text[: rng.randrange(1, len(text))]
+
+
+def iter_xml_events(text: str, recover: bool = False, warnings=None):
     """Yield SAX-like events ``("start", name, attrs)``, ``("end", name)``.
 
     Used both by :func:`parse_xml` and by the streaming evaluators of
     :mod:`repro.streaming`, which consume documents without ever
-    materializing the tree.
+    materializing the tree.  With ``recover`` set, unscannable input is
+    skipped (reported into ``warnings``) instead of raising.
     """
+    for event in _scan(text, recover=recover, warnings=warnings):
+        if event[0] == "start":
+            yield event[:3]
+        else:
+            yield event[:2]
+
+
+def _scan(text: str, recover: bool = False, warnings=None):
+    """The position-carrying scanner behind :func:`iter_xml_events`:
+    yields ``("start", name, attrs, pos)`` and ``("end", name, pos)``."""
     pos = 0
     length = len(text)
     while pos < length:
         match = _TOKEN.match(text, pos)
         if match is None:
-            raise ParseError("malformed XML", position=pos)
+            if not recover:
+                raise ParseError("malformed XML", position=pos)
+            if warnings is not None:
+                warnings.append(
+                    ParseWarning(
+                        "garbage", "skipped unscannable input", position=pos
+                    )
+                )
+            # resynchronize at the next tag opener
+            nxt = text.find("<", pos + 1)
+            pos = length if nxt < 0 else nxt
+            continue
         pos = match.end()
         name = match.group("name")
         if name is None:
             continue  # comment / PI / text / doctype
         if match.group("close"):
-            yield ("end", name)
+            yield ("end", name, match.start())
             continue
         attrs = dict(
             (key, value[1:-1]) for key, value in _ATTR.findall(match.group("attrs"))
         )
-        yield ("start", name, attrs)
+        yield ("start", name, attrs, match.start())
         if match.group("selfclose"):
-            yield ("end", name)
+            yield ("end", name, match.start())
 
 
-def parse_xml(text: str, attributes_as_labels: bool = False) -> Tree:
+def parse_xml(
+    text: str,
+    attributes_as_labels: bool = False,
+    *,
+    recover: bool = False,
+    max_depth: "int | None" = None,
+    warnings: "list[ParseWarning] | None" = None,
+) -> Tree:
     """Parse an element-only XML document into a :class:`Tree`.
 
     Parameters
     ----------
     text:
-        The document.  Must contain exactly one root element.
+        The document.  Must contain exactly one root element (strict
+        mode).
     attributes_as_labels:
         When true, an attribute ``id="x7"`` adds the extra labels
         ``@id`` and ``@id=x7`` to the node, so that label predicates can
         select on attribute presence or value.
+    recover:
+        Never raise on malformed input — skip/repair and record what
+        happened into ``warnings``.  The returned tree contains exactly
+        the elements that survived.
+    max_depth:
+        Document depth ceiling (default :data:`DEFAULT_MAX_DEPTH`).
+        Strict mode raises when exceeded; recovery drops the too-deep
+        subtrees with a ``max-depth`` warning.
+    warnings:
+        Optional list the recovering parser appends
+        :class:`ParseWarning` records to.
     """
+    text = faultpoint("xml.parse", text, mutator=_truncate_text)
+    if max_depth is None:
+        max_depth = DEFAULT_MAX_DEPTH
+    warns = warnings if warnings is not None else []
+
+    def warn(code: str, message: str, position: "int | None" = None) -> None:
+        warns.append(ParseWarning(code, message, position))
+
     root: Node | None = None
-    stack: list[Node] = []
-    for event in iter_xml_events(text):
+    # (node, position of its open tag) — the position makes unclosed-at-
+    # EOF errors point back at the offending open tag
+    stack: list[tuple[Node, int]] = []
+    skip_depth = 0  # >0 while inside a dropped (too-deep / extra-root) element
+    for event in _scan(text, recover=recover, warnings=warns):
         if event[0] == "start":
-            _, name, attrs = event
+            _, name, attrs, position = event
+            if skip_depth:
+                skip_depth += 1
+                continue
+            if len(stack) >= max_depth:
+                if not recover:
+                    raise ParseError(
+                        f"document nests deeper than max_depth={max_depth}",
+                        position=position,
+                    )
+                warn(
+                    "max-depth",
+                    f"dropped <{name}> nested deeper than {max_depth}",
+                    position,
+                )
+                skip_depth = 1
+                continue
             extra: list[str] = []
             if attributes_as_labels:
                 for key, value in attrs.items():
@@ -86,25 +211,76 @@ def parse_xml(text: str, attributes_as_labels: bool = False) -> Tree:
                     extra.append(f"@{key}={value}")
             node = Node(name, extra_labels=extra)
             if stack:
-                stack[-1].add(node)
+                stack[-1][0].add(node)
             elif root is None:
                 root = node
             else:
-                raise ParseError("multiple root elements")
-            stack.append(node)
-        else:
-            _, name = event
-            if not stack:
-                raise ParseError(f"unmatched closing tag </{name}>")
-            if stack[-1].label != name:
-                raise ParseError(
-                    f"mismatched closing tag </{name}> for <{stack[-1].label}>"
+                if not recover:
+                    raise ParseError("multiple root elements", position=position)
+                warn(
+                    "multiple-roots",
+                    f"dropped extra root element <{name}>",
+                    position,
                 )
+                skip_depth = 1
+                continue
+            stack.append((node, position))
+        else:
+            _, name, position = event
+            if skip_depth:
+                skip_depth -= 1
+                continue
+            if not stack:
+                if not recover:
+                    raise ParseError(
+                        f"unmatched closing tag </{name}>", position=position
+                    )
+                warn(
+                    "unmatched-close",
+                    f"dropped closing tag </{name}> with no open element",
+                    position,
+                )
+                continue
+            if stack[-1][0].label != name:
+                if not recover:
+                    raise ParseError(
+                        f"mismatched closing tag </{name}> for "
+                        f"<{stack[-1][0].label}>",
+                        position=position,
+                    )
+                warn(
+                    "mismatched-close",
+                    f"closing tag </{name}> does not match open "
+                    f"<{stack[-1][0].label}>",
+                    position,
+                )
+                if any(entry[0].label == name for entry in stack):
+                    # auto-close intervening elements up to the match
+                    while stack[-1][0].label != name:
+                        warn(
+                            "unclosed",
+                            f"auto-closed <{stack[-1][0].label}>",
+                            position,
+                        )
+                        stack.pop()
+                    stack.pop()
+                # else: stray close for something never opened — drop it
+                continue
             stack.pop()
     if stack:
-        raise ParseError(f"unclosed element <{stack[-1].label}>")
+        if not recover:
+            raise ParseError(
+                f"unclosed element <{stack[-1][0].label}>",
+                position=stack[-1][1],
+            )
+        for open_node, position in reversed(stack):
+            warn("unclosed", f"auto-closed <{open_node.label}> at EOF", position)
+        stack.clear()
     if root is None:
-        raise ParseError("empty document")
+        if not recover:
+            raise ParseError("empty document", position=0)
+        warn("empty", "no element survived; synthesized placeholder root")
+        root = Node("#document")
     return Tree.build(root)
 
 

@@ -1,0 +1,169 @@
+"""The chaos differential harness: under any single injected fault the
+library returns the clean answer or a typed ReproError — never a wrong
+answer, never a foreign exception (docs/ROBUSTNESS.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    ChaosScenario,
+    chaos_sweep,
+    default_documents,
+    default_queries,
+    fallback_demos,
+    generate_scenarios,
+    run_scenario,
+)
+from repro.errors import QueryError
+from repro.faults import registered_sites
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return chaos_sweep(seed=0)
+
+
+class TestSweepContract:
+    def test_sweep_is_large_and_covers_every_site(self, full_report):
+        assert len(full_report.outcomes) >= 150
+        assert full_report.uncovered_sites() == set()
+        assert full_report.tripped_sites() == set(registered_sites())
+
+    def test_no_wrong_answers_and_no_foreign_errors(self, full_report):
+        assert full_report.violations() == []
+        assert full_report.ok
+        assert "OK" in full_report.summary()
+
+    def test_recoveries_and_typed_errors_both_exercised(self, full_report):
+        counts = full_report.by_status()
+        assert counts.get("recovered", 0) > 0
+        assert counts.get("typed-error", 0) > 0
+
+    def test_sweep_is_seed_deterministic(self):
+        first = chaos_sweep(seed=3, fast=True)
+        second = chaos_sweep(seed=3, fast=True)
+        assert [(o.scenario, o.status) for o in first.outcomes] == [
+            (o.scenario, o.status) for o in second.outcomes
+        ]
+
+    def test_fast_sweep_still_touches_every_site(self):
+        report = chaos_sweep(seed=0, fast=True)
+        assert report.ok
+        assert report.uncovered_sites() == set()
+        assert len(report.outcomes) < 100  # genuinely trimmed
+
+
+class TestScenarioGeneration:
+    def test_matrix_spans_documents_queries_and_kinds(self):
+        scenarios = generate_scenarios(seed=0)
+        docs = {s.doc for s in scenarios}
+        kinds = {s.kind for s in scenarios}
+        fault_kinds = {s.spec.split(":")[1].split("@")[0] for s in scenarios}
+        assert docs == set(default_documents())
+        assert kinds == {"xpath", "twig", "cq", "datalog", "ingest"}
+        assert fault_kinds == {"error", "transient", "latency", "corrupt"}
+
+    def test_every_registered_site_has_scenarios(self):
+        scenarios = generate_scenarios(seed=0)
+        assert {s.site for s in scenarios} == set(registered_sites())
+
+    def test_sites_filter_restricts_the_matrix(self):
+        scenarios = generate_scenarios(seed=0, sites=["index.build"])
+        assert {s.site for s in scenarios} == {"index.build"}
+
+    def test_sites_filter_expands_globs_against_the_registry(self):
+        scenarios = generate_scenarios(seed=0, sites=["strategy.*"])
+        swept = {s.site for s in scenarios}
+        assert swept == {
+            s for s in registered_sites() if s.startswith("strategy.")
+        }
+        # and the scenarios carry the concrete strategy, never the glob
+        assert all(s.strategy != "*" for s in scenarios)
+        report = chaos_sweep(seed=0, sites=["strategy.*"], fast=True)
+        assert report.ok and not report.violations()
+        assert report.tripped_sites() == swept
+        # coverage is held against the targeted subset, not the registry
+        assert report.uncovered_sites() == set()
+
+    def test_sites_filter_rejects_unknown_site(self):
+        with pytest.raises(QueryError, match="unknown fault site"):
+            generate_scenarios(seed=0, sites=["no.such.site"])
+
+    def test_max_scenarios_caps_the_sweep(self):
+        report = chaos_sweep(seed=0, max_scenarios=10)
+        assert len(report.outcomes) == 10
+
+
+class TestSingleScenarios:
+    def test_engine_error_scenario_recovers_or_types(self):
+        outcome = run_scenario(
+            ChaosScenario(
+                "strategy.linear",
+                "strategy.linear:error@nth=1",
+                "tiny", "xpath", default_queries()[0][1], 0, "linear",
+            )
+        )
+        assert outcome.status == "typed-error"
+        assert outcome.tripped
+
+    def test_auto_engine_recovers_from_chosen_strategy_fault(self):
+        from repro.engine import Database
+
+        doc = default_documents()["tiny"]
+        chosen = Database.from_xml(doc).plan("xpath", "Child+[lab() = b]").strategy
+        outcome = run_scenario(
+            ChaosScenario(
+                f"strategy.{chosen}",
+                f"strategy.{chosen}:error@nth=1",
+                "tiny", "xpath", "Child+[lab() = b]", 0,
+            )
+        )
+        assert outcome.status == "recovered"
+        assert outcome.stats is not None
+        assert len(outcome.stats.attempts) >= 2
+
+    def test_ingestion_corrupt_scenarios_degrade_or_type(self):
+        for site in ("xml.parse", "disk.read", "stream.events"):
+            outcome = run_scenario(
+                ChaosScenario(site, f"{site}:corrupt@nth=1", "wide", "ingest", site, 0)
+            )
+            assert outcome.status in ("typed-error", "degraded", "recovered"), (
+                site, outcome.status, outcome.detail,
+            )
+            assert outcome.tripped, site
+
+    def test_latency_scenarios_still_answer_correctly(self):
+        outcome = run_scenario(
+            ChaosScenario(
+                "index.build", "index.build:latency@nth=1",
+                "tiny", "xpath", "Child+[lab() = b]", 0,
+            )
+        )
+        assert outcome.status == "recovered"
+
+
+class TestFallbackDemos:
+    @pytest.fixture(scope="class")
+    def demos(self):
+        return fallback_demos(seed=0)
+
+    def test_every_engine_site_has_a_recovery_demo(self, demos):
+        engine_sites = {
+            s for s in registered_sites()
+            if s not in ("xml.parse", "stream.events", "disk.read")
+        }
+        assert set(demos) == engine_sites
+
+    def test_demos_carry_attempt_chains_and_fault_sites(self, demos):
+        for site, stats in demos.items():
+            assert len(stats.attempts) >= 2, site
+            assert stats.attempts[-1].outcome == "ok", site
+            assert site in stats.faults, site
+
+    def test_true_fallback_demo_exists_for_planner_choices(self, demos):
+        # at least one demo shows the paper's redundancy: the chosen
+        # strategy dies and a DIFFERENT one answers
+        assert any(
+            stats.fallback_from for stats in demos.values()
+        ), "no demo fell back to a different strategy"

@@ -269,3 +269,80 @@ class TestBenchCommands:
     def test_export_without_runs_exit_2(self, tmp_path, capsys):
         assert cli_main(["bench", "export", "--dir", str(tmp_path)]) == 2
         assert "no BENCH_*.json" in capsys.readouterr().err
+
+
+class TestSupervisionFlags:
+    def test_retries_recover_a_transient(self, doc, capsys):
+        code = cli_main([
+            "xpath", XPATH_QUERY, doc,
+            "--fault", "strategy.*:transient@nth=1", "--retries", "1",
+            "--stats",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.split() == XPATH_NODES
+        assert "2 attempts" in captured.err
+        assert "fault plan: 1 trips" in captured.err
+
+    def test_on_error_fallback_survives_a_poisoned_strategy(self, doc, capsys):
+        code = cli_main([
+            "xpath", XPATH_QUERY, doc,
+            "--fault", "strategy.structural-join:error@nth=1",
+            "--on-error", "fallback", "--stats",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.split() == XPATH_NODES
+
+    def test_unrecovered_injected_fault_exit_4(self, doc, capsys):
+        code = cli_main([
+            "xpath", XPATH_QUERY, doc,
+            "--engine", "linear", "--fault", "strategy.linear:error@nth=1",
+        ])
+        assert code == 4
+        assert "supervision exhausted" in capsys.readouterr().err
+
+    def test_all_strategies_failed_exit_4(self, doc, capsys):
+        code = cli_main([
+            "xpath", XPATH_QUERY, doc,
+            "--fault", "strategy.*:error@every=1", "--on-error", "fallback",
+        ])
+        assert code == 4
+        assert "all strategies failed" in capsys.readouterr().err
+
+    def test_on_error_partial_always_exits_0(self, doc, capsys):
+        code = cli_main([
+            "xpath", XPATH_QUERY, doc,
+            "--fault", "strategy.*:error@every=1", "--on-error", "partial",
+            "--stats",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == ""  # degraded to the empty answer
+        assert "DEGRADED" in captured.err
+
+    def test_bad_fault_spec_exit_1(self, doc, capsys):
+        code = cli_main(["xpath", XPATH_QUERY, doc, "--fault", "nonsense"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_document_is_a_clean_error(self, capsys):
+        code = cli_main(["xpath", XPATH_QUERY, "/no/such/file.xml"])
+        assert code == 1
+        assert "/no/such/file.xml" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_fast_sweep_exits_0_and_reports(self, capsys):
+        assert cli_main(["chaos", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep" in out
+        assert "OK" in out
+
+    def test_sites_and_scenarios_filters(self, capsys):
+        code = cli_main([
+            "chaos", "--sites", "index.build", "--scenarios", "4",
+            "--seed", "9",
+        ])
+        assert code == 0
+        assert "seed=9" in capsys.readouterr().out

@@ -158,6 +158,55 @@ def test_budget_rejects_negative_limits():
         ResourceBudget(max_visited=-1)
 
 
+def test_budget_batched_overshoot_reports_pre_batch_plus_batch():
+    # regression: a batched charge that crosses the ceiling must report
+    # spent = pre-batch total + whole batch, and keep the accounting
+    budget = ResourceBudget(max_visited=10)
+    budget.charge(7)
+    with pytest.raises(ResourceBudgetExceeded) as exc_info:
+        budget.charge(100)
+    assert exc_info.value.spent == 107
+    assert budget.visited == 107
+    # a subsequent charge keeps reporting consistently
+    with pytest.raises(ResourceBudgetExceeded) as exc_info:
+        budget.charge(3)
+    assert exc_info.value.spent == 110
+
+
+def test_budget_deadline_spent_is_elapsed_seconds():
+    # regression: the deadline error used to report the *visit count*
+    # as "spent" against a limit measured in seconds
+    now = [100.0]
+    budget = ResourceBudget(deadline_s=2.0, clock=lambda: now[0])
+    budget.charge(500)
+    now[0] = 103.5
+    with pytest.raises(ResourceBudgetExceeded) as exc_info:
+        budget.charge(500)
+    assert exc_info.value.reason == "deadline"
+    assert exc_info.value.limit == 2.0
+    assert exc_info.value.spent == pytest.approx(3.5)
+
+
+def test_budget_zero_deadline_fails_on_first_charge_deterministically():
+    # regression: deadline_s=0 depended on the clock having advanced
+    # between __init__ and the first charge — now it always fires, even
+    # with a frozen clock
+    frozen = lambda: 42.0  # noqa: E731
+    for _ in range(50):
+        budget = ResourceBudget(deadline_s=0, clock=frozen)
+        with pytest.raises(ResourceBudgetExceeded) as exc_info:
+            budget.charge()
+        assert exc_info.value.reason == "deadline"
+
+
+def test_budget_zero_deadline_through_the_engine():
+    from repro.engine import Database
+
+    db = Database.from_xml("<a><b/><c/></a>")
+    with pytest.raises(ResourceBudgetExceeded):
+        db.xpath("Child[lab() = b]", deadline=0.0)
+
+
 def test_observation_tick_counts_and_charges():
     obs = Observation(budget=ResourceBudget(max_visited=5))
     with observed(obs):

@@ -234,3 +234,76 @@ class TestLabelings:
     def test_dietz_invalid_gap(self):
         with pytest.raises(ValueError):
             DietzLabeling(Tree.from_tuple("a"), gap=1)
+
+
+class TestDiskstoreHardening:
+    """Corrupt or truncated .rtre stores must fail with typed errors
+    naming the problem (and the path, at the file layer) — never a raw
+    struct.error, OSError or array size mismatch."""
+
+    def _dumped(self):
+        from repro.storage import dumps_tree
+
+        return dumps_tree(Tree.from_tuple(("a", [("b", ["c"]), "d"])))
+
+    def test_every_truncation_is_a_parse_error(self):
+        from repro.errors import ParseError
+        from repro.storage import loads_tree
+
+        data = self._dumped()
+        for cut in range(len(data)):
+            with pytest.raises(ParseError):
+                loads_tree(data[:cut])
+
+    def test_bad_magic(self):
+        from repro.errors import ParseError
+        from repro.storage import loads_tree
+
+        with pytest.raises(ParseError, match="magic"):
+            loads_tree(b"NOPE" + self._dumped()[4:])
+
+    def test_unsupported_version(self):
+        import struct
+
+        from repro.errors import ParseError
+        from repro.storage import loads_tree
+
+        data = bytearray(self._dumped())
+        data[4:8] = struct.pack("<I", 99)
+        with pytest.raises(ParseError, match="version"):
+            loads_tree(bytes(data))
+
+    def test_undecodable_label_table(self):
+        from repro.errors import ParseError
+        from repro.storage import dumps_tree, loads_tree
+
+        data = bytearray(dumps_tree(Tree.from_tuple(("aaaa", ["bbbb"]))))
+        # corrupt the first label's bytes into invalid UTF-8
+        idx = data.index(b"aaaa")
+        data[idx:idx + 4] = b"\xff\xfe\xfd\xfc"
+        with pytest.raises(ParseError, match="label"):
+            loads_tree(bytes(data))
+
+    def test_load_tree_missing_file_is_storage_error_with_path(self, tmp_path):
+        from repro.errors import StorageError
+        from repro.storage import load_tree
+
+        missing = str(tmp_path / "absent.rtre")
+        with pytest.raises(StorageError, match="absent.rtre"):
+            load_tree(missing)
+
+    def test_load_tree_truncated_file_names_the_path(self, tmp_path):
+        from repro.errors import ParseError
+        from repro.storage import load_tree
+
+        path = tmp_path / "cut.rtre"
+        path.write_bytes(self._dumped()[:10])
+        with pytest.raises(ParseError, match="cut.rtre"):
+            load_tree(str(path))
+
+    @given(trees(max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_survives(self, t):
+        from repro.storage import dumps_tree, loads_tree
+
+        assert loads_tree(dumps_tree(t)) == t

@@ -2,6 +2,7 @@
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ParseError
 from repro.trees import Tree, parse_xml, to_xml
@@ -96,3 +97,145 @@ class TestEvents:
         t = parse_xml(text)
         assert t.n == depth
         assert t.height() == depth - 1
+
+
+class TestStrictErrorsCarryPositions:
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("<a><b></a>", "mismatched closing tag"),
+            ("</a>", "unmatched closing tag"),
+            ("<a></a><b></b>", "multiple root elements"),
+            ("<a><b></b>", "unclosed element"),
+            ("", "empty document"),
+            ("<a>&&&<<", "malformed"),
+        ],
+    )
+    def test_position_always_present(self, text, fragment):
+        with pytest.raises(ParseError, match=fragment) as exc_info:
+            parse_xml(text)
+        assert exc_info.value.position is not None
+        assert "position" in str(exc_info.value)
+
+    def test_max_depth_ceiling_strict(self):
+        text = "<a>" * 40 + "</a>" * 40
+        assert parse_xml(text, max_depth=40).n == 40
+        with pytest.raises(ParseError, match="max_depth") as exc_info:
+            parse_xml(text, max_depth=39)
+        assert exc_info.value.position is not None
+
+
+class TestRecoveringParser:
+    def _recover(self, text, **kw):
+        warnings = []
+        tree = parse_xml(text, recover=True, warnings=warnings, **kw)
+        return tree, warnings
+
+    def test_mismatched_close_auto_closes_to_ancestor(self):
+        tree, warnings = self._recover("<a><b><c></b></a>")
+        # </b> closes the open <c> (auto) and then <b> itself
+        assert parse_xml("<a><b><c/></b></a>") == tree
+        codes = {w.code for w in warnings}
+        assert codes == {"mismatched-close", "unclosed"}
+
+    def test_unmatched_close_is_dropped(self):
+        tree, warnings = self._recover("</b><a/>")
+        assert tree == parse_xml("<a/>")
+        assert [w.code for w in warnings] == ["unmatched-close"]
+
+    def test_stray_close_inside_open_element_is_dropped(self):
+        # </b> matches nothing on the stack: reported, dropped
+        tree, warnings = self._recover("<a></b></a>")
+        assert tree == parse_xml("<a/>")
+        assert [w.code for w in warnings] == ["mismatched-close"]
+
+    def test_unclosed_elements_auto_close_at_eof(self):
+        tree, warnings = self._recover("<a><b><c>")
+        assert tree == parse_xml("<a><b><c/></b></a>")
+        assert [w.code for w in warnings] == ["unclosed"] * 3
+
+    def test_extra_roots_dropped_with_warning(self):
+        tree, warnings = self._recover("<a><x/></a><b><y/></b>")
+        assert tree == parse_xml("<a><x/></a>")
+        assert [w.code for w in warnings] == ["multiple-roots"]
+
+    def test_garbage_skipped_with_warning(self):
+        tree, warnings = self._recover("<a>&&& ... <<<<<<b/></a>")
+        assert tree == parse_xml("<a><b/></a>")
+        assert "garbage" in {w.code for w in warnings}
+
+    def test_empty_document_synthesizes_placeholder_root(self):
+        tree, warnings = self._recover("just text, no elements at all")
+        assert tree.n == 1
+        assert tree.label[tree.root] == "#document"
+        assert "empty" in {w.code for w in warnings}
+
+    def test_too_deep_subtrees_dropped_with_warning(self):
+        text = "<a>" + "<b>" * 5 + "</b>" * 5 + "<c/></a>"
+        tree, warnings = self._recover(text, max_depth=3)
+        assert tree == parse_xml("<a><b><b/></b><c/></a>")
+        assert "max-depth" in {w.code for w in warnings}
+
+    def test_warnings_carry_positions(self):
+        _, warnings = self._recover("<a><b></a>")
+        assert warnings and all(w.position is not None for w in warnings)
+
+    def test_recovered_output_reparses_strictly(self):
+        for text in (
+            "<a><b><c></b></a>",
+            "<a><b>",
+            "</x><a/><b/>",
+            "<a>&&&<b></a>",
+        ):
+            tree, _ = self._recover(text)
+            if tree.label[tree.root] == "#document":
+                continue  # placeholder root has no XML spelling
+            assert parse_xml(to_xml(tree)) == tree
+
+
+class TestMalformedFuzz:
+    """Property fuzz: strict mode always raises ParseError with a
+    position on malformed input; recover mode never raises and what it
+    keeps round-trips through strict re-parsing."""
+
+    fragments = st.lists(
+        st.sampled_from(
+            ["<a>", "</a>", "<b>", "</b>", "<c/>", "<", ">", "&", "&amp;",
+             "</", "x", " ", "<a", "<!--", "-->", "<?pi?>", "=\"v\"", "'"]
+        ),
+        min_size=0,
+        max_size=12,
+    ).map("".join)
+
+    @given(fragments)
+    @settings(max_examples=200, deadline=None)
+    def test_strict_parse_or_positioned_error(self, text):
+        try:
+            parse_xml(text)
+        except ParseError as exc:
+            assert exc.position is not None
+            assert 0 <= exc.position <= len(text)
+
+    @given(fragments)
+    @settings(max_examples=200, deadline=None)
+    def test_recover_never_raises_and_round_trips(self, text):
+        warnings = []
+        tree = parse_xml(text, recover=True, warnings=warnings)
+        assert tree.n >= 1
+        if tree.label[tree.root] != "#document":
+            assert parse_xml(to_xml(tree)) == tree
+
+    @given(trees(max_size=15), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_truncated_documents(self, t, data):
+        full = to_xml(t)
+        cut = data.draw(st.integers(min_value=1, max_value=len(full) - 1))
+        prefix = full[:cut]
+        with pytest.raises(ParseError) as exc_info:
+            parse_xml(prefix)
+        assert exc_info.value.position is not None
+        warnings = []
+        recovered = parse_xml(prefix, recover=True, warnings=warnings)
+        assert recovered.n >= 1
+        if recovered.label[recovered.root] != "#document":
+            assert parse_xml(to_xml(recovered)) == recovered
