@@ -65,7 +65,12 @@ __all__ = ["main", "build_parser"]
 
 
 def _load_database(args) -> Database:
-    return Database.from_file(args.document, getattr(args, "attr_labels", False))
+    return Database.from_file(
+        args.document,
+        getattr(args, "attr_labels", False),
+        columns=getattr(args, "columns", None),
+        plan_cache=getattr(args, "plan_cache", None),
+    )
 
 
 def _print_nodes(tree: Tree, nodes, show_paths: bool) -> None:
@@ -403,6 +408,23 @@ def build_parser() -> argparse.ArgumentParser:
                 default=0,
                 metavar="N",
                 help="RNG seed for probabilistic fault triggers",
+            )
+            p.add_argument(
+                "--columns",
+                choices=("off", "on", "numpy"),
+                default=None,
+                help=(
+                    "columnar index backend: flat int columns for the "
+                    "structural join / twig / automaton hot paths "
+                    "(default: the REPRO_COLUMNS environment variable)"
+                ),
+            )
+            p.add_argument(
+                "--plan-cache",
+                type=int,
+                default=None,
+                metavar="N",
+                help="compiled-plan cache capacity (0 disables; default 128)",
             )
 
     p = sub.add_parser("stats", help="document statistics")

@@ -7,9 +7,10 @@ and docs/ROBUSTNESS.md for the retry/fallback supervisor
 (``retries=``/``on_error=``) and fault injection.
 """
 
+from repro.engine.columns import ColumnStore, resolve_mode
 from repro.engine.database import Database
 from repro.engine.index import DocumentIndex
-from repro.engine.planner import Plan, Planner
+from repro.engine.planner import Plan, PlanCache, Planner
 from repro.engine.stats import Attempt, ExecutionStats, Result
 from repro.engine.strategies import (
     STRATEGIES,
@@ -21,10 +22,12 @@ from repro.engine.strategies import (
 
 __all__ = [
     "Attempt",
+    "ColumnStore",
     "Database",
     "DocumentIndex",
     "ExecutionStats",
     "Plan",
+    "PlanCache",
     "Planner",
     "Result",
     "STRATEGIES",
@@ -32,4 +35,5 @@ __all__ = [
     "get_strategy",
     "strategies_for",
     "strategy_names",
+    "resolve_mode",
 ]

@@ -1,0 +1,506 @@
+"""The columnar index core: flat integer columns for the hot paths.
+
+Every §2 algorithm in this library is *defined* over the (pre, post,
+level) interval encoding, yet the object-path executors still walk
+Python ``Tree`` attributes per node.  A :class:`ColumnStore`
+materializes the encoding once as flat ``array('i')`` columns (or numpy
+arrays under ``REPRO_COLUMNS=numpy``) plus interned label ids with
+per-label posting arrays, and the column-native executors below scan
+ints instead of objects:
+
+- :meth:`ColumnStore.descendant_semijoin` — the structural join of §2
+  specialized to what the XPath spine evaluator actually needs: the set
+  of *descendant targets*, not the (ancestor, descendant) pairs.  The
+  frontier collapses to maximal disjoint pre-intervals (ancestor
+  intervals nest, so a sorted sweep suffices) and each interval slices
+  the candidate posting array via binary search — O(|A| + |D| + |out|)
+  with no pair materialization at all.
+- :meth:`ColumnStore.twig_streams` — arc-consistency-style pruning of
+  the per-pattern-node candidate streams before PathStack/TwigStack
+  run.  Every pattern edge is relaxed to descendant containment (a
+  sound over-approximation: a ``/``-edge match is in particular a
+  ``//``-edge match), so no element of a real match is ever dropped,
+  while unproductive document regions never reach the stack machinery.
+- :func:`evaluate_xpath_automaton_columns` — the two automaton passes
+  of :mod:`repro.automata.xpathrun` with ``bytearray`` state vectors
+  and parent-array accumulation: processing nodes in reverse pre-order
+  ORs each node's state into its parent's accumulator slot, replacing
+  the per-node children-list scans.
+
+Feature gating: columns are opt-in per :class:`~repro.engine.database.
+Database` (``columns="on"``/``"numpy"``), via the ``REPRO_COLUMNS``
+environment variable, or the CLI ``--columns`` flag; ``resolve_mode``
+is the single place the three spellings meet.  The numpy fast path is
+used only when numpy imports — no new dependency is ever required.
+
+Derived per-label artifacts ((pre, post) pair columns, membership
+masks) live in a bounded LRU cache; the interning table itself is
+permanent, so label ids stay stable across evictions.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.errors import QueryError
+from repro.faults import faultpoint, register_site
+from repro.obs.context import current as _obs_current
+from repro.trees.axes import Axis
+from repro.trees.tree import Tree
+
+__all__ = [
+    "COLUMNS_ENV",
+    "ColumnStore",
+    "evaluate_xpath_automaton_columns",
+    "resolve_mode",
+]
+
+#: environment variable selecting the default columns mode
+COLUMNS_ENV = "REPRO_COLUMNS"
+
+register_site("columns.build", "ColumnStore construction (interning + columns)")
+register_site(
+    "columns.semijoin", "columnar interval semi-joins and twig stream pruning"
+)
+
+_OFF_SPELLINGS = frozenset({"", "0", "off", "no", "false", "objects", "none"})
+_ON_SPELLINGS = frozenset({"1", "on", "yes", "true", "array", "columns"})
+
+
+def _load_numpy():
+    try:
+        import numpy
+    except Exception:  # pragma: no cover - numpy is optional by design
+        return None
+    return numpy
+
+
+def resolve_mode(requested: "str | bool | None" = None) -> str:
+    """Normalize a columns request to ``"off"``, ``"array"`` or ``"numpy"``.
+
+    ``None`` defers to the ``REPRO_COLUMNS`` environment variable (so
+    the flag can be flipped without touching call sites); ``"numpy"``
+    silently degrades to ``"array"`` when numpy is not importable —
+    columns never introduce a dependency.
+    """
+    value = requested
+    if value is None:
+        value = os.environ.get(COLUMNS_ENV, "")
+    if isinstance(value, bool):
+        return "array" if value else "off"
+    text = str(value).strip().lower()
+    if text in _OFF_SPELLINGS:
+        return "off"
+    if text in _ON_SPELLINGS:
+        return "array"
+    if text == "numpy":
+        return "numpy" if _load_numpy() is not None else "array"
+    raise QueryError(
+        f"unknown columns mode {requested!r}; options: off, on, numpy"
+    )
+
+
+class ColumnStore:
+    """Interned labels + flat int columns for one (immutable) Tree."""
+
+    __slots__ = (
+        "tree",
+        "n",
+        "mode",
+        "pre",
+        "post",
+        "level",
+        "parent",
+        "subtree_end",
+        "label_to_id",
+        "id_to_label",
+        "postings",
+        "derived_cache_size",
+        "derived_evictions",
+        "_derived",
+        "_np",
+    )
+
+    #: bound on the derived-artifact LRU (pair columns + masks per label)
+    DERIVED_CACHE_SIZE = 64
+
+    def __init__(
+        self,
+        tree: Tree,
+        mode: str = "array",
+        derived_cache_size: int = DERIVED_CACHE_SIZE,
+    ):
+        faultpoint("columns.build")
+        np = _load_numpy() if mode == "numpy" else None
+        if mode == "numpy" and np is None:
+            mode = "array"
+        self.tree = tree
+        self.n = tree.n
+        self.mode = mode
+        self._np = np
+        if np is not None:
+            self.pre = np.arange(tree.n, dtype=np.int64)
+            self.post = np.asarray(tree.post, dtype=np.int64)
+            self.level = np.asarray(tree.depth, dtype=np.int64)
+            self.parent = np.asarray(tree.parent, dtype=np.int64)
+            self.subtree_end = np.asarray(tree.subtree_end, dtype=np.int64)
+        else:
+            self.pre = array("i", range(tree.n))
+            self.post = array("i", tree.post)
+            self.level = array("i", tree.depth)
+            self.parent = array("i", tree.parent)
+            self.subtree_end = array("i", tree.subtree_end)
+        # intern labels in first-use (document) order; postings are
+        # built by the same increasing-id sweep, so they are sorted
+        label_to_id: dict[str, int] = {}
+        id_to_label: list[str] = []
+        postings: list[array] = []
+        for v in range(tree.n):
+            for label in tree.labels[v]:
+                lid = label_to_id.get(label)
+                if lid is None:
+                    lid = len(id_to_label)
+                    label_to_id[label] = lid
+                    id_to_label.append(label)
+                    postings.append(array("i"))
+                postings[lid].append(v)
+        if np is not None:
+            postings = [np.asarray(p, dtype=np.int64) for p in postings]
+        self.label_to_id = label_to_id
+        self.id_to_label = id_to_label
+        self.postings = postings
+        self.derived_cache_size = max(1, int(derived_cache_size))
+        self.derived_evictions = 0
+        self._derived: "OrderedDict[tuple, Any]" = OrderedDict()
+        ctx = _obs_current()
+        if ctx is not None:
+            ctx.count("index.columns_built")
+
+    # -- interning ---------------------------------------------------------
+
+    def label_id(self, label: str) -> int:
+        """The interned id of ``label``, or -1 when absent."""
+        return self.label_to_id.get(label, -1)
+
+    def label_of(self, lid: int) -> str:
+        return self.id_to_label[lid]
+
+    def labels(self) -> "frozenset[str]":
+        return frozenset(self.label_to_id)
+
+    def posting(self, label: str):
+        """The sorted node-id posting array of ``label`` (empty if absent)."""
+        lid = self.label_to_id.get(label)
+        if lid is None:
+            return self._empty()
+        return self.postings[lid]
+
+    def _empty(self):
+        if self._np is not None:
+            return self._np.empty(0, dtype=self._np.int64)
+        return array("i")
+
+    # -- derived artifacts (bounded LRU) -----------------------------------
+
+    def _derived_get(self, key: tuple, build: Callable[[], Any]) -> Any:
+        entry = self._derived.get(key)
+        if entry is not None:
+            self._derived.move_to_end(key)
+            return entry
+        entry = build()
+        self._derived[key] = entry
+        while len(self._derived) > self.derived_cache_size:
+            self._derived.popitem(last=False)
+            self.derived_evictions += 1
+        return entry
+
+    def derived_cached(self) -> int:
+        """Current derived-cache occupancy (tests and introspection)."""
+        return len(self._derived)
+
+    def label_pairs(self, label: str):
+        """The (pre, post) columns of a label partition, LRU-cached."""
+
+        def build():
+            nodes = self.posting(label)
+            if self._np is not None:
+                return nodes, self.post[nodes]
+            post = self.post
+            return nodes, array("i", [post[v] for v in nodes])
+
+        return self._derived_get(("pairs", label), build)
+
+    def mask(self, label: str) -> bytearray:
+        """A per-node membership bytearray for ``label``, LRU-cached."""
+
+        def build():
+            m = bytearray(self.n)
+            for v in self.posting(label):
+                m[v] = 1
+            return m
+
+        return self._derived_get(("mask", label), build)
+
+    # -- column-native joins -----------------------------------------------
+
+    def descendant_semijoin(self, frontier, candidates) -> list[int]:
+        """Sorted ids from ``candidates`` that are proper descendants of
+        some node in ``frontier`` (both sorted by pre id).
+
+        Ancestor intervals nest, so collapsing the frontier to maximal
+        disjoint intervals is one sweep; each interval then slices the
+        candidate posting array with two binary searches.  Unlike the
+        pair-producing structural join this never materializes
+        (ancestor, descendant) pairs — output is at most |candidates|.
+        """
+        faultpoint("columns.semijoin")
+        out: list[int] = []
+        end = self.subtree_end
+        np = self._np
+        use_np = np is not None and isinstance(candidates, np.ndarray)
+        cur_end = -1
+        for u in frontier:
+            if u < cur_end:
+                continue  # nested inside the previous maximal interval
+            cur_end = end[u]
+            if use_np:
+                lo = int(np.searchsorted(candidates, u, side="right"))
+                hi = int(np.searchsorted(candidates, cur_end, side="left"))
+                if hi > lo:
+                    out.extend(candidates[lo:hi].tolist())
+            else:
+                lo = bisect_right(candidates, u)
+                hi = bisect_left(candidates, cur_end, lo)
+                if hi > lo:
+                    out.extend(candidates[lo:hi])
+        return out
+
+    def child_semijoin(self, frontier, candidates) -> list[int]:
+        """Sorted ids from ``candidates`` whose parent is in ``frontier``."""
+        faultpoint("columns.semijoin")
+        parent = self.parent
+        members = set(frontier)
+        return [int(c) for c in candidates if parent[c] in members]
+
+    def twig_streams(self, pattern) -> list[list[int]]:
+        """Pruned per-pattern-node candidate streams (document order).
+
+        Drop-in for :meth:`DocumentIndex.twig_streams`: the returned
+        lists feed PathStack/TwigStack/binary plans unchanged.  Both
+        passes relax every edge to descendant containment, which keeps
+        a superset of the elements participating in any real match —
+        sound for ``/`` edges too, since a child is a descendant.
+        """
+        faultpoint("columns.semijoin")
+        n = self.n
+        end = self.subtree_end
+        streams: list[list[int]] = []
+        for node in pattern.nodes:
+            if node.label == "*":
+                streams.append(list(range(n)))
+            else:
+                streams.append([int(v) for v in self.posting(node.label)])
+        order = pattern.nodes
+        # bottom-up: keep elements with a surviving candidate below every
+        # child (pattern nodes are pre-order indexed: children come later)
+        for qi in range(len(order) - 1, -1, -1):
+            for child in order[qi].children:
+                cs = streams[child.index]
+                kept = []
+                for e in streams[qi]:
+                    lo = bisect_right(cs, e)
+                    if lo < len(cs) and cs[lo] < end[e]:
+                        kept.append(e)
+                streams[qi] = kept
+        # top-down: keep elements inside some surviving parent interval —
+        # a merge sweep with a stack of open (nested) ancestor intervals
+        for qi in range(1, len(order)):
+            parents = streams[pattern.parent[qi]]
+            kept = []
+            open_ends: list[int] = []
+            pi = 0
+            np_ = len(parents)
+            for e in streams[qi]:
+                while pi < np_ and parents[pi] < e:
+                    a = parents[pi]
+                    pi += 1
+                    while open_ends and open_ends[-1] <= a:
+                        open_ends.pop()
+                    open_ends.append(end[a])
+                while open_ends and open_ends[-1] <= e:
+                    open_ends.pop()
+                if open_ends:
+                    kept.append(e)
+            streams[qi] = kept
+        return streams
+
+
+# ---------------------------------------------------------------------------
+# the columnar downward-XPath automaton
+# ---------------------------------------------------------------------------
+
+
+class _ColPath:
+    """Bytearray automaton state for one qualifier path (steps 0..k-1).
+
+    The columnar twin of :class:`repro.automata.xpathrun._DownPath`:
+    the OK/S/R bit-vectors become bytearrays, and the per-node
+    children-list scans become parent-array accumulation — when node v
+    is processed (reverse pre-order, children first), its S/OK bits are
+    ORed into ``aggS``/``aggOK`` at ``parent[v]``, so by the time the
+    parent is processed its accumulator slots already hold the
+    disjunction over all children.
+    """
+
+    __slots__ = ("axes", "quals", "k", "OK", "S", "R", "aggOK", "aggS")
+
+    def __init__(self, expr, store: ColumnStore, registry: "list[_ColPath]"):
+        from repro.xpath.ast import steps_of
+
+        steps = steps_of(expr)
+        # compiling the qualifiers first appends nested paths to the
+        # registry before this one, so the sweep updates inner before outer
+        self.quals = [
+            [_compile_qual_columns(q, store, registry) for q in s.qualifiers]
+            for s in steps
+        ]
+        self.axes = [s.axis for s in steps]
+        n = store.n
+        k = len(steps)
+        self.k = k
+        self.OK = [bytearray(n) for _ in range(k)]
+        self.S = [bytearray(n) for _ in range(k)]
+        self.R = [bytearray(n) for _ in range(k)]
+        self.aggOK = [bytearray(n) for _ in range(k)]
+        self.aggS = [bytearray(n) for _ in range(k)]
+
+    def update(self, v: int, p: int) -> None:
+        """Transition at ``v``; children already accumulated into agg*."""
+        k = self.k
+        for i in range(k - 1, -1, -1):
+            ok = 1
+            for q in self.quals[i]:
+                if not q(v):
+                    ok = 0
+                    break
+            if ok and i + 1 < k and not self.R[i + 1][v]:
+                ok = 0
+            self.OK[i][v] = ok
+            s = 1 if (ok or self.aggS[i][v]) else 0
+            self.S[i][v] = s
+            axis = self.axes[i]
+            if axis is Axis.CHILD:
+                r = self.aggOK[i][v]
+            elif axis is Axis.CHILD_PLUS:
+                r = self.aggS[i][v]
+            elif axis is Axis.CHILD_STAR:
+                r = s
+            else:  # Self
+                r = ok
+            self.R[i][v] = 1 if r else 0
+            if p >= 0:
+                if s:
+                    self.aggS[i][p] = 1
+                if ok:
+                    self.aggOK[i][p] = 1
+
+
+def _compile_qual_columns(
+    q, store: ColumnStore, registry: "list[_ColPath]"
+) -> Callable[[int], bool]:
+    """A per-node boolean view of one qualifier over the column state."""
+    from repro.xpath.ast import AndQual, LabelTest, NotQual, OrQual, PathQualifier
+
+    if isinstance(q, LabelTest):
+        m = store.mask(q.label)
+        return lambda v: m[v]
+    if isinstance(q, AndQual):
+        left = _compile_qual_columns(q.left, store, registry)
+        right = _compile_qual_columns(q.right, store, registry)
+        return lambda v: left(v) and right(v)
+    if isinstance(q, OrQual):
+        left = _compile_qual_columns(q.left, store, registry)
+        right = _compile_qual_columns(q.right, store, registry)
+        return lambda v: left(v) or right(v)
+    if isinstance(q, NotQual):
+        inner = _compile_qual_columns(q.operand, store, registry)
+        return lambda v: not inner(v)
+    if isinstance(q, PathQualifier):
+        down = _ColPath(q.path, store, registry)
+        registry.append(down)
+        reach = down.R[0]
+        return lambda v: reach[v]
+    raise QueryError(
+        "position() predicates are outside the downward automaton fragment"
+    )
+
+
+def evaluate_xpath_automaton_columns(expr, store: ColumnStore) -> set[int]:
+    """[[expr]](root) for downward Core XPath over flat columns.
+
+    Observationally identical to
+    :func:`repro.automata.xpathrun.evaluate_xpath_automaton` — same
+    fragment check, same two passes — but the per-node state lives in
+    bytearrays and the bottom-up pass aggregates through the parent
+    column instead of iterating children lists.
+    """
+    from repro.automata.xpathrun import is_downward
+    from repro.xpath.ast import steps_of
+
+    if not is_downward(expr):
+        raise QueryError(
+            "the automaton evaluator covers the downward fragment only "
+            "(axes Self/Child/Child+/Child*, no position())"
+        )
+    ctx = _obs_current()
+    n = store.n
+    parent = store.parent
+    registry: list[_ColPath] = []
+    spine = steps_of(expr)
+    spine_quals = [
+        [_compile_qual_columns(q, store, registry) for q in s.qualifiers]
+        for s in spine
+    ]
+
+    # pass 1: bottom-up automaton run (children have larger pre ids)
+    for v in range(n - 1, -1, -1):
+        p = parent[v]
+        for down in registry:
+            down.update(v, p)
+
+    if ctx is not None:
+        ctx.count("automaton.passes", 2)
+        ctx.tick(n * max(len(registry), 1))
+        ctx.tick(n)
+
+    # pass 2: top-down context pass through the spine
+    m = len(spine)
+    F = [bytearray(n) for _ in range(m + 1)]
+    A = [bytearray(n) for _ in range(m + 1)]
+    root = store.tree.root
+    answer: set[int] = set()
+    Fm = F[m]
+    for v in range(n):
+        p = parent[v]
+        F[0][v] = 1 if v == root else 0
+        for j in range(1, m + 1):
+            axis = spine[j - 1].axis
+            anc = 1 if (p >= 0 and (F[j - 1][p] or A[j][p])) else 0
+            A[j][v] = anc
+            qual_ok = all(q(v) for q in spine_quals[j - 1])
+            if axis is Axis.CHILD:
+                f = p >= 0 and F[j - 1][p] and qual_ok
+            elif axis is Axis.CHILD_PLUS:
+                f = anc and qual_ok
+            elif axis is Axis.CHILD_STAR:
+                f = (F[j - 1][v] or anc) and qual_ok
+            else:  # Self
+                f = F[j - 1][v] and qual_ok
+            F[j][v] = 1 if f else 0
+        if Fm[v]:
+            answer.add(v)
+    return answer

@@ -77,9 +77,18 @@ ON_ERROR_POLICIES = ("raise", "fallback", "partial")
 class Database:
     """A queryable document: Tree + cached DocumentIndex + Planner."""
 
-    def __init__(self, tree: Tree, planner: "Planner | None" = None):
+    def __init__(
+        self,
+        tree: Tree,
+        planner: "Planner | None" = None,
+        columns: "str | bool | None" = None,
+        plan_cache: "int | None" = None,
+    ):
         self._tree = tree
-        self._planner = planner or Planner()
+        if planner is None:
+            planner = Planner(plan_cache_size=plan_cache)
+        self._planner = planner
+        self._columns = columns
         self._index: "DocumentIndex | None" = None
         self._parse_cache: dict[tuple, Any] = {}
         #: ExecutionStats of every call, in order — the query log.
@@ -93,13 +102,17 @@ class Database:
         text: str,
         attributes_as_labels: bool = False,
         recover: bool = False,
+        columns: "str | bool | None" = None,
+        plan_cache: "int | None" = None,
     ) -> "Database":
         from repro.trees.xmlio import parse_xml
 
         return cls(
             parse_xml(
                 text, attributes_as_labels=attributes_as_labels, recover=recover
-            )
+            ),
+            columns=columns,
+            plan_cache=plan_cache,
         )
 
     @classmethod
@@ -108,6 +121,8 @@ class Database:
         path: str,
         attributes_as_labels: bool = False,
         recover: bool = False,
+        columns: "str | bool | None" = None,
+        plan_cache: "int | None" = None,
     ) -> "Database":
         """Load an ``.xml`` document or an ``.rtre`` binary store.
 
@@ -119,7 +134,7 @@ class Database:
         if path.endswith(".rtre"):
             from repro.storage.diskstore import load_tree
 
-            return cls(load_tree(path))
+            return cls(load_tree(path), columns=columns, plan_cache=plan_cache)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 text = fh.read()
@@ -128,7 +143,10 @@ class Database:
         except OSError as exc:
             raise StorageError(f"cannot read document {path!r}: {exc}") from exc
         text = faultpoint("disk.read", text, mutator=_truncate_text)
-        return cls.from_xml(text, attributes_as_labels, recover=recover)
+        return cls.from_xml(
+            text, attributes_as_labels, recover=recover,
+            columns=columns, plan_cache=plan_cache,
+        )
 
     # -- document and index access ----------------------------------------
 
@@ -140,13 +158,18 @@ class Database:
     def index(self) -> DocumentIndex:
         """The document index, built on first access and then cached."""
         if self._index is None:
-            self._index = DocumentIndex(self._tree)
+            self._index = DocumentIndex(self._tree, columns=self._columns)
         return self._index
 
     @property
     def has_index(self) -> bool:
         """Whether the index is currently materialized (no side effects)."""
         return self._index is not None
+
+    @property
+    def plan_cache(self):
+        """The planner's compiled-plan cache (hit/miss introspection)."""
+        return self._planner.cache
 
     # -- query entry points ------------------------------------------------
 

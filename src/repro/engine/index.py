@@ -49,10 +49,18 @@ class DocumentIndex:
         "_pair_streams",
         "hits",
         "nodes_streamed",
+        "columns_mode",
+        "_columns",
+        "_fingerprint",
     )
 
-    def __init__(self, tree: Tree):
+    def __init__(self, tree: Tree, columns: "str | bool | None" = None):
         faultpoint("index.build")
+        from repro.engine.columns import resolve_mode
+
+        self.columns_mode = resolve_mode(columns)
+        self._columns = None
+        self._fingerprint = None
         self.tree = tree
         self.n = tree.n
         self.pre = list(range(tree.n))
@@ -75,6 +83,28 @@ class DocumentIndex:
         if ctx is not None:
             ctx.count("index.nodes_indexed", tree.n)
             ctx.count("index.labels_indexed", len(partition))
+
+    # -- columnar view / identity -----------------------------------------
+
+    @property
+    def columns(self):
+        """The lazily built :class:`~repro.engine.columns.ColumnStore`
+        when columns are enabled for this index, else ``None``."""
+        if self.columns_mode == "off":
+            return None
+        if self._columns is None:
+            from repro.engine.columns import ColumnStore
+
+            self._columns = ColumnStore(self.tree, mode=self.columns_mode)
+        return self._columns
+
+    @property
+    def fingerprint(self) -> int:
+        """A structural fingerprint of the indexed document, computed
+        once — the document half of the planner's plan-cache key."""
+        if self._fingerprint is None:
+            self._fingerprint = hash(self.tree)
+        return self._fingerprint
 
     # -- label partition accessors ----------------------------------------
 

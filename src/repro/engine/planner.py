@@ -42,16 +42,19 @@ Heuristics, in order:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import QueryError
 from repro.faults import faultpoint, register_site
 from repro.engine.strategies import get_strategy, sj_spec, xpath_labels
+from repro.obs.context import current as _obs_current
 
-__all__ = ["Plan", "Planner"]
+__all__ = ["Plan", "PlanCache", "Planner"]
 
 register_site("planner.plan", "strategy selection for one query")
+register_site("planner.cache", "compiled-plan cache lookup")
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,75 @@ class Plan:
     kind: str
     strategy: str
     reason: str
+
+
+class PlanCache:
+    """A bounded LRU of compiled plans, keyed by (kind, normalized query
+    shape, document fingerprint).
+
+    The shape key is ``str(parsed_query)`` — every parsed query kind
+    renders canonically, and two queries with equal text have equal
+    plans.  The fingerprint ties the entry to the document *contents*
+    (via :meth:`DocumentIndex.fingerprint`), so a mutated-and-reindexed
+    document misses rather than reusing a stale selectivity decision.
+    A stale hit under fingerprint collision is still *safe*: every
+    applicability gate depends only on the query, so a cached plan can
+    be suboptimal, never wrong.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = max(0, int(maxsize))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[tuple, Plan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> "Plan | None":
+        faultpoint("planner.cache")
+        entry = self._entries.get(key)
+        # counters go through the per-call Observation (merged into
+        # global METRICS by the supervised path); the unobserved fast
+        # path must never touch METRICS directly
+        ctx = _obs_current()
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if ctx is not None:
+                ctx.count("planner.cache_hits")
+            return entry
+        self.misses += 1
+        if ctx is not None:
+            ctx.count("planner.cache_misses")
+        return None
+
+    def store(self, key: tuple, plan: Plan) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        ctx = _obs_current()
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if ctx is not None:
+                ctx.count("planner.cache_evictions")
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def info(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 class Planner:
@@ -73,8 +145,29 @@ class Planner:
     #: tree-width cutoff for the bounded-tree-width CQ route
     TREEWIDTH_CUTOFF = 2
 
+    #: default plan-cache capacity (0 disables caching)
+    PLAN_CACHE_SIZE = 128
+
+    def __init__(self, plan_cache_size: "int | None" = None):
+        if plan_cache_size is None:
+            plan_cache_size = self.PLAN_CACHE_SIZE
+        self.cache = PlanCache(plan_cache_size)
+
     def plan(self, kind: str, query: Any, index: Any) -> Plan:
         faultpoint("planner.plan")
+        fingerprint = getattr(index, "fingerprint", None)
+        key = None
+        if self.cache.maxsize and fingerprint is not None:
+            key = (kind, str(query), fingerprint)
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                return cached
+        plan = self._plan_uncached(kind, query, index)
+        if key is not None:
+            self.cache.store(key, plan)
+        return plan
+
+    def _plan_uncached(self, kind: str, query: Any, index: Any) -> Plan:
         if kind == "xpath":
             return self._plan_xpath(query, index)
         if kind == "twig":

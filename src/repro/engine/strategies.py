@@ -183,6 +183,11 @@ def _xpath_automaton(expr, index):
     from repro.automata.xpathrun import evaluate_xpath_automaton
 
     _touch(index, xpath_labels(expr))
+    cols = getattr(index, "columns", None)
+    if cols is not None:
+        from repro.engine.columns import evaluate_xpath_automaton_columns
+
+        return evaluate_xpath_automaton_columns(expr, cols)
     return evaluate_xpath_automaton(expr, index.tree)
 
 
@@ -211,6 +216,43 @@ def _xpath_structural_join_applicable(expr, _index) -> bool:
     return sj_spec(expr) is not None
 
 
+def _xpath_structural_join_columns(spec, index, cols):
+    """The same spine plan over flat columns: each Child+/Child* step is
+    an interval *semi*-join (no pair materialization), each Child step a
+    parent-column filter — inner loops scan ints only."""
+    ctx = _obs_current()
+    current: list[int] = [index.tree.root]
+    for axis, labels in spec:
+        with (
+            ctx.span("sj-step", axis=axis.value, labels=",".join(labels))
+            if ctx is not None
+            else _NULL_CM
+        ):
+            if labels:
+                candidates = cols.posting(labels[0])
+                for extra in labels[1:]:
+                    m = cols.mask(extra)
+                    candidates = [v for v in candidates if m[v]]
+            else:
+                candidates = range(cols.n)
+            if axis is Axis.CHILD:
+                if ctx is not None:
+                    ctx.tick(len(candidates))
+                current = cols.child_semijoin(current, candidates)
+            else:
+                targets = cols.descendant_semijoin(current, candidates)
+                if axis is Axis.CHILD_STAR:
+                    masks = [cols.mask(label) for label in labels]
+                    stay = [v for v in current if all(m[v] for m in masks)]
+                    targets = sorted(set(targets) | set(stay))
+                current = [int(v) for v in targets]
+            if ctx is not None:
+                ctx.count("sj.frontier", len(current))
+        if not current:
+            break
+    return set(current)
+
+
 def _xpath_structural_join(expr, index):
     """Evaluate a label-only downward spine step by step, each Child+ /
     Child* step as a stack-based structural join over the label stream."""
@@ -219,6 +261,9 @@ def _xpath_structural_join(expr, index):
     spec = sj_spec(expr)
     if spec is None:  # pragma: no cover - guarded by applicable()
         raise QueryError("not a label-only downward spine")
+    cols = getattr(index, "columns", None)
+    if cols is not None:
+        return _xpath_structural_join_columns(spec, index, cols)
     ctx = _obs_current()
     tree = index.tree
     post = tree.post
@@ -275,10 +320,23 @@ def _xpath_cq(expr, index):
 # ---------------------------------------------------------------------------
 
 
+def _twig_streams(pattern, index):
+    """Candidate streams for a twig pattern: plain label partitions, or
+    the arc-consistency-pruned columnar streams when columns are on."""
+    cols = getattr(index, "columns", None)
+    if cols is not None:
+        streams = cols.twig_streams(pattern)
+        ctx = _obs_current()
+        if ctx is not None:
+            ctx.count("twig.stream_elements", sum(len(s) for s in streams))
+        return streams
+    return index.twig_streams(pattern)
+
+
 def _twig_twigstack(pattern, index):
     from repro.twigjoin.twigstack import twig_stack
 
-    return twig_stack(pattern, index.tree, streams=index.twig_streams(pattern))
+    return twig_stack(pattern, index.tree, streams=_twig_streams(pattern, index))
 
 
 def _twig_pathstack_applicable(pattern, _index) -> bool:
@@ -288,14 +346,14 @@ def _twig_pathstack_applicable(pattern, _index) -> bool:
 def _twig_pathstack(pattern, index):
     from repro.twigjoin.pathstack import path_stack
 
-    return path_stack(pattern, index.tree, streams=index.twig_streams(pattern))
+    return path_stack(pattern, index.tree, streams=_twig_streams(pattern, index))
 
 
 def _twig_binary(pattern, index):
     from repro.twigjoin.binaryjoin import binary_join_plan
 
     return binary_join_plan(
-        pattern, index.tree, streams=index.twig_streams(pattern)
+        pattern, index.tree, streams=_twig_streams(pattern, index)
     )
 
 

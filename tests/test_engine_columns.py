@@ -1,0 +1,350 @@
+"""Unit tests for the columnar index core (repro.engine.columns).
+
+The differential sweep (test_engine_differential.py) proves the column
+paths observationally identical to the object paths end-to-end; this
+module pins the pieces in isolation — the mode resolver, the
+ColumnStore layout and interning, the interval semi-joins against a
+brute-force oracle, the stream pruning, and the columnar automaton.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ColumnStore, Database, resolve_mode
+from repro.engine.columns import COLUMNS_ENV, evaluate_xpath_automaton_columns
+from repro.errors import QueryError
+from repro.trees.generate import random_tree
+from repro.twigjoin.pattern import parse_twig
+from repro.workloads.queries import random_twig, random_xpath
+from repro.xpath.parser import parse_xpath
+
+LABELS = ("a", "b", "c", "d")
+
+
+def _tree(seed: int, n: int = 40):
+    return random_tree(n, seed=seed, alphabet=LABELS)
+
+
+def _numpy_or_skip():
+    np = pytest.importorskip("numpy")
+    return np
+
+
+# ---------------------------------------------------------------------------
+# mode resolution and feature gating
+# ---------------------------------------------------------------------------
+
+
+class TestResolveMode:
+    @pytest.mark.parametrize("spelling", ["", "0", "off", "no", "objects", None])
+    def test_off_spellings(self, spelling, monkeypatch):
+        monkeypatch.delenv(COLUMNS_ENV, raising=False)
+        assert resolve_mode(spelling) == "off"
+
+    @pytest.mark.parametrize("spelling", ["1", "on", "array", "columns", True])
+    def test_on_spellings(self, spelling):
+        assert resolve_mode(spelling) == "array"
+
+    def test_false_is_off(self):
+        assert resolve_mode(False) == "off"
+
+    def test_env_var_is_the_default(self, monkeypatch):
+        monkeypatch.setenv(COLUMNS_ENV, "on")
+        assert resolve_mode(None) == "array"
+        monkeypatch.setenv(COLUMNS_ENV, "off")
+        assert resolve_mode(None) == "off"
+
+    def test_explicit_request_beats_env(self, monkeypatch):
+        monkeypatch.setenv(COLUMNS_ENV, "on")
+        assert resolve_mode("off") == "off"
+
+    def test_unknown_mode_is_a_query_error(self):
+        with pytest.raises(QueryError, match="columns mode"):
+            resolve_mode("quantum")
+
+    def test_numpy_mode_resolves(self):
+        # resolves to "numpy" when importable, "array" otherwise —
+        # never an error: columns must not introduce a dependency
+        assert resolve_mode("numpy") in ("numpy", "array")
+
+    def test_database_env_gating(self, monkeypatch):
+        monkeypatch.setenv(COLUMNS_ENV, "on")
+        db = Database(_tree(0))
+        assert db.index.columns is not None
+        monkeypatch.delenv(COLUMNS_ENV)
+        db = Database(_tree(0))
+        assert db.index.columns is None
+
+
+# ---------------------------------------------------------------------------
+# layout and interning
+# ---------------------------------------------------------------------------
+
+
+class TestColumnStore:
+    def test_columns_mirror_the_tree(self):
+        tree = _tree(1)
+        store = ColumnStore(tree)
+        assert list(store.pre) == list(range(tree.n))
+        assert list(store.post) == list(tree.post)
+        assert list(store.level) == list(tree.depth)
+        assert list(store.parent) == list(tree.parent)
+        assert list(store.subtree_end) == list(tree.subtree_end)
+
+    def test_interning_round_trips(self):
+        store = ColumnStore(_tree(2))
+        for label in store.labels():
+            lid = store.label_id(label)
+            assert lid >= 0
+            assert store.label_of(lid) == label
+        assert store.label_id("no-such-label") == -1
+
+    def test_postings_are_sorted_document_order(self):
+        tree = _tree(3)
+        store = ColumnStore(tree)
+        for label in store.labels():
+            posting = list(store.posting(label))
+            assert posting == sorted(posting)
+            assert posting == [
+                v for v in range(tree.n) if tree.has_label(v, label)
+            ]
+
+    def test_absent_label_posting_is_empty(self):
+        store = ColumnStore(_tree(4))
+        assert len(store.posting("zzz")) == 0
+
+    def test_mask_matches_posting(self):
+        tree = _tree(5)
+        store = ColumnStore(tree)
+        for label in store.labels():
+            mask = store.mask(label)
+            assert [v for v in range(tree.n) if mask[v]] == list(
+                store.posting(label)
+            )
+
+    def test_label_pairs_match_index_pairs(self):
+        tree = _tree(6)
+        store = ColumnStore(tree)
+        from repro.engine.index import DocumentIndex
+
+        index = DocumentIndex(tree)
+        for label in store.labels():
+            nodes, posts = store.label_pairs(label)
+            assert list(zip(nodes, posts)) == [
+                tuple(p) for p in index.label_pairs(label)
+            ]
+
+    def test_derived_cache_is_bounded_lru(self):
+        store = ColumnStore(_tree(7), derived_cache_size=2)
+        labels = sorted(store.labels())
+        assert len(labels) >= 3
+        for label in labels:
+            store.mask(label)
+        assert store.derived_cached() <= 2
+        assert store.derived_evictions >= len(labels) - 2
+        # evictions must not disturb the permanent interning table, and
+        # re-derived artifacts must be equal to the originals
+        fresh = ColumnStore(_tree(7))
+        for label in labels:
+            assert store.label_id(label) == fresh.label_id(label)
+            assert bytes(store.mask(label)) == bytes(fresh.mask(label))
+
+
+# ---------------------------------------------------------------------------
+# the interval semi-joins, against a brute-force oracle
+# ---------------------------------------------------------------------------
+
+
+class TestSemijoins:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_descendant_semijoin_matches_oracle(self, seed):
+        tree = _tree(seed, n=30 + 5 * seed)
+        store = ColumnStore(tree)
+        frontier = sorted(v for v in range(tree.n) if v % 3 == seed % 3)
+        candidates = store.posting(LABELS[seed % len(LABELS)])
+        got = store.descendant_semijoin(frontier, candidates)
+        expected = sorted(
+            {
+                d
+                for u in frontier
+                for d in tree.descendants(u)
+                if d in set(candidates)
+            }
+        )
+        assert got == expected, f"seed={seed}"
+        # sorted and duplicate-free by construction
+        assert got == sorted(set(got))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_child_semijoin_matches_oracle(self, seed):
+        tree = _tree(seed, n=30 + 5 * seed)
+        store = ColumnStore(tree)
+        frontier = sorted(v for v in range(tree.n) if v % 2 == seed % 2)
+        members = set(frontier)
+        candidates = store.posting(LABELS[seed % len(LABELS)])
+        got = store.child_semijoin(frontier, candidates)
+        expected = [c for c in candidates if tree.parent[c] in members]
+        assert got == expected, f"seed={seed}"
+
+    def test_nested_frontier_collapses_to_maximal_intervals(self):
+        # the root's interval covers the whole document, so a frontier
+        # containing every node produces exactly the root's descendants
+        tree = _tree(8)
+        store = ColumnStore(tree)
+        candidates = list(range(tree.n))
+        everything = store.descendant_semijoin(list(range(tree.n)), candidates)
+        from_root = store.descendant_semijoin([tree.root], candidates)
+        assert everything == from_root == list(range(1, tree.n))
+
+
+# ---------------------------------------------------------------------------
+# twig stream pruning: sound (equal answers), effective (smaller streams)
+# ---------------------------------------------------------------------------
+
+
+class TestTwigStreamPruning:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_pruned_streams_preserve_answers(self, seed):
+        from repro.twigjoin.twigstack import twig_stack
+
+        tree = _tree(seed, n=25 + 6 * seed)
+        store = ColumnStore(tree)
+        pattern = random_twig(n_nodes=2 + seed % 4, labels=LABELS, seed=seed)
+        plain = twig_stack(pattern, tree)
+        pruned = twig_stack(pattern, tree, streams=store.twig_streams(pattern))
+        assert set(pruned) == set(plain), f"seed={seed} pattern={pattern}"
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_pruned_streams_are_subsets(self, seed):
+        tree = _tree(seed, n=25 + 6 * seed)
+        store = ColumnStore(tree)
+        from repro.engine.index import DocumentIndex
+
+        index = DocumentIndex(tree)
+        pattern = random_twig(n_nodes=2 + seed % 4, labels=LABELS, seed=seed)
+        plain = index.twig_streams(pattern)
+        pruned = store.twig_streams(pattern)
+        for qi, (p, q) in enumerate(zip(plain, pruned)):
+            assert set(q) <= set(p), f"seed={seed} pattern node {qi}"
+            assert q == sorted(q)
+
+    def test_pruning_removes_unproductive_regions(self):
+        # only one of many <a> blocks contains the <c> the pattern
+        # demands — pruning must drop the others from the a-stream
+        blocks = "".join(
+            "<a><b/><c/></a>" if i == 0 else "<a><b/></a>" for i in range(20)
+        )
+        db = Database.from_xml(f"<r>{blocks}</r>", columns="on")
+        store = db.index.columns
+        pattern = parse_twig("//a[c]//b")
+        pruned = store.twig_streams(pattern)
+        assert len(pruned[0]) == 1  # just the productive <a>
+        assert len(pruned[1]) == 1  # its <c>... pattern order: a, c, b
+        result = db.twig(pattern)
+        assert len(result.answer) == 1
+
+
+# ---------------------------------------------------------------------------
+# the columnar automaton
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarAutomaton:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_object_automaton(self, seed):
+        from repro.automata.xpathrun import evaluate_xpath_automaton, is_downward
+
+        tree = _tree(seed, n=20 + 7 * seed)
+        store = ColumnStore(tree)
+        for query_seed in range(3):
+            expr = parse_xpath(
+                random_xpath(
+                    n_steps=1 + query_seed,
+                    labels=LABELS,
+                    qualifier_prob=0.6,
+                    negation_prob=0.2,
+                    seed=50 * seed + query_seed,
+                )
+            )
+            if not is_downward(expr):
+                continue
+            assert evaluate_xpath_automaton_columns(
+                expr, store
+            ) == evaluate_xpath_automaton(expr, tree), (
+                f"seed={seed} query_seed={query_seed}"
+            )
+
+    def test_rejects_non_downward_like_the_object_path(self):
+        store = ColumnStore(_tree(9))
+        expr = parse_xpath("Parent[lab() = a]")
+        with pytest.raises(QueryError, match="downward fragment"):
+            evaluate_xpath_automaton_columns(expr, store)
+
+    def test_rejects_position_like_the_object_path(self):
+        store = ColumnStore(_tree(9))
+        expr = parse_xpath("Child[position() = 1]")
+        with pytest.raises(QueryError):
+            evaluate_xpath_automaton_columns(expr, store)
+
+
+# ---------------------------------------------------------------------------
+# the numpy fast path (skipped when numpy is unavailable)
+# ---------------------------------------------------------------------------
+
+
+class TestNumpyMode:
+    def test_numpy_columns_agree_with_array_columns(self):
+        np = _numpy_or_skip()
+        tree = _tree(10, n=80)
+        arr = ColumnStore(tree, mode="array")
+        npy = ColumnStore(tree, mode="numpy")
+        assert npy.mode == "numpy"
+        assert isinstance(npy.pre, np.ndarray)
+        frontier = sorted(v for v in range(tree.n) if v % 3 == 0)
+        for label in arr.labels():
+            assert list(arr.posting(label)) == list(npy.posting(label))
+            assert arr.descendant_semijoin(
+                frontier, arr.posting(label)
+            ) == npy.descendant_semijoin(frontier, npy.posting(label))
+
+    def test_numpy_database_end_to_end(self):
+        _numpy_or_skip()
+        tree = _tree(11, n=60)
+        db_obj = Database(tree)
+        db_np = Database(tree, columns="numpy")
+        for q in ("Child+[lab() = b]", "Child[lab() = a]/Child+[lab() = c]"):
+            assert set(db_np.xpath(q).answer) == set(db_obj.xpath(q).answer)
+
+
+# ---------------------------------------------------------------------------
+# engine integration: stats still observable through the column path
+# ---------------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_columns_built_lazily_and_cached(self):
+        db = Database(_tree(12), columns="on")
+        index = db.index
+        assert index._columns is None  # not built by indexing alone
+        db.xpath("Child+[lab() = b]")
+        assert index._columns is not None
+        assert index.columns is index.columns
+
+    def test_off_mode_never_builds_columns(self):
+        db = Database(_tree(12))
+        db.xpath("Child+[lab() = b]")
+        assert db.index.columns is None
+
+    def test_column_counters_surface_in_stats(self):
+        db = Database(_tree(13), columns="on")
+        result = db.xpath("Child+[lab() = b]", trace=True)
+        assert result.stats.counters.get("index.columns_built") == 1
+        assert result.stats.strategy == "structural-join"
+        assert "sj.frontier" in result.stats.counters
+
+    def test_supervised_spans_unchanged_by_columns(self):
+        db = Database(_tree(13), columns="on")
+        result = db.xpath("Child+[lab() = b]", trace=True)
+        names = [s.name for s in result.stats.trace.children]
+        assert names == ["index-build", "plan", "execute:structural-join"]

@@ -267,3 +267,143 @@ def test_budget_fallback_preserves_cross_strategy_agreement():
             )
     finally:
         uninstall()
+
+
+# ---------------------------------------------------------------------------
+# columns vs objects: the same strategies over the columnar backend must
+# produce identical answers AND identical plans — ≥ 200 seeded pairs
+# spanning every registered strategy
+# ---------------------------------------------------------------------------
+
+# (object Database, columnar Database) sharing one Tree per document
+_PAIR_CACHE: dict[tuple, tuple[Database, Database]] = {}
+
+# (kind, strategy) pairs exercised by the columns sweep, checked for
+# full registry coverage by the final test of this module
+_COLUMNS_STRATEGIES_SEEN: set[tuple[str, str]] = set()
+
+
+def _db_pair(n: int, seed: int, alphabet=LABELS) -> tuple[Database, Database]:
+    key = (n, seed, alphabet)
+    if key not in _PAIR_CACHE:
+        tree = random_tree(n, seed=seed, alphabet=alphabet)
+        _PAIR_CACHE[key] = (Database(tree), Database(tree, columns="on"))
+    return _PAIR_CACHE[key]
+
+
+def _assert_columns_agreement(
+    db_objects: Database, db_columns: Database, kind: str, query, context: str
+) -> None:
+    """Identical planner output and identical per-strategy answers."""
+    plan_o = db_objects.plan(kind, query)
+    plan_c = db_columns.plan(kind, query)
+    assert (plan_o.strategy, plan_o.reason) == (plan_c.strategy, plan_c.reason), (
+        f"{context}: the planner diverges between backends "
+        f"({plan_o} vs {plan_c})"
+    )
+    results_o = db_objects.cross_check(kind, query)
+    results_c = db_columns.cross_check(kind, query)
+    assert set(results_o) == set(results_c), (
+        f"{context}: applicable strategies differ between backends"
+    )
+    for name in results_o:
+        a = set(results_o[name].answer)
+        b = set(results_c[name].answer)
+        assert a == b, (
+            f"{context}: strategy {name!r} disagrees between backends — "
+            f"objects-only {sorted(a - b)}, columns-only {sorted(b - a)}"
+        )
+        _COLUMNS_STRATEGIES_SEEN.add((kind, name))
+
+
+@pytest.mark.parametrize("tree_seed", range(30))
+def test_columns_xpath_differential(tree_seed):
+    n = 20 + 7 * tree_seed
+    db_o, db_c = _db_pair(n, tree_seed)
+    for query_seed in range(4):
+        text = random_xpath(
+            n_steps=1 + query_seed % 3,
+            labels=LABELS,
+            qualifier_prob=0.5,
+            negation_prob=0.2,
+            seed=100 * tree_seed + query_seed,
+        )
+        context = (
+            f"tree(n={n}, seed={tree_seed}) xpath seed="
+            f"{100 * tree_seed + query_seed} {text!r}"
+        )
+        _assert_columns_agreement(db_o, db_c, "xpath", text, context)
+
+
+@pytest.mark.parametrize("tree_seed", range(20))
+def test_columns_twig_differential(tree_seed):
+    n = 15 + 9 * tree_seed
+    db_o, db_c = _db_pair(n, 1000 + tree_seed)
+    for query_seed in range(3):
+        pattern = random_twig(
+            n_nodes=2 + query_seed,
+            labels=LABELS,
+            seed=100 * tree_seed + query_seed,
+        )
+        context = (
+            f"tree(n={n}, seed={1000 + tree_seed}) twig seed="
+            f"{100 * tree_seed + query_seed} {pattern!r}"
+        )
+        _assert_columns_agreement(db_o, db_c, "twig", pattern, context)
+
+
+@pytest.mark.parametrize("tree_seed", range(10))
+def test_columns_cq_differential(tree_seed):
+    n = 12 + 5 * tree_seed
+    db_o, db_c = _db_pair(n, 2000 + tree_seed)
+    for query_seed in range(2):
+        query = random_cq(
+            n_vars=2 + query_seed,
+            n_binary=1 + query_seed,
+            labels=LABELS,
+            seed=100 * tree_seed + query_seed,
+        )
+        context = (
+            f"tree(n={n}, seed={2000 + tree_seed}) cq seed="
+            f"{100 * tree_seed + query_seed} {query!r}"
+        )
+        _assert_columns_agreement(db_o, db_c, "cq", query, context)
+
+
+# there is no random datalog generator, so the datalog leg of the sweep
+# uses fixed programs over seeded random documents
+_DATALOG_PROGRAMS = (
+    "Q(x) :- Lab:b(x).\n% query: Q",
+    "P(x) :- Lab:a(x).\nQ(y) :- Child(x, y), P(x), Lab:b(y).\n% query: Q",
+)
+
+
+@pytest.mark.parametrize("tree_seed", range(10))
+def test_columns_datalog_differential(tree_seed):
+    n = 15 + 6 * tree_seed
+    db_o, db_c = _db_pair(n, 5000 + tree_seed)
+    for pi, program in enumerate(_DATALOG_PROGRAMS):
+        context = f"tree(n={n}, seed={5000 + tree_seed}) datalog #{pi}"
+        _assert_columns_agreement(db_o, db_c, "datalog", program, context)
+
+
+def test_columns_sweep_is_at_least_200_pairs_and_covers_every_strategy():
+    """Runs after the columns sweeps above (same module): the sweep must
+    span ≥ 200 (tree, query) pairs and exercise every registered
+    strategy on both backends."""
+    from repro.engine.strategies import STRATEGIES
+
+    if not _COLUMNS_STRATEGIES_SEEN:
+        pytest.skip("columns sweeps did not run in this selection")
+    pair_count = 30 * 4 + 20 * 3 + 10 * 2 + 10 * len(_DATALOG_PROGRAMS)
+    assert pair_count >= 200
+    registered = {
+        (kind, name)
+        for kind, registry in STRATEGIES.items()
+        for name in registry
+        if name != "budget-hog"  # transient fault-injection registrant
+    }
+    missing = registered - _COLUMNS_STRATEGIES_SEEN
+    assert not missing, (
+        f"columns sweep never exercised: {sorted(missing)}"
+    )

@@ -239,3 +239,87 @@ class TestFromFileHardening:
             with pytest.raises(ReproError):
                 Database.from_file(str(doc))
         assert Database.from_file(str(doc)).tree.n == 5
+
+
+class TestPlanCache:
+    """The compiled-plan cache: hits on repeats, misses on mutation,
+    bounded LRU eviction, and clean interaction with the supervisor's
+    fallback blacklist."""
+
+    def test_repeated_query_hits(self, db):
+        first = db.xpath(QUERY)
+        assert db.plan_cache.misses == 1
+        assert db.plan_cache.hits == 0
+        second = db.xpath(QUERY)
+        assert db.plan_cache.hits == 1
+        assert db.plan_cache.misses == 1
+        assert second.answer == first.answer
+        assert second.stats.strategy == first.stats.strategy
+        assert second.stats.reason == first.stats.reason
+
+    def test_distinct_queries_miss_separately(self, db):
+        db.xpath(QUERY)
+        db.xpath("Child[lab() = d]")
+        assert db.plan_cache.misses == 2
+        assert len(db.plan_cache) == 2
+
+    def test_document_mutation_changes_fingerprint_and_misses(self, db):
+        db.xpath(QUERY)
+        fingerprint_before = db.index.fingerprint
+        db.insert_leaf(db.tree.root, 0, "b")
+        assert db.index.fingerprint != fingerprint_before
+        result = db.xpath(QUERY)
+        # same query text, new document: a miss, never a stale reuse
+        assert db.plan_cache.hits == 0
+        assert db.plan_cache.misses == 2
+        assert len(result.answer) == len(clean_answer()) + 1
+
+    def test_lru_eviction_is_bounded(self):
+        from repro.engine import Planner
+
+        db = Database(
+            Database.from_xml(DOC).tree, planner=Planner(plan_cache_size=2)
+        )
+        queries = ["Child[lab() = b]", "Child[lab() = d]", "Child+[lab() = c]"]
+        for q in queries:
+            db.xpath(q)
+        assert len(db.plan_cache) == 2
+        assert db.plan_cache.evictions == 1
+        # the evicted (oldest) entry misses again; the newest still hits
+        db.xpath(queries[-1])
+        assert db.plan_cache.hits == 1
+        db.xpath(queries[0])
+        assert db.plan_cache.misses == 4
+        assert db.plan_cache.info()["size"] == 2
+
+    def test_zero_capacity_disables_caching(self):
+        db = Database.from_xml(DOC, plan_cache=0)
+        db.xpath(QUERY)
+        db.xpath(QUERY)
+        assert db.plan_cache.hits == 0
+        assert db.plan_cache.misses == 0
+        assert len(db.plan_cache) == 0
+
+    def test_cached_plan_respects_fallback_blacklist(self, db):
+        # warm the cache with the planner's normal choice
+        clean = db.xpath(QUERY)
+        chosen = clean.stats.strategy
+        # poison the chosen strategy: the supervisor must blacklist it
+        # and fall back, even though the cache keeps serving its plan
+        with FaultPlan([f"strategy.{chosen}:error@nth=1"]) as plan:
+            result = db.xpath(QUERY, on_error="fallback")
+        assert plan.trips
+        assert result.answer == clean.answer
+        assert result.stats.strategy != chosen
+        assert chosen in result.stats.fallback_from
+        # the blacklist was per-call: the next clean call returns to the
+        # cached plan and the original strategy
+        after = db.xpath(QUERY)
+        assert after.stats.strategy == chosen
+        assert after.answer == clean.answer
+        assert db.plan_cache.hits >= 2
+
+    def test_cache_counters_surface_in_observed_stats(self, db):
+        db.xpath(QUERY)
+        result = db.xpath(QUERY, trace=True)
+        assert result.stats.counters.get("planner.cache_hits") == 1
