@@ -50,6 +50,7 @@ import repro.engine.columns  # noqa: F401,E402
 import repro.engine.index  # noqa: F401,E402
 import repro.engine.planner  # noqa: F401,E402
 import repro.engine.strategies  # noqa: F401,E402
+import repro.service.app  # noqa: F401,E402
 import repro.storage.diskstore  # noqa: F401,E402
 import repro.storage.structural_join  # noqa: F401,E402
 import repro.streaming.events  # noqa: F401,E402
@@ -101,6 +102,11 @@ def default_queries() -> list[tuple[str, str]]:
 # engine-path sites are driven through a Database call; ingestion sites
 # each need their own driver (they fire before/without an engine call)
 _INGESTION_SITES = ("xml.parse", "stream.events", "disk.read")
+
+# HTTP-boundary sites live in the request handler itself (body decode,
+# dispatch), so only a request against a live server can reach them —
+# they get a driver that boots an in-process server per scenario
+_SERVICE_SITES = ("service.decode", "service.handler")
 
 
 # ---------------------------------------------------------------------------
@@ -245,6 +251,8 @@ def generate_scenarios(
         columns = site.startswith("columns.")
         if site in _INGESTION_SITES:
             workloads = [("ingest", site)]
+        elif site in _SERVICE_SITES:
+            workloads = [("service", site)]
         elif columns:
             # the site only exists on the columnar backend; the chosen
             # workloads route through every column executor family
@@ -269,7 +277,10 @@ def generate_scenarios(
             doc_names = doc_names[:1]
         for fault_kind in kinds:
             spec = f"{site}:{fault_kind}@nth=1"
-            for doc in doc_names if site != "query.parse" else doc_names[:1]:
+            # query.parse trips identically on every doc; service sites
+            # boot a live server per scenario — one doc keeps that cheap
+            single_doc = site == "query.parse" or site in _SERVICE_SITES
+            for doc in doc_names[:1] if single_doc else doc_names:
                 for kind, query in workloads:
                     scenarios.append(
                         ChaosScenario(
@@ -301,6 +312,8 @@ def run_scenario(scenario: ChaosScenario) -> ChaosOutcome:
     text = default_documents()[scenario.doc]
     if scenario.kind == "ingest":
         return _run_ingestion(scenario, text)
+    if scenario.kind == "service":
+        return _run_service(scenario, text)
     return _run_engine(scenario, text)
 
 
@@ -476,6 +489,99 @@ def _run_disk_read(scenario: ChaosScenario, text: str) -> ChaosOutcome:
         os.unlink(path)
 
 
+def _run_service(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    """Drive a ``service.*`` site through a live in-process HTTP server.
+
+    The faultpoints sit in the request handler (body decode, dispatch),
+    so no ``Database`` call can reach them.  The driver boots a real
+    threaded server on an ephemeral port, takes a clean answer, arms
+    the plan (arming is process-global, so the worker thread sees it)
+    and re-issues the request over a socket.  A ``transient-failure``
+    response is retried once client-side — the HTTP analogue of the
+    supervisor's retry leg; a typed error body counts as
+    ``typed-error`` exactly like a raised :class:`ReproError` does.
+    """
+    import http.client
+    import json
+    import threading
+
+    from repro.service.app import QueryService, make_server
+
+    service = QueryService()
+    server = make_server(service)
+    port = server.server_address[1]
+    worker = threading.Thread(target=server.serve_forever, daemon=True)
+    worker.start()
+    body = json.dumps({"kind": "xpath", "query": "Child+[lab() = b]"})
+
+    def post() -> "tuple[int, object]":
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/stores/chaos/query", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+
+    def typed(payload: object) -> "dict | None":
+        error = payload.get("error") if isinstance(payload, dict) else None
+        if isinstance(error, dict) and error.get("code") and error.get("type"):
+            return error
+        return None
+
+    try:
+        status, payload = service.ingest("chaos", text)
+        if status != 201:
+            return ChaosOutcome(scenario, "skipped", f"ingest failed: {payload}")
+        status, clean = post()
+        if status != 200:
+            return ChaosOutcome(
+                scenario, "skipped", f"clean request failed: {clean}"
+            )
+        with FaultPlan([scenario.spec], seed=scenario.seed) as plan:
+            try:
+                status, payload = post()
+                error = typed(payload)
+                if error is not None and error["code"] == "transient-failure":
+                    status, payload = post()
+            except Exception as exc:  # noqa: BLE001 - the contract check itself
+                return ChaosOutcome(
+                    scenario, "foreign-error", f"{type(exc).__name__}: {exc}",
+                    tripped=bool(plan.trips),
+                )
+        tripped = bool(plan.trips)
+        if status == 200 and isinstance(payload, dict) \
+                and payload.get("answer") == clean["answer"]:
+            return ChaosOutcome(
+                scenario, "recovered" if tripped else "match", tripped=tripped
+            )
+        error = typed(payload)
+        if error is not None:
+            return ChaosOutcome(
+                scenario, "typed-error",
+                f"HTTP {status} {error['code']}: {error.get('message', '')}",
+                tripped=tripped,
+            )
+        if status == 200:
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                f"faulted answer differs from clean {clean['answer']!r}",
+                tripped=tripped,
+            )
+        return ChaosOutcome(
+            scenario, "foreign-error",
+            f"HTTP {status} without a typed error body: {payload!r}",
+            tripped=tripped,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        worker.join(timeout=10)
+
+
 # ---------------------------------------------------------------------------
 # the sweep and the fallback demos
 # ---------------------------------------------------------------------------
@@ -514,7 +620,9 @@ def fallback_demos(seed: int = 0) -> dict[str, ExecutionStats]:
     documents = default_documents()
     demos: dict[str, ExecutionStats] = {}
     for site in registered_sites():
-        if site in _INGESTION_SITES:
+        # ingestion and HTTP-boundary sites have no engine attempt
+        # chain to demo; the sweep covers them with their own drivers
+        if site in _INGESTION_SITES or site in _SERVICE_SITES:
             continue
         if site.startswith("strategy."):
             kind = _strategy_kind(site)

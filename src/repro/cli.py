@@ -10,6 +10,8 @@
     python -m repro convert  doc.xml doc.rtre        (and back: .rtre -> .xml)
     python -m repro classify Child+ Following        (Theorem 6.8 verdict)
     python -m repro bench    run | compare | export  (benchmark telemetry)
+    python -m repro serve    --port 8008 --store name=doc.xml   (HTTP service)
+    python -m repro load     --fast --write          (load-test scorecard)
 
 Every query command goes through :class:`repro.engine.Database`:
 ``--engine auto`` (the default) lets the planner pick a strategy,
@@ -307,6 +309,89 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Boot the threaded HTTP query service (docs/SERVICE.md)."""
+    from repro.service import QueryService, serve
+
+    if not 0 <= args.port <= 65535:
+        print(f"serve: port {args.port} out of range 0-65535", file=sys.stderr)
+        return 2
+    service = QueryService(columns=args.columns, plan_cache=args.plan_cache)
+    for spec in args.store or ():
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"serve: --store wants NAME=PATH, got {spec!r}", file=sys.stderr)
+            return 2
+        db = Database.from_file(
+            path, columns=args.columns, plan_cache=args.plan_cache
+        )
+        db.index  # pay indexing at startup, not on the first request
+        service.stores.put(name, db, source=path)
+        print(f"# store {name!r}: {db.tree.n} nodes from {path}", file=sys.stderr)
+    print(f"# serving on http://{args.host}:{args.port}", file=sys.stderr)
+    serve(service, host=args.host, port=args.port, verbose=not args.quiet)
+    return 0
+
+
+def cmd_load(args) -> int:
+    """Run the load harness and print/record the scorecard."""
+    from repro.service import (
+        SCENARIOS,
+        compare_report,
+        format_scorecard,
+        load_report,
+        run_load,
+        write_report,
+    )
+
+    unknown = [n for n in (args.scenario or ()) if n not in SCENARIOS]
+    if unknown:
+        print(
+            f"load: unknown scenario(s) {', '.join(unknown)}; "
+            f"options: {', '.join(sorted(SCENARIOS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.requests <= 0:
+        print(f"load: --requests must be positive, got {args.requests}",
+              file=sys.stderr)
+        return 2
+    if args.concurrency <= 0:
+        print(f"load: --concurrency must be positive, got {args.concurrency}",
+              file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"load: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+    report = run_load(
+        scenarios=args.scenario or None,
+        fast=args.fast,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        columns=args.columns,
+    )
+    print(format_scorecard(report))
+    if args.write:
+        path = write_report(report, root=args.out)
+        print(f"# wrote {path}", file=sys.stderr)
+    if baseline is not None:
+        failures, warnings = compare_report(baseline, report)
+        for line in warnings:
+            print(f"WARN {line}", file=sys.stderr)
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        if failures:
+            return 1
+    elif any(card["errors"] for card in report["scenarios"].values()):
+        print("FAIL load run had failed requests", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_classify(args) -> int:
     from repro.consistency import classify_signature
 
@@ -473,6 +558,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sites", nargs="+", default=None, metavar="SITE",
                    help="restrict the sweep to these injection sites")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve", help="serve document stores over HTTP (docs/SERVICE.md)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8008)
+    p.add_argument("--store", action="append", default=None, metavar="NAME=PATH",
+                   help="preload a document store (repeatable)")
+    p.add_argument("--columns", choices=("off", "on", "numpy"), default=None,
+                   help="columnar backend for ingested stores")
+    p.add_argument("--plan-cache", type=int, default=None, metavar="N",
+                   help="compiled-plan cache capacity per store")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request access logging")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "load", help="replay the load scenarios; print an RPS/P50/P95/P99 scorecard"
+    )
+    p.add_argument("--scenario", action="append", default=None,
+                   metavar="NAME", help="run only this scenario (repeatable)")
+    p.add_argument("--fast", action="store_true",
+                   help="FAST fixtures (~25x smaller; the CI smoke size)")
+    p.add_argument("--requests", type=int, default=200, metavar="N",
+                   help="requests per scenario (default 200)")
+    p.add_argument("--concurrency", type=int, default=8, metavar="N",
+                   help="closed-loop client threads (default 8)")
+    p.add_argument("--columns", choices=("off", "on", "numpy"), default=None,
+                   help="columnar backend for the fixture stores")
+    p.add_argument("--write", action="store_true",
+                   help="write the next LOADTEST_<n>.json run file")
+    p.add_argument("--out", default=".",
+                   help="directory for --write (default: .)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="compare against this LOADTEST_*.json (exit 1 on failure)")
+    p.set_defaults(func=cmd_load)
 
     p = sub.add_parser("classify", help="Theorem 6.8 verdict for an axis set")
     p.add_argument("axes", nargs="+")

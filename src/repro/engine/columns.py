@@ -41,6 +41,7 @@ permanent, so label ids stay stable across evictions.
 from __future__ import annotations
 
 import os
+import threading
 from array import array
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
@@ -122,6 +123,7 @@ class ColumnStore:
         "derived_cache_size",
         "derived_evictions",
         "_derived",
+        "_derived_lock",
         "_np",
     )
 
@@ -176,6 +178,7 @@ class ColumnStore:
         self.derived_cache_size = max(1, int(derived_cache_size))
         self.derived_evictions = 0
         self._derived: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._derived_lock = threading.Lock()
         ctx = _obs_current()
         if ctx is not None:
             ctx.count("index.columns_built")
@@ -207,16 +210,23 @@ class ColumnStore:
     # -- derived artifacts (bounded LRU) -----------------------------------
 
     def _derived_get(self, key: tuple, build: Callable[[], Any]) -> Any:
-        entry = self._derived.get(key)
-        if entry is not None:
-            self._derived.move_to_end(key)
+        # the LRU is shared across query threads; holding the lock over
+        # build() keeps each artifact built exactly once and the
+        # OrderedDict reordering/eviction consistent.  Builds are cheap
+        # (one pass over a label's posting array), so this is not a
+        # contention point — concurrent queries touching *different*
+        # labels serialize only for that pass.
+        with self._derived_lock:
+            entry = self._derived.get(key)
+            if entry is not None:
+                self._derived.move_to_end(key)
+                return entry
+            entry = build()
+            self._derived[key] = entry
+            while len(self._derived) > self.derived_cache_size:
+                self._derived.popitem(last=False)
+                self.derived_evictions += 1
             return entry
-        entry = build()
-        self._derived[key] = entry
-        while len(self._derived) > self.derived_cache_size:
-            self._derived.popitem(last=False)
-            self.derived_evictions += 1
-        return entry
 
     def derived_cached(self) -> int:
         """Current derived-cache occupancy (tests and introspection)."""

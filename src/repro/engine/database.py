@@ -44,6 +44,7 @@ recorded in ``stats.attempts``, and injection sites tripped by an armed
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any
 
@@ -90,6 +91,11 @@ class Database:
         self._planner = planner
         self._columns = columns
         self._index: "DocumentIndex | None" = None
+        # guards lazy index construction only: queries are safe to run
+        # from many threads against one Database (the service does), but
+        # *edits* are not — they swap the tree and drop the index, and
+        # must not race in-flight queries (see docs/SERVICE.md)
+        self._index_lock = threading.Lock()
         self._parse_cache: dict[tuple, Any] = {}
         #: ExecutionStats of every call, in order — the query log.
         self.history: list[ExecutionStats] = []
@@ -156,10 +162,21 @@ class Database:
 
     @property
     def index(self) -> DocumentIndex:
-        """The document index, built on first access and then cached."""
-        if self._index is None:
-            self._index = DocumentIndex(self._tree, columns=self._columns)
-        return self._index
+        """The document index, built on first access and then cached.
+
+        Double-checked locking keeps the construction single: with many
+        threads racing the first query, exactly one builds the index and
+        the rest block briefly, instead of every thread paying the
+        (linear, but large-document-sized) build.
+        """
+        index = self._index
+        if index is None:
+            with self._index_lock:
+                index = self._index
+                if index is None:
+                    index = DocumentIndex(self._tree, columns=self._columns)
+                    self._index = index
+        return index
 
     @property
     def has_index(self) -> bool:

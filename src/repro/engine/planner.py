@@ -42,6 +42,7 @@ Heuristics, in order:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
@@ -78,9 +79,19 @@ class PlanCache:
     A stale hit under fingerprint collision is still *safe*: every
     applicability gate depends only on the query, so a cached plan can
     be suboptimal, never wrong.
+
+    The cache is shared by every thread querying through one
+    :class:`~repro.engine.database.Database`, so all LRU state — the
+    ordered dict, the hit/miss/eviction counters — mutates under one
+    lock.  ``move_to_end`` on a concurrently popped key, or two
+    interleaved evictions, would otherwise corrupt the OrderedDict
+    (pinned by ``tests/test_concurrency.py``).  Two threads missing the
+    same key can still both plan and both store; the second store is an
+    idempotent overwrite (plans for equal keys are equal), never a
+    duplicate entry.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries", "_lock")
 
     def __init__(self, maxsize: int = 128):
         self.maxsize = max(0, int(maxsize))
@@ -88,24 +99,28 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[tuple, Plan]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def lookup(self, key: tuple) -> "Plan | None":
         faultpoint("planner.cache")
-        entry = self._entries.get(key)
         # counters go through the per-call Observation (merged into
         # global METRICS by the supervised path); the unobserved fast
         # path must never touch METRICS directly
         ctx = _obs_current()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
             if ctx is not None:
                 ctx.count("planner.cache_hits")
             return entry
-        self.misses += 1
         if ctx is not None:
             ctx.count("planner.cache_misses")
         return None
@@ -113,26 +128,31 @@ class PlanCache:
     def store(self, key: tuple, plan: Plan) -> None:
         if self.maxsize == 0:
             return
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
         ctx = _obs_current()
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            if ctx is not None:
-                ctx.count("planner.cache_evictions")
+        evicted = 0
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if ctx is not None and evicted:
+            ctx.count("planner.cache_evictions", evicted)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def info(self) -> dict:
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class Planner:

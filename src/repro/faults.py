@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import fnmatch
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
@@ -243,6 +244,13 @@ class FaultPlan:
     Plans nest: arming a plan inside another shadows the outer one and
     restores it on exit.  Per-site call counts live on the plan, so two
     plans with the same rules and seed trip identically.
+
+    Arming is deliberately **process-wide** (not per-thread): a plan
+    armed by a test's main thread must trip faultpoints hit by the
+    query service's worker threads.  The mutable trip state (per-site
+    call counts, the trips list, the seeded RNG) is guarded by a lock,
+    so concurrent hits stay consistent — though which *thread* observes
+    the nth call is of course scheduler-dependent.
     """
 
     def __init__(
@@ -262,6 +270,7 @@ class FaultPlan:
         self.trips: list[FaultTrip] = []
         self._previous: "FaultPlan | None" = None
         self._sleep = time.sleep  # patchable in tests
+        self._lock = threading.Lock()
 
     # -- arming ------------------------------------------------------------
 
@@ -279,16 +288,19 @@ class FaultPlan:
     # -- the hot path ------------------------------------------------------
 
     def _hit(self, site: str, payload: Any, mutator) -> Any:
-        count = self.calls.get(site, 0) + 1
-        self.calls[site] = count
-        for rule in self.rules:
-            if not rule.matches(site) or not rule.triggers(count, self.rng):
-                continue
-            self._record(site, rule.kind, count)
-            if rule.kind == "latency":
-                self._sleep(rule.latency_s)
-                return payload
-            if rule.kind == "corrupt":
+        # trip decision + trip record are atomic: concurrent hits each
+        # get a distinct call index and exactly one of them fires an
+        # nth= rule; only the sleep of a latency fault happens unlocked
+        with self._lock:
+            fired: "FaultRule | None" = None
+            count = self.calls.get(site, 0) + 1
+            self.calls[site] = count
+            for rule in self.rules:
+                if rule.matches(site) and rule.triggers(count, self.rng):
+                    fired = rule
+                    self._record(site, rule.kind, count)
+                    break
+            if fired is not None and fired.kind == "corrupt":
                 if mutator is None:
                     # the site offers nothing to corrupt — degrade the
                     # rule to a hard injected fault rather than no-op
@@ -297,14 +309,18 @@ class FaultPlan:
                         "(corrupt requested, site has no mutator)"
                     )
                 return mutator(payload, self.rng)
-            if rule.kind == "transient":
-                raise TransientError(
-                    f"injected transient fault at {site!r} (call {count})"
-                )
-            raise InjectedFault(
-                site, f"injected fault at {site!r} (call {count})"
+        if fired is None:
+            return payload
+        if fired.kind == "latency":
+            self._sleep(fired.latency_s)
+            return payload
+        if fired.kind == "transient":
+            raise TransientError(
+                f"injected transient fault at {site!r} (call {count})"
             )
-        return payload
+        raise InjectedFault(
+            site, f"injected fault at {site!r} (call {count})"
+        )
 
     def _record(self, site: str, kind: str, count: int) -> None:
         self.trips.append(FaultTrip(site, kind, count))

@@ -21,15 +21,19 @@ way.  :func:`observed` activates one for the duration of a call and
 restores the previous context afterwards, so nested engine calls (e.g.
 a fallback re-execution) stack correctly.
 
-The active context is a plain module global: the engine is
-single-threaded per Database, and a global read is the cheapest gate
-Python offers.  Concurrent Databases on separate threads should not
-share tracing (see docs/OBSERVABILITY.md).
+The active context lives in a :class:`contextvars.ContextVar`, so each
+thread (and each ``contextvars`` context) sees only its own engine
+call's observation — the query service answers concurrent requests on a
+thread pool, and one request's budget or span tree must never be
+charged by another's evaluation loop.  A ``ContextVar`` read is a C
+lookup, so the disabled-instrumentation cost stays a single cheap gate
+(pinned by ``benchmarks/bench_engine_reuse.py``).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
 from typing import Any, Iterator
 
 from repro.obs.budget import ResourceBudget
@@ -40,12 +44,13 @@ __all__ = ["Observation", "current", "observed"]
 # one shared, reentrant no-op context manager for span() without a tracer
 _NULL_SPAN = nullcontext()
 
-_active: "Observation | None" = None
+_active: "ContextVar[Observation | None]" = ContextVar("repro_obs_active",
+                                                       default=None)
 
 
 def current() -> "Observation | None":
     """The observation context of the running engine call, if any."""
-    return _active
+    return _active.get()
 
 
 class Observation:
@@ -95,11 +100,9 @@ class Observation:
 
 @contextmanager
 def observed(obs: Observation) -> Iterator[Observation]:
-    """Activate ``obs`` as the process-wide current context."""
-    global _active
-    previous = _active
-    _active = obs
+    """Activate ``obs`` as the current context of this thread/context."""
+    token = _active.set(obs)
     try:
         yield obs
     finally:
-        _active = previous
+        _active.reset(token)

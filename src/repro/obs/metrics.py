@@ -21,6 +21,7 @@ see :func:`repro.obs.export.render_openmetrics`.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Mapping
 
 __all__ = ["DurationHistogram", "MetricsRegistry", "METRICS"]
@@ -137,21 +138,32 @@ class DurationHistogram:
 
 class MetricsRegistry:
     """A named-counter + duration-histogram accumulator with
-    snapshot/reset semantics."""
+    snapshot/reset semantics.
+
+    The registry is process-wide and the query service merges into it
+    from every worker thread, so all mutation happens under one lock —
+    the counter read-modify-write and the histogram bucket increments
+    would silently lose updates otherwise.  Engine calls touch the
+    registry once per *call* (at flush), never per node, so the lock is
+    far off the evaluation hot path.
+    """
 
     def __init__(self):
         self._counters: dict[str, int] = {}
         self._durations: dict[str, DurationHistogram] = {}
         self._queries = 0
+        self._lock = threading.Lock()
 
     def add(self, name: str, n: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + n
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
 
     def merge(self, counters: Mapping[str, int]) -> None:
         """Fold one call's counter totals into the registry."""
-        for name, value in counters.items():
-            self._counters[name] = self._counters.get(name, 0) + value
-        self._queries += 1
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._queries += 1
 
     def get(self, name: str) -> int:
         return self._counters.get(name, 0)
@@ -160,10 +172,11 @@ class MetricsRegistry:
 
     def observe_duration(self, name: str, seconds: float) -> None:
         """Fold one measured duration into the named histogram."""
-        hist = self._durations.get(name)
-        if hist is None:
-            hist = self._durations[name] = DurationHistogram()
-        hist.observe(seconds)
+        with self._lock:
+            hist = self._durations.get(name)
+            if hist is None:
+                hist = self._durations[name] = DurationHistogram()
+            hist.observe(seconds)
 
     def duration(self, name: str) -> "DurationHistogram | None":
         return self._durations.get(name)
@@ -175,9 +188,11 @@ class MetricsRegistry:
 
     def durations(self) -> dict[str, dict]:
         """Summaries of all histograms (sorted by name for stable output)."""
-        return {
-            name: hist.to_dict() for name, hist in sorted(self._durations.items())
-        }
+        with self._lock:
+            return {
+                name: hist.to_dict()
+                for name, hist in sorted(self._durations.items())
+            }
 
     @property
     def queries_observed(self) -> int:
@@ -186,12 +201,14 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, int]:
         """A copy of all counter totals (sorted by name for stable output)."""
-        return dict(sorted(self._counters.items()))
+        with self._lock:
+            return dict(sorted(self._counters.items()))
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._durations.clear()
-        self._queries = 0
+        with self._lock:
+            self._counters.clear()
+            self._durations.clear()
+            self._queries = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,55 @@
+"""The query service: the :class:`~repro.engine.database.Database`
+facade served over HTTP (docs/SERVICE.md).
+
+Three layers, stdlib only:
+
+- :mod:`repro.service.protocol` — the JSON request/response schemas,
+  canonical answer serialization (byte-stable: the concurrency
+  differential tests compare *encoded* answers), and the error
+  taxonomy mapping engine exceptions to typed HTTP statuses.
+- :mod:`repro.service.app` — named document stores, the
+  :class:`QueryService` application object with per-request
+  observability middleware, and the threaded HTTP server.
+- :mod:`repro.service.loadgen` — the scenario-driven load generator
+  (deep-tree / wide-tree mixes) emitting an RPS + P50/P95/P99
+  scorecard recorded as a ``LOADTEST_<n>.json`` run file.
+"""
+
+from repro.service.app import QueryService, StoreRegistry, make_server, serve
+from repro.service.protocol import (
+    ServiceError,
+    decode_answer,
+    encode_answer,
+    error_payload,
+    stats_payload,
+    validate_query_request,
+)
+from repro.service.loadgen import (
+    SCENARIOS,
+    LoadScenario,
+    compare_report,
+    format_scorecard,
+    load_report,
+    run_load,
+    write_report,
+)
+
+__all__ = [
+    "QueryService",
+    "StoreRegistry",
+    "make_server",
+    "serve",
+    "ServiceError",
+    "decode_answer",
+    "encode_answer",
+    "error_payload",
+    "stats_payload",
+    "validate_query_request",
+    "SCENARIOS",
+    "LoadScenario",
+    "compare_report",
+    "format_scorecard",
+    "load_report",
+    "run_load",
+    "write_report",
+]

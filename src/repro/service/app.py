@@ -1,0 +1,523 @@
+"""The query service application and its threaded HTTP server.
+
+The service is three nested pieces:
+
+- :class:`StoreRegistry` — named document stores (name → loaded
+  :class:`~repro.engine.database.Database` + metadata) behind a lock,
+  so PUT/DELETE from one connection never corrupts a query running on
+  another.
+- :class:`QueryService` — the transport-independent application:
+  every operation is a plain method returning ``(status, payload)``,
+  wrapped by the per-request observability middleware
+  (:meth:`QueryService.observe`) that opens a ``repro.obs`` span
+  context, folds request latency into the process duration histograms
+  (``service.request`` plus ``service.<route>``) and counts
+  requests/errors — so ``GET /metrics`` exposes live tail latencies
+  per route in OpenMetrics form.
+- :class:`make_server` / :func:`serve` — a stdlib
+  ``ThreadingHTTPServer`` speaking the JSON protocol of
+  :mod:`repro.service.protocol`.  One thread per connection; the
+  engine underneath is safe for concurrent *queries* on a shared
+  Database (PR 7's concurrency battery pins this), while store
+  replacement swaps whole Database objects atomically.
+
+Two failure boundaries are fault-injection sites
+(docs/ROBUSTNESS.md): ``service.decode`` corrupts/fails the request
+body read, ``service.handler`` trips request dispatch — chaos rules
+like ``service.*:error`` prove the server answers *degraded, typed*
+errors rather than wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine import Database
+from repro.errors import ReproError
+from repro.faults import faultpoint, register_site
+from repro.obs.context import Observation, observed
+from repro.obs.metrics import METRICS
+from repro.service.protocol import (
+    ServiceError,
+    encode_answer,
+    error_payload,
+    stats_payload,
+    validate_query_request,
+)
+
+__all__ = ["QueryService", "StoreRegistry", "make_server", "serve"]
+
+register_site("service.decode", "HTTP request body read/decode")
+register_site("service.handler", "HTTP request dispatch")
+
+#: refuse request bodies larger than this (a 256 MiB document is far
+#: beyond what the in-memory engine should be fed over one request)
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: upper bound on queries per batch request
+MAX_BATCH = 1024
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def _check_store_name(name: str) -> str:
+    if not name or len(name) > 64 or not set(name) <= _NAME_OK:
+        raise ServiceError(
+            f"store name {name!r} must be 1-64 chars from [A-Za-z0-9._-]",
+            status=400,
+            code="bad-store-name",
+        )
+    return name
+
+
+def _chop_bytes(payload: bytes, rng) -> bytes:
+    """Corruption mutator for the ``service.decode`` site."""
+    if not isinstance(payload, (bytes, bytearray)) or len(payload) < 2:
+        return b""
+    return bytes(payload[: rng.randrange(1, len(payload))])
+
+
+class StoreRegistry:
+    """Named document stores: name → (Database, metadata)."""
+
+    def __init__(self):
+        self._stores: dict[str, dict[str, Any]] = {}
+        self._lock = threading.RLock()
+
+    def put(self, name: str, db: Database, source: str = "inline") -> dict:
+        """Install (or replace) a store; returns its metadata record."""
+        _check_store_name(name)
+        entry = {
+            "name": name,
+            "nodes": db.tree.n,
+            "source": source,
+            "columns": getattr(db.index, "columns_mode", "off")
+            if db.has_index
+            else (db._columns or "default"),
+            "created_at": time.time(),
+            "db": db,
+        }
+        with self._lock:
+            replaced = name in self._stores
+            self._stores[name] = entry
+        entry = dict(entry)
+        entry["replaced"] = replaced
+        return entry
+
+    def get(self, name: str) -> Database:
+        with self._lock:
+            entry = self._stores.get(name)
+        if entry is None:
+            raise ServiceError(
+                f"no store named {name!r}", status=404, code="store-not-found"
+            )
+        return entry["db"]
+
+    def info(self, name: str) -> dict:
+        with self._lock:
+            entry = self._stores.get(name)
+        if entry is None:
+            raise ServiceError(
+                f"no store named {name!r}", status=404, code="store-not-found"
+            )
+        db: Database = entry["db"]
+        return {
+            "name": entry["name"],
+            "nodes": entry["nodes"],
+            "source": entry["source"],
+            "created_at": entry["created_at"],
+            "indexed": db.has_index,
+            "queries_served": len(db.history),
+            "plan_cache": db.plan_cache.info(),
+        }
+
+    def delete(self, name: str) -> None:
+        with self._lock:
+            if name not in self._stores:
+                raise ServiceError(
+                    f"no store named {name!r}", status=404, code="store-not-found"
+                )
+            del self._stores[name]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._stores)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._stores)
+
+
+class QueryService:
+    """The transport-independent application behind the HTTP handler.
+
+    Every public operation returns ``(status, payload)`` and raises
+    nothing the protocol cannot map — the HTTP layer (and the tests,
+    which call these methods directly) wrap each call in
+    :meth:`observe` and :func:`repro.service.protocol.error_payload`.
+    """
+
+    def __init__(
+        self,
+        stores: "StoreRegistry | None" = None,
+        columns: "str | None" = None,
+        plan_cache: "int | None" = None,
+    ):
+        self.stores = stores if stores is not None else StoreRegistry()
+        self.default_columns = columns
+        self.default_plan_cache = plan_cache
+        self.started_at = time.time()
+
+    # -- middleware --------------------------------------------------------
+
+    @contextmanager
+    def observe(self, route: str):
+        """Per-request observability: a fresh Observation context for
+        the request thread, latency folded into ``service.request`` and
+        ``service.<route>`` histograms, request/error counters.
+
+        Engine calls made inside push their own per-call Observation
+        (nested via :func:`repro.obs.context.observed`), so per-query
+        counters flush through the engine exactly as without a server;
+        this context catches only request-level instrumentation.
+        """
+        obs = Observation()
+        start = time.perf_counter()
+        error = True
+        try:
+            with observed(obs):
+                yield obs
+            error = False
+        finally:
+            elapsed = time.perf_counter() - start
+            for name, value in obs.counters.items():
+                METRICS.add(name, value)
+            METRICS.observe_duration("service.request", elapsed)
+            METRICS.observe_duration("service." + route, elapsed)
+            METRICS.add("service.requests")
+            if error:
+                METRICS.add("service.errors")
+
+    # -- operations --------------------------------------------------------
+
+    def health(self) -> "tuple[int, dict]":
+        return 200, {
+            "ok": True,
+            "stores": len(self.stores),
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+
+    def metrics_text(self) -> "tuple[int, str]":
+        from repro.obs import render_openmetrics
+
+        return 200, render_openmetrics(METRICS)
+
+    def list_stores(self) -> "tuple[int, dict]":
+        return 200, {"stores": [self.stores.info(n) for n in self.stores.names()]}
+
+    def ingest(
+        self,
+        name: str,
+        text: str,
+        columns: "str | None" = None,
+        plan_cache: "int | None" = None,
+        recover: bool = False,
+        warm: bool = False,
+        source: str = "inline",
+    ) -> "tuple[int, dict]":
+        """PUT a document: parse, install, optionally pre-build the index."""
+        db = Database.from_xml(
+            text,
+            recover=recover,
+            columns=columns if columns is not None else self.default_columns,
+            plan_cache=plan_cache if plan_cache is not None
+            else self.default_plan_cache,
+        )
+        if warm:
+            db.index  # build eagerly: pay the index once at ingest time
+        entry = self.stores.put(name, db, source=source)
+        entry.pop("db", None)
+        return 201, {"store": entry}
+
+    def store_info(self, name: str) -> "tuple[int, dict]":
+        return 200, {"store": self.stores.info(name)}
+
+    def delete_store(self, name: str) -> "tuple[int, dict]":
+        self.stores.delete(name)
+        return 200, {"deleted": name}
+
+    def query(self, name: str, request_obj: Any) -> "tuple[int, dict]":
+        """POST /stores/{name}/query — one engine call."""
+        spec = validate_query_request(request_obj)
+        db = self.stores.get(name)
+        result = self._run(db, spec)
+        return 200, {
+            "kind": spec["kind"],
+            "answer": encode_answer(result.answer),
+            "stats": stats_payload(result.stats),
+        }
+
+    def batch(self, name: str, request_obj: Any) -> "tuple[int, dict]":
+        """POST /stores/{name}/batch — many queries, per-item outcomes.
+
+        The batch itself always answers 200; each item carries either
+        its answer or its own typed error, so one bad query (or one
+        budget exhaustion) degrades that item only.
+        """
+        if not isinstance(request_obj, dict) or not isinstance(
+            request_obj.get("queries"), list
+        ):
+            raise ServiceError("batch request must be {'queries': [...]}")
+        queries = request_obj["queries"]
+        if len(queries) > MAX_BATCH:
+            raise ServiceError(
+                f"batch of {len(queries)} exceeds the {MAX_BATCH}-query cap",
+                status=400,
+                code="batch-too-large",
+            )
+        db = self.stores.get(name)
+        results = []
+        failed = 0
+        for item in queries:
+            try:
+                spec = validate_query_request(item)
+                result = self._run(db, spec)
+                results.append(
+                    {
+                        "ok": True,
+                        "kind": spec["kind"],
+                        "answer": encode_answer(result.answer),
+                        "stats": stats_payload(result.stats),
+                    }
+                )
+            except Exception as exc:  # each item degrades independently
+                status, payload = error_payload(exc)
+                failed += 1
+                results.append({"ok": False, "status": status, **payload})
+        return 200, {"results": results, "total": len(results), "failed": failed}
+
+    @staticmethod
+    def _run(db: Database, spec: dict):
+        supervision = {
+            "deadline": spec["deadline"],
+            "max_visited": spec["max_visited"],
+            "retries": spec["retries"],
+            "on_error": spec["on_error"],
+        }
+        if spec["kind"] == "datalog":
+            return db.datalog(
+                spec["query"], spec["strategy"], spec["query_pred"], **supervision
+            )
+        return db.run(spec["kind"], spec["query"], spec["strategy"], **supervision)
+
+
+# ---------------------------------------------------------------------------
+# the HTTP layer
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the JSON protocol onto a :class:`QueryService`.
+
+    ==================================  =========================================
+    route                               operation
+    ==================================  =========================================
+    ``GET  /healthz``                   liveness + store count
+    ``GET  /metrics``                   OpenMetrics exposition of ``METRICS``
+    ``GET  /stores``                    list stores with metadata
+    ``PUT  /stores/{name}``             ingest XML body (``?columns=&plan_cache=
+                                        &recover=&warm=``)
+    ``GET  /stores/{name}``             store info (index state, plan cache)
+    ``DELETE /stores/{name}``           drop a store
+    ``POST /stores/{name}/query``       one query (JSON body)
+    ``POST /stores/{name}/batch``       many queries, per-item outcomes
+    ==================================  =========================================
+    """
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte cap",
+                status=413,
+                code="body-too-large",
+            )
+        body = self.rfile.read(length) if length else b""
+        return faultpoint("service.decode", body, mutator=_chop_bytes)
+
+    def _json_body(self) -> Any:
+        body = self._read_body()
+        try:
+            return json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(
+                f"request body is not valid JSON: {exc}", code="bad-json"
+            ) from exc
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _route(self, method: str) -> None:
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        params = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        route = "unknown"
+        try:
+            route, handler = self._match(method, parts)
+            with self.service.observe(route):
+                faultpoint("service.handler")
+                status, payload = handler(params)
+            if isinstance(payload, str):
+                content_type = (
+                    "application/openmetrics-text" if route == "metrics"
+                    else "text/plain"
+                )
+                self._send_text(status, payload, content_type)
+            else:
+                self._send_json(status, payload)
+        except Exception as exc:
+            status, payload = error_payload(exc)
+            if not isinstance(exc, (ServiceError, ReproError)):
+                METRICS.add("service.unexpected_errors")
+            try:
+                self._send_json(status, payload)
+            except Exception:  # pragma: no cover - client went away
+                pass
+
+    def _match(self, method: str, parts: "list[str]"):
+        svc = self.service
+        if method == "GET" and parts == ["healthz"]:
+            return "healthz", lambda params: svc.health()
+        if method == "GET" and parts == ["metrics"]:
+            return "metrics", lambda params: svc.metrics_text()
+        if method == "GET" and parts == ["stores"]:
+            return "stores.list", lambda params: svc.list_stores()
+        if len(parts) == 2 and parts[0] == "stores":
+            name = parts[1]
+            if method == "PUT":
+                def put(params):
+                    text = self._read_body().decode("utf-8", errors="strict")
+                    return svc.ingest(
+                        name,
+                        text,
+                        columns=params.get("columns"),
+                        plan_cache=int(params["plan_cache"])
+                        if "plan_cache" in params else None,
+                        recover=params.get("recover", "0") in ("1", "true"),
+                        warm=params.get("warm", "0") in ("1", "true"),
+                        source="http-put",
+                    )
+                return "stores.put", put
+            if method == "GET":
+                return "stores.get", lambda params: svc.store_info(name)
+            if method == "DELETE":
+                return "stores.delete", lambda params: svc.delete_store(name)
+        if len(parts) == 3 and parts[0] == "stores" and method == "POST":
+            name, op = parts[1], parts[2]
+            if op == "query":
+                return "query", lambda params: svc.query(name, self._json_body())
+            if op == "batch":
+                return "batch", lambda params: svc.batch(name, self._json_body())
+        raise ServiceError(
+            f"no route for {method} {'/' + '/'.join(parts)}",
+            status=404,
+            code="no-such-route",
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._route("GET")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._route("PUT")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+
+class ReproServer(ThreadingHTTPServer):
+    """One thread per connection; workers die with the process."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: QueryService, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: "QueryService | None" = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ReproServer:
+    """A bound (not yet serving) server; ``port=0`` picks a free port.
+
+    The caller drives it: ``server.serve_forever()`` inline, or on a
+    thread for tests and the load generator::
+
+        server = make_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        ...
+        server.shutdown()
+    """
+    return ReproServer((host, port), service or QueryService(), verbose=verbose)
+
+
+def serve(
+    service: "QueryService | None" = None,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    verbose: bool = True,
+) -> None:
+    """Run the server until interrupted (the ``repro serve`` command)."""
+    server = make_server(service, host, port, verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()

@@ -1,6 +1,12 @@
 """Workload generators: documents and queries for tests and benchmarks."""
 
-from repro.workloads.documents import xmark_like, dblp_like, deep_sections
+from repro.workloads.documents import (
+    xmark_like,
+    dblp_like,
+    deep_sections,
+    deep_tree,
+    wide_tree,
+)
 from repro.workloads.queries import (
     random_cq,
     random_twig,
@@ -13,6 +19,8 @@ __all__ = [
     "xmark_like",
     "dblp_like",
     "deep_sections",
+    "deep_tree",
+    "wide_tree",
     "random_cq",
     "random_twig",
     "random_xpath",

@@ -14,7 +14,7 @@ import random
 from repro.trees.node import Node
 from repro.trees.tree import Tree
 
-__all__ = ["xmark_like", "dblp_like", "deep_sections"]
+__all__ = ["xmark_like", "dblp_like", "deep_sections", "deep_tree", "wide_tree"]
 
 
 def xmark_like(n_items: int = 50, seed: int = 0) -> Tree:
@@ -85,6 +85,49 @@ def dblp_like(n_pubs: int = 100, seed: int = 0) -> Tree:
         elif kind == "inproceedings":
             pub.add(Node("booktitle"))
     return Tree.build(dblp)
+
+
+def deep_tree(depth: int, mark_every: int = 1000, seed: int = 0) -> Tree:
+    """The deep-tree load scenario: a single spine ``depth`` levels tall.
+
+    The spine alternates ``section``/``div`` labels; every
+    ``mark_every`` levels the spine node gets a ``mark`` leaf child and
+    the deepest node a single ``target`` leaf — so label-selective
+    queries (the planner's structural-join route) touch a small, fixed
+    fraction of an arbitrarily deep document.  Everything is built
+    iteratively; no recursion limit applies at any ``depth``.
+    """
+    rng = random.Random(seed)
+    root = Node("doc")
+    cursor = root
+    for level in range(depth):
+        spine = Node("section" if level % 2 == 0 else "div")
+        cursor.add(spine)
+        if mark_every and level % mark_every == 0 and rng.random() < 0.9:
+            spine.add(Node("mark"))
+        cursor = spine
+    cursor.add(Node("target"))
+    return Tree.build(root)
+
+
+def wide_tree(n_siblings: int, hit_every: int = 1000, seed: int = 0) -> Tree:
+    """The wide-tree load scenario: one collection with ``n_siblings``
+    direct children.
+
+    Children cycle through ``item``/``entry``/``record`` labels; every
+    ``hit_every``-th child is labeled ``hit`` instead, keeping a sparse
+    target partition for selective queries over an arbitrarily wide
+    sibling list.
+    """
+    rng = random.Random(seed)
+    cycle = ("item", "entry", "record")
+    root = Node("collection")
+    for i in range(n_siblings):
+        if hit_every and i % hit_every == hit_every - 1:
+            root.add(Node("hit"))
+        else:
+            root.add(Node(cycle[rng.randrange(3)]))
+    return Tree.build(root)
 
 
 def deep_sections(depth: int, width: int = 2, seed: int = 0) -> Tree:

@@ -7,6 +7,25 @@ from hypothesis import strategies as st
 
 from repro.trees import Tree, balanced_tree, flat_tree, path_tree, random_tree
 
+#: default wall-clock ceilings (seconds) applied when pytest-timeout is
+#: installed — a hung server thread or a deadlocked lock should fail the
+#: test, not the whole CI job.  Without the plugin these are a no-op, so
+#: the suite needs no extra dependency locally.
+SERVICE_TIMEOUT_S = 120
+SLOW_TIMEOUT_S = 600
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is not None:
+            continue  # explicit per-test timeouts win
+        if item.get_closest_marker("slow") is not None:
+            item.add_marker(pytest.mark.timeout(SLOW_TIMEOUT_S))
+        elif item.get_closest_marker("service") is not None:
+            item.add_marker(pytest.mark.timeout(SERVICE_TIMEOUT_S))
+
 
 @pytest.fixture
 def paper_tree() -> Tree:

@@ -61,7 +61,7 @@ class TestScenarioGeneration:
         kinds = {s.kind for s in scenarios}
         fault_kinds = {s.spec.split(":")[1].split("@")[0] for s in scenarios}
         assert docs == set(default_documents())
-        assert kinds == {"xpath", "twig", "cq", "datalog", "ingest"}
+        assert kinds == {"xpath", "twig", "cq", "datalog", "ingest", "service"}
         assert fault_kinds == {"error", "transient", "latency", "corrupt"}
 
     def test_every_registered_site_has_scenarios(self):
@@ -149,9 +149,12 @@ class TestFallbackDemos:
         return fallback_demos(seed=0)
 
     def test_every_engine_site_has_a_recovery_demo(self, demos):
+        # ingestion and HTTP-boundary sites have no engine attempt
+        # chain; the sweep covers them through dedicated drivers
         engine_sites = {
             s for s in registered_sites()
-            if s not in ("xml.parse", "stream.events", "disk.read")
+            if s not in ("xml.parse", "stream.events", "disk.read",
+                         "service.decode", "service.handler")
         }
         assert set(demos) == engine_sites
 
@@ -232,3 +235,58 @@ class TestColumnsChaos:
             assert len(stats.attempts) >= 2, site
             assert stats.attempts[-1].outcome == "ok", site
             assert site in stats.faults, site
+
+
+@pytest.mark.service
+class TestServiceChaos:
+    """The chaos contract extended over the HTTP boundary: a fault in
+    the request handler yields a typed error response or the clean
+    answer — the ``service.*`` driver boots a live server per scenario
+    (docs/SERVICE.md)."""
+
+    SERVICE_SITES = ("service.decode", "service.handler")
+
+    def test_new_sites_are_registered(self):
+        for site in self.SERVICE_SITES:
+            assert site in registered_sites(), site
+
+    def test_full_sweep_trips_service_sites_without_violations(self, full_report):
+        for site in self.SERVICE_SITES:
+            assert site in full_report.tripped_sites(), site
+        assert not [
+            o for o in full_report.violations()
+            if o.scenario.site in self.SERVICE_SITES
+        ]
+
+    @pytest.mark.parametrize("site", SERVICE_SITES)
+    def test_error_fault_becomes_typed_http_error(self, site):
+        outcome = run_scenario(
+            ChaosScenario(
+                site, f"{site}:error@nth=1",
+                "tiny", "service", site, 0,
+            )
+        )
+        assert outcome.status == "typed-error", (site, outcome.detail)
+        assert outcome.tripped
+        assert "injected-fault" in outcome.detail
+
+    @pytest.mark.parametrize("site", SERVICE_SITES)
+    def test_transient_fault_recovers_via_client_retry(self, site):
+        outcome = run_scenario(
+            ChaosScenario(
+                site, f"{site}:transient@nth=1",
+                "tiny", "service", site, 0,
+            )
+        )
+        assert outcome.status == "recovered", (site, outcome.detail)
+        assert outcome.tripped
+
+    def test_corrupt_body_never_silently_wrong(self):
+        outcome = run_scenario(
+            ChaosScenario(
+                "service.decode", "service.decode:corrupt@nth=1",
+                "tiny", "service", "service.decode", 0,
+            )
+        )
+        assert outcome.status in ("recovered", "typed-error"), outcome.detail
+        assert outcome.tripped

@@ -1,0 +1,96 @@
+"""Table-driven CLI exit codes for the service era (satellite 3).
+
+The exit-code contract (module docstring of :mod:`repro.cli`): 0 ok,
+1 error/disagreement, 2 bad arguments/engine, 3 budget exceeded,
+4 supervision exhausted.  This table pins the fault, budget and
+serve/load argument-validation paths in one place.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+
+DOC = (
+    "<site><item><name/><keyword/></item>"
+    "<item><name/></item>"
+    "<people><person><profile/><name/></person></people></site>"
+)
+
+XPATH = "Child*[lab() = item]/Child[lab() = name]"
+
+
+@pytest.fixture
+def doc(tmp_path):
+    path = os.path.join(tmp_path, "doc.xml")
+    with open(path, "w") as fh:
+        fh.write(DOC)
+    return path
+
+
+#: (id, argv-builder, expected exit code); {doc} is the document path
+EXIT_TABLE = [
+    ("ok-baseline",
+     lambda doc: ["xpath", XPATH, doc], 0),
+    ("parse-fault-exit-4",
+     lambda doc: ["xpath", XPATH, doc, "--fault", "query.parse:error@nth=1"], 4),
+    ("strategy-fault-exit-4",
+     lambda doc: ["xpath", XPATH, doc, "--engine", "linear",
+                  "--fault", "strategy.linear:error@nth=1"], 4),
+    ("all-strategies-exhausted-exit-4",
+     lambda doc: ["xpath", XPATH, doc, "--on-error", "fallback",
+                  "--fault", "strategy.*:error@every=1"], 4),
+    ("budget-visits-exit-3",
+     lambda doc: ["xpath", XPATH, doc, "--engine", "linear",
+                  "--max-visited", "1"], 3),
+    ("budget-deadline-exit-3",
+     lambda doc: ["xpath", XPATH, doc, "--engine", "linear",
+                  "--deadline-ms", "0"], 3),
+    ("partial-never-fails-exit-0",
+     lambda doc: ["xpath", XPATH, doc, "--on-error", "partial",
+                  "--fault", "strategy.*:error@every=1"], 0),
+    ("recovered-transient-exit-0",
+     lambda doc: ["xpath", XPATH, doc, "--engine", "linear", "--retries", "2",
+                  "--fault", "strategy.linear:transient@nth=1"], 0),
+    ("serve-port-out-of-range-exit-2",
+     lambda doc: ["serve", "--port", "99999"], 2),
+    ("serve-bad-store-spec-exit-2",
+     lambda doc: ["serve", "--store", "nameonly"], 2),
+    ("serve-store-missing-path-exit-2",
+     lambda doc: ["serve", "--store", "name="], 2),
+    ("load-zero-requests-exit-2",
+     lambda doc: ["load", "--requests", "0"], 2),
+    ("load-zero-concurrency-exit-2",
+     lambda doc: ["load", "--concurrency", "0"], 2),
+    ("load-unknown-scenario-exit-2",
+     lambda doc: ["load", "--scenario", "nope"], 2),
+    ("load-missing-baseline-exit-2",
+     lambda doc: ["load", "--baseline", "/no/such/LOADTEST.json"], 2),
+]
+
+
+@pytest.mark.parametrize(
+    "argv_for,expected", [(row[1], row[2]) for row in EXIT_TABLE],
+    ids=[row[0] for row in EXIT_TABLE],
+)
+def test_exit_code_table(doc, capsys, argv_for, expected):
+    assert cli_main(argv_for(doc)) == expected
+    capsys.readouterr()  # drain
+
+
+@pytest.mark.service
+class TestLoadCommand:
+    def test_fast_load_writes_and_passes_own_baseline(self, tmp_path, capsys):
+        argv = ["load", "--fast", "--scenario", "deep-tree",
+                "--requests", "8", "--concurrency", "2",
+                "--write", "--out", str(tmp_path)]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr()
+        assert "deep-tree" in out.out
+        written = [p for p in os.listdir(tmp_path) if p.startswith("LOADTEST_")]
+        assert written == ["LOADTEST_0001.json"]
+        baseline = os.path.join(tmp_path, written[0])
+        assert cli_main(argv[:-3] + ["--baseline", baseline]) == 0

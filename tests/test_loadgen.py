@@ -1,0 +1,112 @@
+"""The load generator: scorecards, run files, and the baseline compare."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.service import (
+    SCENARIOS,
+    compare_report,
+    format_scorecard,
+    load_report,
+    run_load,
+    write_report,
+)
+from repro.service.loadgen import _percentile
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One small FAST-mode run shared by the module's assertions."""
+    return run_load(
+        scenarios=["deep-tree"], fast=True, requests=16, concurrency=2,
+        record=False,
+    )
+
+
+class TestRunLoad:
+    def test_scorecard_shape(self, report):
+        card = report["scenarios"]["deep-tree"]
+        assert card["requests"] == 16
+        assert card["errors"] == 0
+        assert card["concurrency"] == 2
+        assert card["rps"] > 0
+        assert 0 < card["p50_ms"] <= card["p95_ms"] <= card["p99_ms"]
+
+    def test_format_scorecard_renders(self, report):
+        text = format_scorecard(report)
+        assert "deep-tree" in text and "p99ms" in text and "FAST" in text
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_load(scenarios=["nope"], fast=True, record=False)
+
+    def test_shipped_scenarios_cover_both_shapes(self):
+        assert set(SCENARIOS) == {"deep-tree", "wide-tree"}
+        for scenario in SCENARIOS.values():
+            kinds = {body["kind"] for body in scenario.mix}
+            assert kinds == {"xpath", "twig", "cq", "datalog"}
+            assert scenario.fast_size < scenario.full_size
+
+
+class TestReportFiles:
+    def test_write_and_load_round_trip(self, report, tmp_path):
+        path = write_report(report, root=str(tmp_path))
+        assert path.endswith("LOADTEST_0001.json")
+        loaded = load_report(path)
+        assert loaded["schema"] == "repro.perf.load/1"
+        assert loaded["scenarios"] == report["scenarios"]
+        assert "environment" in loaded
+        # the sequence auto-numbers
+        assert write_report(report, root=str(tmp_path)).endswith(
+            "LOADTEST_0002.json"
+        )
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "LOADTEST_0001.json"
+        path.write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_report(str(path))
+
+
+class TestCompareReport:
+    def test_identical_reports_pass(self, report):
+        failures, warnings = compare_report(report, report)
+        assert failures == [] and warnings == []
+
+    def test_missing_scenario_fails(self, report):
+        current = copy.deepcopy(report)
+        current["scenarios"] = {}
+        failures, _ = compare_report(report, current)
+        assert any("missing" in f for f in failures)
+
+    def test_failed_requests_fail(self, report):
+        current = copy.deepcopy(report)
+        current["scenarios"]["deep-tree"]["errors"] = 3
+        failures, _ = compare_report(report, current)
+        assert any("failed request" in f for f in failures)
+
+    def test_rps_drop_warns_not_fails(self, report):
+        current = copy.deepcopy(report)
+        current["scenarios"]["deep-tree"]["rps"] = (
+            report["scenarios"]["deep-tree"]["rps"] / 10
+        )
+        failures, warnings = compare_report(report, current)
+        assert failures == []
+        assert any("RPS dropped" in w for w in warnings)
+
+
+class TestPercentile:
+    def test_exact_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        assert _percentile(values, 0.50) == pytest.approx(50.5)
+        assert _percentile(values, 0.99) == pytest.approx(99.01)
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 100.0
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([7.0], 0.99) == 7.0

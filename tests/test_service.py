@@ -1,0 +1,323 @@
+"""The HTTP query service, over real sockets.
+
+Boots the threaded server on an ephemeral port once per module and
+drives it with plain ``http.client`` connections: endpoint coverage,
+the typed error taxonomy (HTTP twins of the CLI exit codes), the two
+service fault-injection sites, and a concurrent smoke test showing N
+simultaneous HTTP clients get byte-identical answers.
+
+The fault tests pin the headline robustness property: an armed
+:class:`~repro.faults.FaultPlan` (deliberately process-global, so a
+plan armed on the test thread trips the server's worker threads) makes
+the service answer *degraded, typed* errors — never wrong answers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import Database
+from repro.faults import FaultPlan
+from repro.service import QueryService, make_server
+
+pytestmark = pytest.mark.service
+
+DOC = (
+    "<site><item><name/><keyword/></item>"
+    "<item><name/></item>"
+    "<people><person><profile/><name/></person></people></site>"
+)
+
+XPATH = "Child*[lab() = item]/Child[lab() = name]"
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = make_server(QueryService())
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def port(server):
+    return server.server_address[1]
+
+
+def request(port, method, path, body=None, raw=False):
+    """One HTTP exchange; returns (status, parsed JSON | raw bytes)."""
+    if isinstance(body, (dict, list)):
+        body = json.dumps(body).encode()
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        payload = response.read()
+    finally:
+        conn.close()
+    if raw:
+        return response.status, payload
+    return response.status, (json.loads(payload) if payload else None)
+
+
+@pytest.fixture()
+def store(port):
+    """A fresh 'docs' store for each test; dropped afterwards."""
+    status, _ = request(port, "PUT", "/stores/docs", DOC.encode())
+    assert status == 201
+    yield "docs"
+    request(port, "DELETE", "/stores/docs")
+
+
+class TestEndpoints:
+    def test_healthz(self, port):
+        status, payload = request(port, "GET", "/healthz")
+        assert status == 200 and payload["ok"] is True
+
+    def test_store_lifecycle(self, port):
+        status, payload = request(port, "PUT", "/stores/life", DOC.encode())
+        assert status == 201
+        assert payload["store"]["nodes"] == 10
+        assert payload["store"]["replaced"] is False
+
+        status, payload = request(port, "GET", "/stores")
+        assert status == 200
+        assert "life" in [s["name"] for s in payload["stores"]]
+
+        status, payload = request(port, "GET", "/stores/life")
+        assert status == 200 and payload["store"]["queries_served"] == 0
+
+        status, payload = request(port, "PUT", "/stores/life", DOC.encode())
+        assert status == 201 and payload["store"]["replaced"] is True
+
+        status, payload = request(port, "DELETE", "/stores/life")
+        assert status == 200 and payload["deleted"] == "life"
+        assert request(port, "GET", "/stores/life")[0] == 404
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"kind": "xpath", "query": XPATH},
+            {"kind": "twig", "query": "//item/name"},
+            {"kind": "cq", "query": "ans(y) :- Child(x, y), Lab:item(x), Lab:name(y)"},
+            {"kind": "datalog", "query": "Q(x) :- Lab:name(x).", "query_pred": "Q"},
+        ],
+        ids=["xpath", "twig", "cq", "datalog"],
+    )
+    def test_each_language_matches_direct_engine(self, port, store, body):
+        from repro.service.protocol import encode_answer
+
+        db = Database.from_xml(DOC)
+        if body["kind"] == "datalog":
+            expected = db.datalog(body["query"], query_pred="Q").answer
+        else:
+            expected = db.run(body["kind"], body["query"]).answer
+        status, payload = request(port, "POST", f"/stores/{store}/query", body)
+        assert status == 200
+        assert payload["answer"] == encode_answer(expected)
+        assert payload["stats"]["strategy"]
+
+    def test_query_with_supervision_keywords(self, port, store):
+        body = {
+            "kind": "xpath", "query": XPATH,
+            "deadline_ms": 60_000, "retries": 1, "on_error": "fallback",
+        }
+        status, payload = request(port, "POST", f"/stores/{store}/query", body)
+        assert status == 200 and payload["stats"]["degraded"] is False
+
+    def test_batch_mixed_outcomes(self, port, store):
+        body = {"queries": [
+            {"kind": "xpath", "query": XPATH},
+            {"kind": "xpath", "query": "(("},
+            {"kind": "nope", "query": "x"},
+        ]}
+        status, payload = request(port, "POST", f"/stores/{store}/batch", body)
+        assert status == 200
+        assert payload["total"] == 3 and payload["failed"] == 2
+        ok, bad_parse, bad_kind = payload["results"]
+        assert ok["ok"] is True and ok["answer"] == [2, 5]
+        assert bad_parse["ok"] is False
+        assert bad_parse["error"]["code"] == "parse-error"
+        assert bad_kind["ok"] is False
+        assert bad_kind["error"]["code"] == "bad-request"
+
+    def test_metrics_exposition(self, port, store):
+        request(port, "POST", f"/stores/{store}/query",
+                {"kind": "xpath", "query": XPATH})
+        status, payload = request(port, "GET", "/metrics", raw=True)
+        assert status == 200
+        text = payload.decode()
+        assert "repro_duration_seconds" in text
+        assert "service.request" in text or "service_request" in text
+
+
+class TestErrorTaxonomy:
+    def test_unknown_store_404(self, port):
+        status, payload = request(
+            port, "POST", "/stores/ghost/query", {"kind": "xpath", "query": "Child"}
+        )
+        assert status == 404 and payload["error"]["code"] == "store-not-found"
+
+    def test_unknown_route_404(self, port):
+        status, payload = request(port, "GET", "/not/a/route")
+        assert status == 404 and payload["error"]["code"] == "no-such-route"
+
+    def test_bad_store_name_400(self, port):
+        status, payload = request(port, "PUT", "/stores/bad%20name", DOC.encode())
+        assert status == 400 and payload["error"]["code"] == "bad-store-name"
+
+    def test_bad_json_body_400(self, port, store):
+        status, payload = request(
+            port, "POST", f"/stores/{store}/query", b"{not json"
+        )
+        assert status == 400 and payload["error"]["code"] == "bad-json"
+
+    def test_unknown_field_400(self, port, store):
+        status, payload = request(
+            port, "POST", f"/stores/{store}/query",
+            {"kind": "xpath", "query": "Child", "bogus": 1},
+        )
+        assert status == 400 and payload["error"]["code"] == "bad-request"
+        assert "bogus" in payload["error"]["message"]
+
+    def test_query_parse_error_400(self, port, store):
+        status, payload = request(
+            port, "POST", f"/stores/{store}/query", {"kind": "xpath", "query": "(("}
+        )
+        assert status == 400 and payload["error"]["code"] == "parse-error"
+
+    def test_document_parse_error_400(self, port):
+        status, payload = request(
+            port, "PUT", "/stores/badxml", b"<a><unclosed></a>"
+        )
+        assert status == 400 and payload["error"]["code"] == "parse-error"
+
+    def test_budget_exhaustion_429(self, port, store):
+        status, payload = request(
+            port, "POST", f"/stores/{store}/query",
+            {"kind": "xpath", "query": XPATH, "strategy": "linear",
+             "max_visited": 1},
+        )
+        assert status == 429 and payload["error"]["code"] == "budget-exhausted"
+
+    def test_transient_failure_503(self, port, store):
+        with FaultPlan(["strategy.linear:transient@every=1"]):
+            status, payload = request(
+                port, "POST", f"/stores/{store}/query",
+                {"kind": "xpath", "query": XPATH, "strategy": "linear"},
+            )
+        assert status == 503 and payload["error"]["code"] == "transient-failure"
+
+    def test_all_strategies_failed_503(self, port, store):
+        with FaultPlan(["strategy.*:error@every=1"]):
+            status, payload = request(
+                port, "POST", f"/stores/{store}/query",
+                {"kind": "xpath", "query": XPATH, "on_error": "fallback"},
+            )
+        assert status == 503
+        assert payload["error"]["code"] == "all-strategies-failed"
+
+
+class TestFaultInjectedDegradation:
+    """Armed fault plans degrade the service; they never corrupt it."""
+
+    def test_handler_fault_is_typed_500(self, port, store):
+        plan = FaultPlan(["service.handler:error@every=1"])
+        with plan:
+            status, payload = request(port, "GET", "/healthz")
+        assert status == 500 and payload["error"]["code"] == "injected-fault"
+        assert list(plan.tripped_sites()) == ["service.handler"]
+
+    def test_decode_fault_is_typed_500(self, port, store):
+        plan = FaultPlan(["service.decode:error@every=1"])
+        with plan:
+            status, payload = request(
+                port, "POST", f"/stores/{store}/query",
+                {"kind": "xpath", "query": XPATH},
+            )
+        assert status == 500 and payload["error"]["code"] == "injected-fault"
+
+    def test_decode_corruption_degrades_not_wrong(self, port, store):
+        """A chopped request body must parse-fail or answer correctly —
+        never return a silently wrong answer."""
+        expected = request(
+            port, "POST", f"/stores/{store}/query",
+            {"kind": "xpath", "query": XPATH},
+        )[1]["answer"]
+        with FaultPlan(["service.decode:corrupt@every=1"], seed=5):
+            status, payload = request(
+                port, "POST", f"/stores/{store}/query",
+                {"kind": "xpath", "query": XPATH},
+            )
+        if status == 200:
+            assert payload["answer"] == expected
+        else:
+            assert status == 400
+            assert payload["error"]["code"] in ("bad-json", "bad-request")
+
+    def test_transient_fault_recovered_by_retries(self, port, store):
+        """One injected transient + retries => a correct 200, with the
+        recovery visible in the attempt chain."""
+        with FaultPlan(["strategy.linear:transient@nth=1"]):
+            status, payload = request(
+                port, "POST", f"/stores/{store}/query",
+                {"kind": "xpath", "query": XPATH, "strategy": "linear",
+                 "retries": 2},
+            )
+        assert status == 200
+        assert payload["answer"] == [2, 5]
+        outcomes = [a["outcome"] for a in payload["stats"]["attempts"]]
+        assert outcomes == ["transient", "ok"]
+
+    def test_on_error_partial_degrades_to_empty(self, port, store):
+        with FaultPlan(["strategy.*:error@every=1"]):
+            status, payload = request(
+                port, "POST", f"/stores/{store}/query",
+                {"kind": "xpath", "query": XPATH, "on_error": "partial"},
+            )
+        assert status == 200
+        assert payload["answer"] == [] and payload["stats"]["degraded"] is True
+
+
+class TestConcurrentClients:
+    def test_8_clients_byte_identical(self, port, store):
+        bodies = [
+            {"kind": "xpath", "query": XPATH},
+            {"kind": "twig", "query": "//item/name"},
+            {"kind": "cq",
+             "query": "ans(y) :- Child(x, y), Lab:item(x), Lab:name(y)"},
+            {"kind": "datalog", "query": "Q(x) :- Lab:name(x).",
+             "query_pred": "Q"},
+        ]
+        def answer_bytes(payload) -> bytes:
+            # stats carry per-request timings; the *answer* is what must
+            # be byte-stable across clients
+            return json.dumps(payload["answer"]).encode()
+
+        expected = {}
+        for body in bodies:
+            status, payload = request(port, "POST", f"/stores/{store}/query", body)
+            assert status == 200
+            expected[body["kind"]] = answer_bytes(payload)
+
+        def work(i):
+            body = bodies[i % len(bodies)]
+            status, payload = request(
+                port, "POST", f"/stores/{store}/query", body
+            )
+            return body["kind"], status, payload
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for kind, status, payload in pool.map(work, range(64)):
+                assert status == 200
+                assert answer_bytes(payload) == expected[kind], (
+                    f"{kind} diverged over HTTP"
+                )
