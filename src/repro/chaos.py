@@ -36,6 +36,8 @@ from __future__ import annotations
 import fnmatch
 import os
 import tempfile
+import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import QueryError, ReproError
@@ -60,6 +62,7 @@ __all__ = [
     "ChaosOutcome",
     "ChaosReport",
     "ChaosScenario",
+    "ServiceHarness",
     "chaos_sweep",
     "default_documents",
     "default_queries",
@@ -99,14 +102,25 @@ def default_queries() -> list[tuple[str, str]]:
     ]
 
 
-# engine-path sites are driven through a Database call; ingestion sites
-# each need their own driver (they fire before/without an engine call)
-_INGESTION_SITES = ("xml.parse", "stream.events", "disk.read")
+# engine-path sites are driven through a Database call; ingestion and
+# storage sites each need their own driver (they fire before/without an
+# engine call).  disk.write gets the crash-safety differential driver
+# (a faulted dump must leave the previous version loadable), disk.verify
+# rides the load driver (the checksum check sits on the load path).
+_INGESTION_SITES = (
+    "xml.parse", "stream.events", "disk.read", "disk.write", "disk.verify",
+)
 
-# HTTP-boundary sites live in the request handler itself (body decode,
-# dispatch), so only a request against a live server can reach them —
-# they get a driver that boots an in-process server per scenario
-_SERVICE_SITES = ("service.decode", "service.handler")
+# HTTP-boundary sites live in the request path itself (body decode,
+# dispatch, admission, breaker check), so only a request against a live
+# server can reach them — they share one in-process server per sweep
+# (boot-per-scenario when run_scenario is called directly).
+# service.drain fires during shutdown and gets its own driver with a
+# throwaway server per scenario (the drain kills it).
+_SERVICE_SITES = (
+    "service.decode", "service.handler", "service.admission",
+    "service.breaker", "service.drain",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -156,6 +170,9 @@ class ChaosReport:
 
     seed: int
     outcomes: list[ChaosOutcome] = field(default_factory=list)
+    #: threads alive after the sweep that were not alive before it —
+    #: the service-harness leak check; must be empty
+    leaked_threads: list[str] = field(default_factory=list)
 
     def by_status(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -186,7 +203,7 @@ class ChaosReport:
 
     @property
     def ok(self) -> bool:
-        return not self.violations()
+        return not self.violations() and not self.leaked_threads
 
     def summary(self) -> str:
         counts = ", ".join(
@@ -204,6 +221,11 @@ class ChaosReport:
             )
         for site in sorted(self.uncovered_sites()):
             lines.append(f"  note: site {site!r} never tripped in this sweep")
+        if self.leaked_threads:
+            lines.append(
+                f"  LEAK: {len(self.leaked_threads)} thread(s) survived the "
+                f"sweep: {', '.join(self.leaked_threads)}"
+            )
         return "\n".join(lines)
 
 
@@ -307,13 +329,23 @@ def _strategy_kind(site: str) -> str:
 # ---------------------------------------------------------------------------
 
 
-def run_scenario(scenario: ChaosScenario) -> ChaosOutcome:
-    """Execute one scenario differentially against its clean twin."""
+def run_scenario(
+    scenario: ChaosScenario, harness: "ServiceHarness | None" = None
+) -> ChaosOutcome:
+    """Execute one scenario differentially against its clean twin.
+
+    ``harness`` — an optional live :class:`ServiceHarness` reused across
+    ``service.*`` scenarios; without one the driver boots (and tears
+    down) a throwaway server per scenario.  ``service.drain`` always
+    gets its own server, since the scenario kills it.
+    """
     text = default_documents()[scenario.doc]
     if scenario.kind == "ingest":
         return _run_ingestion(scenario, text)
     if scenario.kind == "service":
-        return _run_service(scenario, text)
+        if scenario.site == "service.drain":
+            return _run_drain(scenario, text)
+        return _run_service(scenario, text, harness=harness)
     return _run_engine(scenario, text)
 
 
@@ -368,6 +400,9 @@ def _run_ingestion(scenario: ChaosScenario, text: str) -> ChaosOutcome:
         return _run_xml_parse(scenario, text)
     if scenario.site == "stream.events":
         return _run_stream_events(scenario, text)
+    if scenario.site == "disk.write":
+        return _run_disk_write(scenario, text)
+    # disk.read and disk.verify both sit on the load path
     return _run_disk_read(scenario, text)
 
 
@@ -489,36 +524,107 @@ def _run_disk_read(scenario: ChaosScenario, text: str) -> ChaosOutcome:
         os.unlink(path)
 
 
-def _run_service(scenario: ChaosScenario, text: str) -> ChaosOutcome:
-    """Drive a ``service.*`` site through a live in-process HTTP server.
+def _run_disk_write(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    """Crash-safety differential for ``disk.write``: dump a v1 store,
+    then dump v2 under the armed plan.  A successful dump must load
+    back as v2; a typed failure must leave the *previous* version (v1)
+    loadable and no ``.tmp`` litter — anything else (a torn file, a
+    clobbered destination) is a contract violation."""
+    from repro.storage.diskstore import dump_tree, load_tree
+    from repro.trees.xmlio import parse_xml
 
-    The faultpoints sit in the request handler (body decode, dispatch),
-    so no ``Database`` call can reach them.  The driver boots a real
-    threaded server on an ephemeral port, takes a clean answer, arms
-    the plan (arming is process-global, so the worker thread sees it)
-    and re-issues the request over a socket.  A ``transient-failure``
-    response is retried once client-side — the HTTP analogue of the
-    supervisor's retry leg; a typed error body counts as
-    ``typed-error`` exactly like a raised :class:`ReproError` does.
+    v1 = parse_xml("<a><old/></a>")
+    v2 = parse_xml(text)
+    fd, path = tempfile.mkstemp(suffix=".rtre")
+    os.close(fd)
+    try:
+        dump_tree(v1, path)
+
+        def action():
+            return dump_tree(v2, path)
+
+        _, plan, failure = _retrying(scenario, action)
+        if failure is not None and failure.status != "typed-error":
+            return failure
+        if os.path.exists(path + ".tmp"):
+            return ChaosOutcome(
+                scenario, "wrong-answer", "dump left its temp file behind",
+                tripped=bool(plan.trips),
+            )
+        try:
+            survivor = load_tree(path)
+        except ReproError as exc:
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                f"destination unloadable after faulted dump: {exc}",
+                tripped=bool(plan.trips),
+            )
+        expected = v1 if failure is not None else v2
+        which = "previous" if failure is not None else "new"
+        if (
+            survivor.label != expected.label
+            or survivor.parent != expected.parent
+        ):
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                f"destination does not hold the {which} version",
+                tripped=bool(plan.trips),
+            )
+        if failure is not None:
+            return failure
+        status = "recovered" if plan.trips else "match"
+        return ChaosOutcome(scenario, status, tripped=bool(plan.trips))
+    finally:
+        os.unlink(path)
+        try:
+            os.unlink(path + ".tmp")
+        except OSError:
+            pass
+
+
+class ServiceHarness:
+    """One live in-process HTTP server shared across ``service.*``
+    scenarios — booting a threaded server per scenario dominated sweep
+    time, and a reused server doubles as a leak check: after
+    :meth:`close` no worker or handler thread may survive (the sweep
+    asserts this with a before/after ``threading.enumerate()``).
+
+    Stores are ingested once per document and reused; ingestion happens
+    outside any armed plan, so harness setup can never trip a rule
+    meant for the scenario's request.
     """
-    import http.client
-    import json
-    import threading
 
-    from repro.service.app import QueryService, make_server
+    def __init__(self) -> None:
+        from repro.service.app import QueryService, make_server
 
-    service = QueryService()
-    server = make_server(service)
-    port = server.server_address[1]
-    worker = threading.Thread(target=server.serve_forever, daemon=True)
-    worker.start()
-    body = json.dumps({"kind": "xpath", "query": "Child+[lab() = b]"})
+        self.service = QueryService()
+        self.server = make_server(self.service)
+        self.port = self.server.server_address[1]
+        self.worker = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.worker.start()
+        self._stores: dict[str, str] = {}
 
-    def post() -> "tuple[int, object]":
-        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    def store_for(self, doc: str, text: str) -> str:
+        """Ingest ``doc`` once (direct call, no HTTP); returns the store
+        name.  Raises RuntimeError when ingestion itself fails."""
+        if doc not in self._stores:
+            name = f"chaos-{doc}"
+            status, payload = self.service.ingest(name, text)
+            if status != 201:
+                raise RuntimeError(f"harness ingest failed: {payload}")
+            self._stores[doc] = name
+        return self._stores[doc]
+
+    def post(self, store: str, body: str) -> "tuple[int, object]":
+        import http.client
+        import json
+
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=30)
         try:
             conn.request(
-                "POST", "/stores/chaos/query", body=body,
+                "POST", f"/stores/{store}/query", body=body,
                 headers={"Content-Type": "application/json"},
             )
             response = conn.getresponse()
@@ -526,27 +632,62 @@ def _run_service(scenario: ChaosScenario, text: str) -> ChaosOutcome:
         finally:
             conn.close()
 
-    def typed(payload: object) -> "dict | None":
-        error = payload.get("error") if isinstance(payload, dict) else None
-        if isinstance(error, dict) and error.get("code") and error.get("type"):
-            return error
-        return None
+    def close(self, timeout: float = 10.0) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.worker.join(timeout=timeout)
 
+
+def _typed_error(payload: object) -> "dict | None":
+    """The typed error body, if the payload carries a well-formed one."""
+    error = payload.get("error") if isinstance(payload, dict) else None
+    if isinstance(error, dict) and error.get("code") and error.get("type"):
+        return error
+    return None
+
+
+def _run_service(
+    scenario: ChaosScenario,
+    text: str,
+    harness: "ServiceHarness | None" = None,
+) -> ChaosOutcome:
+    """Drive a ``service.*`` site through a live in-process HTTP server.
+
+    The faultpoints sit in the request path (body decode, dispatch,
+    admission, breaker check), so no ``Database`` call can reach them.
+    The driver takes a clean answer over a socket, arms the plan
+    (arming is process-global, so the worker thread sees it) and
+    re-issues the request.  A ``transient-failure`` response is retried
+    once client-side — the HTTP analogue of the supervisor's retry leg;
+    a typed error body counts as ``typed-error`` exactly like a raised
+    :class:`ReproError` does.
+
+    The clean request also resets per-store breaker failure counts
+    (success closes the breaker), so state carried on a shared harness
+    cannot bleed between scenarios.
+    """
+    import json
+
+    owned = harness is None
+    if owned:
+        harness = ServiceHarness()
+    body = json.dumps({"kind": "xpath", "query": "Child+[lab() = b]"})
     try:
-        status, payload = service.ingest("chaos", text)
-        if status != 201:
-            return ChaosOutcome(scenario, "skipped", f"ingest failed: {payload}")
-        status, clean = post()
+        try:
+            store = harness.store_for(scenario.doc, text)
+        except RuntimeError as exc:
+            return ChaosOutcome(scenario, "skipped", str(exc))
+        status, clean = harness.post(store, body)
         if status != 200:
             return ChaosOutcome(
                 scenario, "skipped", f"clean request failed: {clean}"
             )
         with FaultPlan([scenario.spec], seed=scenario.seed) as plan:
             try:
-                status, payload = post()
-                error = typed(payload)
+                status, payload = harness.post(store, body)
+                error = _typed_error(payload)
                 if error is not None and error["code"] == "transient-failure":
-                    status, payload = post()
+                    status, payload = harness.post(store, body)
             except Exception as exc:  # noqa: BLE001 - the contract check itself
                 return ChaosOutcome(
                     scenario, "foreign-error", f"{type(exc).__name__}: {exc}",
@@ -558,7 +699,7 @@ def _run_service(scenario: ChaosScenario, text: str) -> ChaosOutcome:
             return ChaosOutcome(
                 scenario, "recovered" if tripped else "match", tripped=tripped
             )
-        error = typed(payload)
+        error = _typed_error(payload)
         if error is not None:
             return ChaosOutcome(
                 scenario, "typed-error",
@@ -577,9 +718,63 @@ def _run_service(scenario: ChaosScenario, text: str) -> ChaosOutcome:
             tripped=tripped,
         )
     finally:
-        server.shutdown()
-        server.server_close()
-        worker.join(timeout=10)
+        if owned:
+            harness.close()
+
+
+def _run_drain(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    """Drive ``service.drain``: the faultpoint fires inside graceful
+    shutdown, so each scenario sacrifices its own server.  A drain
+    fault must *degrade* — the drain reports dirty and closes
+    immediately — never hang or escape untyped, and a request arriving
+    during/after the drain must get the typed 503 ``draining``
+    refusal either way."""
+    import json
+
+    harness = ServiceHarness()
+    body = json.dumps({"kind": "xpath", "query": "Child+[lab() = b]"})
+    try:
+        try:
+            store = harness.store_for(scenario.doc, text)
+        except RuntimeError as exc:
+            return ChaosOutcome(scenario, "skipped", str(exc))
+        status, clean = harness.post(store, body)
+        if status != 200:
+            return ChaosOutcome(
+                scenario, "skipped", f"clean request failed: {clean}"
+            )
+        with FaultPlan([scenario.spec], seed=scenario.seed) as plan:
+            try:
+                clean_drain = harness.service.shutdown(drain_s=0.5)
+            except Exception as exc:  # noqa: BLE001 - must not escape
+                return ChaosOutcome(
+                    scenario, "foreign-error",
+                    f"drain raised {type(exc).__name__}: {exc}",
+                    tripped=bool(plan.trips),
+                )
+        tripped = bool(plan.trips)
+        # the straggler check: a request after drain started must be
+        # refused with the typed draining error, fault or no fault
+        status, payload = harness.post(store, body)
+        error = _typed_error(payload)
+        if status != 503 or error is None or error.get("code") != "draining":
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                f"request during drain got HTTP {status} {payload!r} "
+                "instead of the typed 503 draining refusal",
+                tripped=tripped,
+            )
+        if clean_drain:
+            return ChaosOutcome(
+                scenario, "recovered" if tripped else "match", tripped=tripped
+            )
+        return ChaosOutcome(
+            scenario, "degraded",
+            "drain fault degraded to an immediate (dirty) close",
+            tripped=tripped,
+        )
+    finally:
+        harness.close()
 
 
 # ---------------------------------------------------------------------------
@@ -593,13 +788,45 @@ def chaos_sweep(
     fast: bool = False,
     max_scenarios: "int | None" = None,
 ) -> ChaosReport:
-    """Run the full differential sweep; see the module docstring."""
+    """Run the full differential sweep; see the module docstring.
+
+    Request-path ``service.*`` scenarios share one live server for the
+    whole sweep (:class:`ServiceHarness`); ``service.drain`` scenarios
+    boot their own, since the drain kills it.  Threads alive before the
+    sweep are snapshot and compared after every server is closed — any
+    survivor lands in :attr:`ChaosReport.leaked_threads` and fails
+    :attr:`ChaosReport.ok`.
+    """
     report = ChaosReport(seed=seed)
     scenarios = generate_scenarios(seed, sites=sites, fast=fast)
     if max_scenarios is not None:
         scenarios = scenarios[:max_scenarios]
-    for scenario in scenarios:
-        report.outcomes.append(run_scenario(scenario))
+    before = set(threading.enumerate())
+    harness: "ServiceHarness | None" = None
+    try:
+        for scenario in scenarios:
+            if scenario.kind == "service" and scenario.site != "service.drain":
+                if harness is None:
+                    harness = ServiceHarness()
+                report.outcomes.append(run_scenario(scenario, harness=harness))
+            else:
+                report.outcomes.append(run_scenario(scenario))
+    finally:
+        if harness is not None:
+            harness.close()
+        # daemon handler threads unwind asynchronously after the socket
+        # closes — give them a bounded grace period before calling leak
+        leaked: list[threading.Thread] = []
+        deadline = time.monotonic() + 5.0
+        while True:
+            leaked = [
+                t for t in threading.enumerate()
+                if t not in before and t.is_alive()
+            ]
+            if not leaked or time.monotonic() >= deadline:
+                break
+            time.sleep(0.05)
+        report.leaked_threads = [t.name for t in leaked]
     return report
 
 

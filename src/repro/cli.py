@@ -12,6 +12,7 @@
     python -m repro bench    run | compare | export  (benchmark telemetry)
     python -m repro serve    --port 8008 --store name=doc.xml   (HTTP service)
     python -m repro load     --fast --write          (load-test scorecard)
+    python -m repro store    verify doc.rtre         (checksum verification)
 
 Every query command goes through :class:`repro.engine.Database`:
 ``--engine auto`` (the default) lets the planner pick a strategy,
@@ -309,6 +310,26 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_store_verify(args) -> int:
+    """Checksum-verify .rtre store files (docs/ROBUSTNESS.md)."""
+    from repro.errors import ParseError, StorageError
+    from repro.storage import verify_store
+
+    failures = 0
+    for path in args.paths:
+        try:
+            info = verify_store(path)
+        except (StorageError, ParseError, OSError) as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+            continue
+        print(
+            f"OK   {path}: {info['nodes']} nodes, {info['bytes']} bytes, "
+            f"checksum {info['checksum']}"
+        )
+    return 1 if failures else 0
+
+
 def cmd_serve(args) -> int:
     """Boot the threaded HTTP query service (docs/SERVICE.md)."""
     from repro.service import QueryService, serve
@@ -316,7 +337,26 @@ def cmd_serve(args) -> int:
     if not 0 <= args.port <= 65535:
         print(f"serve: port {args.port} out of range 0-65535", file=sys.stderr)
         return 2
-    service = QueryService(columns=args.columns, plan_cache=args.plan_cache)
+    if args.max_concurrency is not None and args.max_concurrency < 1:
+        print(
+            f"serve: --max-concurrency must be >= 1, got {args.max_concurrency}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.queue_limit < 0:
+        print(f"serve: --queue-limit must be >= 0, got {args.queue_limit}",
+              file=sys.stderr)
+        return 2
+    if args.drain_s < 0:
+        print(f"serve: --drain-s must be >= 0, got {args.drain_s}",
+              file=sys.stderr)
+        return 2
+    service = QueryService(
+        columns=args.columns,
+        plan_cache=args.plan_cache,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+    )
     for spec in args.store or ():
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
@@ -329,7 +369,13 @@ def cmd_serve(args) -> int:
         service.stores.put(name, db, source=path)
         print(f"# store {name!r}: {db.tree.n} nodes from {path}", file=sys.stderr)
     print(f"# serving on http://{args.host}:{args.port}", file=sys.stderr)
-    serve(service, host=args.host, port=args.port, verbose=not args.quiet)
+    serve(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=not args.quiet,
+        drain_s=args.drain_s,
+    )
     return 0
 
 
@@ -360,6 +406,27 @@ def cmd_load(args) -> int:
         print(f"load: --concurrency must be positive, got {args.concurrency}",
               file=sys.stderr)
         return 2
+    if args.max_concurrency is not None and args.max_concurrency < 1:
+        print(
+            f"load: --max-concurrency must be >= 1, got {args.max_concurrency}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.queue_limit < 0:
+        print(f"load: --queue-limit must be >= 0, got {args.queue_limit}",
+              file=sys.stderr)
+        return 2
+    if args.deadline_ms is not None and args.deadline_ms < 0:
+        print(f"load: --deadline-ms must be >= 0, got {args.deadline_ms}",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.shed_tolerance <= 1.0:
+        print(
+            f"load: --shed-tolerance must be in [0, 1], got "
+            f"{args.shed_tolerance}",
+            file=sys.stderr,
+        )
+        return 2
     baseline = None
     if args.baseline is not None:
         try:
@@ -373,13 +440,18 @@ def cmd_load(args) -> int:
         requests=args.requests,
         concurrency=args.concurrency,
         columns=args.columns,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline_ms,
     )
     print(format_scorecard(report))
     if args.write:
         path = write_report(report, root=args.out)
         print(f"# wrote {path}", file=sys.stderr)
     if baseline is not None:
-        failures, warnings = compare_report(baseline, report)
+        failures, warnings = compare_report(
+            baseline, report, shed_tolerance=args.shed_tolerance
+        )
         for line in warnings:
             print(f"WARN {line}", file=sys.stderr)
         for line in failures:
@@ -572,6 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compiled-plan cache capacity per store")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-request access logging")
+    p.add_argument("--max-concurrency", type=int, default=None, metavar="N",
+                   help="admit at most N concurrent query/ingest requests; "
+                        "overflow queues, then sheds as 429 (default: unbounded)")
+    p.add_argument("--queue-limit", type=int, default=16, metavar="N",
+                   help="admission queue depth before shedding (default 16)")
+    p.add_argument("--drain-s", type=float, default=5.0, metavar="S",
+                   help="SIGTERM graceful-drain window in seconds (default 5)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -593,7 +672,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for --write (default: .)")
     p.add_argument("--baseline", default=None, metavar="FILE",
                    help="compare against this LOADTEST_*.json (exit 1 on failure)")
+    p.add_argument("--max-concurrency", type=int, default=None, metavar="N",
+                   help="serve with this admission limit (overload testing)")
+    p.add_argument("--queue-limit", type=int, default=16, metavar="N",
+                   help="admission queue depth for the test server (default 16)")
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="N",
+                   help="send X-Repro-Deadline-Ms: N on every load request")
+    p.add_argument("--shed-tolerance", type=float, default=0.0, metavar="F",
+                   help="allowed shed fraction per scenario in --baseline "
+                        "comparison (default 0.0)")
     p.set_defaults(func=cmd_load)
+
+    p = sub.add_parser(
+        "store", help="operate on .rtre store files (docs/ROBUSTNESS.md)"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    s = store_sub.add_parser(
+        "verify",
+        help="checksum-verify store files; exit 1 if any fails",
+    )
+    s.add_argument("paths", nargs="+", metavar="PATH",
+                   help=".rtre store file(s) to verify")
+    s.set_defaults(func=cmd_store_verify)
 
     p = sub.add_parser("classify", help="Theorem 6.8 verdict for an axis set")
     p.add_argument("axes", nargs="+")

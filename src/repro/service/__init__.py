@@ -10,12 +10,26 @@ Three layers, stdlib only:
 - :mod:`repro.service.app` — named document stores, the
   :class:`QueryService` application object with per-request
   observability middleware, and the threaded HTTP server.
+- :mod:`repro.service.resilience` — overload protection and lifecycle:
+  admission control (shed as 429 + ``Retry-After``), deadline
+  propagation, per-store circuit breakers, and graceful drain
+  (docs/SERVICE.md "Overload & lifecycle").
 - :mod:`repro.service.loadgen` — the scenario-driven load generator
-  (deep-tree / wide-tree mixes) emitting an RPS + P50/P95/P99
-  scorecard recorded as a ``LOADTEST_<n>.json`` run file.
+  (deep-tree / wide-tree mixes) emitting an RPS + P50/P95/P99 +
+  shed/deadline scorecard recorded as a ``LOADTEST_<n>.json`` run file.
 """
 
 from repro.service.app import QueryService, StoreRegistry, make_server, serve
+from repro.service.resilience import (
+    AdmissionController,
+    BreakerBoard,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineClock,
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+)
 from repro.service.protocol import (
     ServiceError,
     decode_answer,
@@ -39,6 +53,14 @@ __all__ = [
     "StoreRegistry",
     "make_server",
     "serve",
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineClock",
+    "DeadlineExceededError",
+    "DrainingError",
+    "OverloadedError",
     "ServiceError",
     "decode_answer",
     "encode_answer",

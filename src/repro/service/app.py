@@ -50,8 +50,22 @@ from repro.service.protocol import (
     stats_payload,
     validate_query_request,
 )
+from repro.service.resilience import (
+    AdmissionController,
+    BreakerBoard,
+    CircuitOpenError,
+    DeadlineClock,
+    DeadlineExceededError,
+    DrainingError,
+    OverloadedError,
+    counts_against_breaker,
+    parse_deadline_ms,
+)
 
 __all__ = ["QueryService", "StoreRegistry", "make_server", "serve"]
+
+#: typed refusals the middleware counts as load-shedding, not failures
+_REFUSALS = (OverloadedError, DeadlineExceededError, CircuitOpenError, DrainingError)
 
 register_site("service.decode", "HTTP request body read/decode")
 register_site("service.handler", "HTTP request dispatch")
@@ -170,11 +184,24 @@ class QueryService:
         stores: "StoreRegistry | None" = None,
         columns: "str | None" = None,
         plan_cache: "int | None" = None,
+        max_concurrency: "int | None" = None,
+        queue_limit: int = 16,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 5.0,
+        breaker_seed: int = 0,
     ):
         self.stores = stores if stores is not None else StoreRegistry()
         self.default_columns = columns
         self.default_plan_cache = plan_cache
         self.started_at = time.time()
+        self.admission = AdmissionController(
+            max_concurrency=max_concurrency, queue_limit=queue_limit
+        )
+        self.breakers = BreakerBoard(
+            threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+            seed=breaker_seed,
+        )
 
     # -- middleware --------------------------------------------------------
 
@@ -191,11 +218,17 @@ class QueryService:
         """
         obs = Observation()
         start = time.perf_counter()
-        error = True
+        outcome = "error"
         try:
             with observed(obs):
                 yield obs
-            error = False
+            outcome = "ok"
+        except _REFUSALS:
+            # a typed refusal (shed / deadline / open circuit / drain)
+            # is the service *working as designed* under pressure, not
+            # a failure — it gets its own counter, never service.errors
+            outcome = "refused"
+            raise
         finally:
             elapsed = time.perf_counter() - start
             for name, value in obs.counters.items():
@@ -203,17 +236,87 @@ class QueryService:
             METRICS.observe_duration("service.request", elapsed)
             METRICS.observe_duration("service." + route, elapsed)
             METRICS.add("service.requests")
-            if error:
+            if outcome == "error":
                 METRICS.add("service.errors")
+            elif outcome == "refused":
+                METRICS.add("service.refusals")
+
+    @contextmanager
+    def _admitted(self, deadline: "DeadlineClock | None"):
+        """Admission + deadline gate around one unit of store work.
+
+        Refuses before any engine work happens: 503 while draining,
+        504 when the request's deadline is already spent (or expires
+        while queued — the queue wait is charged against the same
+        clock), 429 when both the in-flight gauge and the queue are
+        full.  On admit, yields after subtracting queue-wait so the
+        caller sees only the budget that is actually left.
+        """
+        if deadline is not None:
+            deadline.check("before admission")
+        self.admission.admit(deadline)
+        try:
+            if deadline is not None:
+                deadline.check("after queue wait")
+            yield
+        finally:
+            self.admission.release()
+
+    def _breaker_run(self, name: str, work):
+        """Run store work behind the store's circuit breaker."""
+        breaker = self.breakers.lease(name)
+        breaker.check()
+        try:
+            result = work()
+        except BaseException as exc:
+            if counts_against_breaker(exc):
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            raise
+        breaker.record_success()
+        return result
 
     # -- operations --------------------------------------------------------
 
     def health(self) -> "tuple[int, dict]":
+        """Liveness: always 200 while the process can answer at all."""
         return 200, {
             "ok": True,
             "stores": len(self.stores),
             "uptime_s": round(time.time() - self.started_at, 3),
+            "admission": self.admission.snapshot(),
+            "breakers": self.breakers.states(),
         }
+
+    def readiness(self) -> "tuple[int, dict]":
+        """Readiness: 503 while draining or under a breaker storm.
+
+        Liveness (``/healthz``) says "don't restart me"; readiness
+        says "don't send me traffic".  A draining service and one whose
+        breaker board is mostly open are both alive but not ready.
+        """
+        snapshot = self.admission.snapshot()
+        storming = self.breakers.storming()
+        ready = not snapshot["draining"] and not storming
+        payload = {
+            "ready": ready,
+            "draining": snapshot["draining"],
+            "breaker_storm": storming,
+            "in_flight": snapshot["in_flight"],
+        }
+        return (200 if ready else 503), payload
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, drain_s: float = 5.0) -> bool:
+        """Graceful drain: stop admitting, wait for in-flight work.
+
+        Returns True when the drain finished cleanly inside the window.
+        Idempotent; the HTTP server calls this before closing sockets
+        (:meth:`ReproServer.shutdown_gracefully`).
+        """
+        return self.admission.drain(drain_s)
 
     def metrics_text(self) -> "tuple[int, str]":
         from repro.obs import render_openmetrics
@@ -232,18 +335,22 @@ class QueryService:
         recover: bool = False,
         warm: bool = False,
         source: str = "inline",
+        deadline_s: "float | None" = None,
     ) -> "tuple[int, dict]":
         """PUT a document: parse, install, optionally pre-build the index."""
-        db = Database.from_xml(
-            text,
-            recover=recover,
-            columns=columns if columns is not None else self.default_columns,
-            plan_cache=plan_cache if plan_cache is not None
-            else self.default_plan_cache,
-        )
-        if warm:
-            db.index  # build eagerly: pay the index once at ingest time
-        entry = self.stores.put(name, db, source=source)
+        deadline = DeadlineClock(deadline_s) if deadline_s is not None else None
+        with self._admitted(deadline):
+            db = Database.from_xml(
+                text,
+                recover=recover,
+                columns=columns if columns is not None else self.default_columns,
+                plan_cache=plan_cache if plan_cache is not None
+                else self.default_plan_cache,
+            )
+            if warm:
+                db.index  # build eagerly: pay the index once at ingest time
+            entry = self.stores.put(name, db, source=source)
+            self.breakers.reset(name)  # a fresh document deserves a fresh circuit
         entry.pop("db", None)
         return 201, {"store": entry}
 
@@ -252,20 +359,40 @@ class QueryService:
 
     def delete_store(self, name: str) -> "tuple[int, dict]":
         self.stores.delete(name)
+        self.breakers.reset(name)
         return 200, {"deleted": name}
 
-    def query(self, name: str, request_obj: Any) -> "tuple[int, dict]":
-        """POST /stores/{name}/query — one engine call."""
+    def query(
+        self, name: str, request_obj: Any, deadline_s: "float | None" = None
+    ) -> "tuple[int, dict]":
+        """POST /stores/{name}/query — one engine call.
+
+        ``deadline_s`` (from ``X-Repro-Deadline-Ms``) and the body's
+        ``deadline_ms`` share one clock: the engine receives the
+        tighter of the two, minus whatever admission queueing already
+        spent.
+        """
         spec = validate_query_request(request_obj)
-        db = self.stores.get(name)
-        result = self._run(db, spec)
+        deadline = (
+            DeadlineClock(deadline_s)
+            if deadline_s is not None
+            else (DeadlineClock(spec["deadline"]) if spec["deadline"] is not None
+                  else None)
+        )
+        with self._admitted(deadline):
+            db = self.stores.get(name)
+            if deadline is not None:
+                spec = dict(spec, deadline=deadline.engine_deadline(spec["deadline"]))
+            result = self._breaker_run(name, lambda: self._run(db, spec))
         return 200, {
             "kind": spec["kind"],
             "answer": encode_answer(result.answer),
             "stats": stats_payload(result.stats),
         }
 
-    def batch(self, name: str, request_obj: Any) -> "tuple[int, dict]":
+    def batch(
+        self, name: str, request_obj: Any, deadline_s: "float | None" = None
+    ) -> "tuple[int, dict]":
         """POST /stores/{name}/batch — many queries, per-item outcomes.
 
         The batch itself always answers 200; each item carries either
@@ -283,25 +410,37 @@ class QueryService:
                 status=400,
                 code="batch-too-large",
             )
-        db = self.stores.get(name)
+        deadline = DeadlineClock(deadline_s) if deadline_s is not None else None
         results = []
         failed = 0
-        for item in queries:
-            try:
-                spec = validate_query_request(item)
-                result = self._run(db, spec)
-                results.append(
-                    {
-                        "ok": True,
-                        "kind": spec["kind"],
-                        "answer": encode_answer(result.answer),
-                        "stats": stats_payload(result.stats),
-                    }
-                )
-            except Exception as exc:  # each item degrades independently
-                status, payload = error_payload(exc)
-                failed += 1
-                results.append({"ok": False, "status": status, **payload})
+        with self._admitted(deadline):
+            db = self.stores.get(name)
+            for item in queries:
+                try:
+                    # the whole batch shares one admission slot and one
+                    # deadline clock; each item re-checks both the clock
+                    # and the store's breaker so a batch cannot outlive
+                    # its window or hammer an open circuit
+                    if deadline is not None:
+                        deadline.check("between batch items")
+                    spec = validate_query_request(item)
+                    if deadline is not None:
+                        spec = dict(
+                            spec, deadline=deadline.engine_deadline(spec["deadline"])
+                        )
+                    result = self._breaker_run(name, lambda: self._run(db, spec))
+                    results.append(
+                        {
+                            "ok": True,
+                            "kind": spec["kind"],
+                            "answer": encode_answer(result.answer),
+                            "stats": stats_payload(result.stats),
+                        }
+                    )
+                except Exception as exc:  # each item degrades independently
+                    status, payload = error_payload(exc)
+                    failed += 1
+                    results.append({"ok": False, "status": status, **payload})
         return 200, {"results": results, "total": len(results), "failed": failed}
 
     @staticmethod
@@ -330,7 +469,9 @@ class _Handler(BaseHTTPRequestHandler):
     ==================================  =========================================
     route                               operation
     ==================================  =========================================
-    ``GET  /healthz``                   liveness + store count
+    ``GET  /healthz``                   liveness + admission/breaker state
+    ``GET  /readyz``                    readiness (503 while draining or
+                                        under a breaker storm)
     ``GET  /metrics``                   OpenMetrics exposition of ``METRICS``
     ``GET  /stores``                    list stores with metadata
     ``PUT  /stores/{name}``             ingest XML body (``?columns=&plan_cache=
@@ -376,13 +517,19 @@ class _Handler(BaseHTTPRequestHandler):
                 f"request body is not valid JSON: {exc}", code="bad-json"
             ) from exc
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self, status: int, payload: Any, retry_after: "float | None" = None
+    ) -> None:
         body = json.dumps(
             payload, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # RFC 9110 wants an integer number of seconds; round up so
+            # "come back in 0.3s" never becomes "come back immediately"
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -402,6 +549,9 @@ class _Handler(BaseHTTPRequestHandler):
         params = {k: v[-1] for k, v in parse_qs(split.query).items()}
         route = "unknown"
         try:
+            self._deadline_s = parse_deadline_ms(
+                self.headers.get("X-Repro-Deadline-Ms")
+            )
             route, handler = self._match(method, parts)
             with self.service.observe(route):
                 faultpoint("service.handler")
@@ -419,7 +569,9 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(exc, (ServiceError, ReproError)):
                 METRICS.add("service.unexpected_errors")
             try:
-                self._send_json(status, payload)
+                self._send_json(
+                    status, payload, retry_after=getattr(exc, "retry_after", None)
+                )
             except Exception:  # pragma: no cover - client went away
                 pass
 
@@ -427,6 +579,8 @@ class _Handler(BaseHTTPRequestHandler):
         svc = self.service
         if method == "GET" and parts == ["healthz"]:
             return "healthz", lambda params: svc.health()
+        if method == "GET" and parts == ["readyz"]:
+            return "readyz", lambda params: svc.readiness()
         if method == "GET" and parts == ["metrics"]:
             return "metrics", lambda params: svc.metrics_text()
         if method == "GET" and parts == ["stores"]:
@@ -445,6 +599,7 @@ class _Handler(BaseHTTPRequestHandler):
                         recover=params.get("recover", "0") in ("1", "true"),
                         warm=params.get("warm", "0") in ("1", "true"),
                         source="http-put",
+                        deadline_s=self._deadline_s,
                     )
                 return "stores.put", put
             if method == "GET":
@@ -454,9 +609,13 @@ class _Handler(BaseHTTPRequestHandler):
         if len(parts) == 3 and parts[0] == "stores" and method == "POST":
             name, op = parts[1], parts[2]
             if op == "query":
-                return "query", lambda params: svc.query(name, self._json_body())
+                return "query", lambda params: svc.query(
+                    name, self._json_body(), deadline_s=self._deadline_s
+                )
             if op == "batch":
-                return "batch", lambda params: svc.batch(name, self._json_body())
+                return "batch", lambda params: svc.batch(
+                    name, self._json_body(), deadline_s=self._deadline_s
+                )
         raise ServiceError(
             f"no route for {method} {'/' + '/'.join(parts)}",
             status=404,
@@ -481,11 +640,29 @@ class ReproServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    # overload must surface as a typed 429 from admission control, not
+    # as kernel RSTs — the stdlib default accept backlog of 5 drops
+    # connection bursts before the service ever sees them
+    request_queue_size = 128
 
     def __init__(self, address, service: QueryService, verbose: bool = False):
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+
+    def shutdown_gracefully(self, drain_s: float = 5.0) -> bool:
+        """Drain in-flight requests, then stop the accept loop.
+
+        New work is refused (503 ``draining``) the moment the drain
+        starts while health/readiness probes keep answering, so a
+        balancer sees ``/readyz`` flip before the socket closes.  Must
+        be called off the ``serve_forever`` thread (as
+        ``ThreadingHTTPServer.shutdown`` must).  Returns True when all
+        in-flight requests finished inside the drain window.
+        """
+        clean = self.service.shutdown(drain_s)
+        self.shutdown()
+        return clean
 
 
 def make_server(
@@ -512,12 +689,36 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8008,
     verbose: bool = True,
+    drain_s: float = 5.0,
 ) -> None:
-    """Run the server until interrupted (the ``repro serve`` command)."""
+    """Run the server until interrupted (the ``repro serve`` command).
+
+    SIGTERM triggers a graceful drain: stop admitting, finish in-flight
+    requests up to ``drain_s`` seconds, then close.  The drain runs on
+    a helper thread because ``shutdown()`` deadlocks when called from
+    the ``serve_forever`` thread itself.
+    """
+    import signal
+
     server = make_server(service, host, port, verbose=verbose)
+
+    def _drain_and_stop(signum, frame):  # pragma: no cover - signal path
+        threading.Thread(
+            target=server.shutdown_gracefully, args=(drain_s,), daemon=True
+        ).start()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _drain_and_stop)
+    except ValueError:  # pragma: no cover - not on the main thread
+        previous = None
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
-        pass
+        server.service.shutdown(drain_s)
     finally:
+        if previous is not None:  # pragma: no branch
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except ValueError:  # pragma: no cover
+                pass
         server.server_close()

@@ -158,6 +158,25 @@ class _Counter:
             return ticket
 
 
+#: per-attempt client backoff schedule for 429 retries
+_RETRY_LIMIT = 5
+_RETRY_SLEEP_CAP_S = 0.5
+
+
+def _retry_delay_s(response_payload: bytes, attempt: int) -> float:
+    """How long a shed client sleeps before retrying: the server's
+    ``retry_after`` hint (JSON body, finer-grained than the integer
+    ``Retry-After`` header) scaled by exponential backoff, capped so
+    load runs stay bounded."""
+    hint = 0.05
+    try:
+        body = json.loads(response_payload.decode("utf-8"))
+        hint = float(body["error"]["retry_after"])
+    except Exception:
+        pass
+    return min(max(hint, 0.01) * (2 ** attempt), _RETRY_SLEEP_CAP_S)
+
+
 def _worker(
     host: str,
     port: int,
@@ -166,8 +185,20 @@ def _worker(
     tickets: _Counter,
     latencies: list,
     failures: list,
+    sheds: list,
+    deadline_exceeded: list,
+    headers: "dict[str, str] | None" = None,
 ) -> None:
-    """One closed-loop client: take a ticket, send, time, repeat."""
+    """One closed-loop client: take a ticket, send, time, repeat.
+
+    The client speaks the resilience protocol: a 429 ``overloaded``
+    response is *not* a failure — it counts as a shed and the ticket is
+    retried with exponential backoff honoring the server's Retry-After
+    hint (up to ``_RETRY_LIMIT`` attempts); a 504 ``deadline-exceeded``
+    counts in its own bucket.  Only untyped/unexpected responses land
+    in ``failures``.
+    """
+    base_headers = {"Content-Type": "application/json", **(headers or {})}
     conn = http.client.HTTPConnection(host, port, timeout=120)
     try:
         while True:
@@ -175,22 +206,33 @@ def _worker(
             if ticket < 0:
                 return
             body = bodies[ticket % len(bodies)]
-            start = time.perf_counter()
-            try:
-                conn.request(
-                    "POST", path, body=body,
-                    headers={"Content-Type": "application/json"},
-                )
-                response = conn.getresponse()
-                payload = response.read()
-                elapsed = time.perf_counter() - start
+            attempt = 0
+            while True:
+                start = time.perf_counter()
+                try:
+                    conn.request("POST", path, body=body, headers=base_headers)
+                    response = conn.getresponse()
+                    payload = response.read()
+                    elapsed = time.perf_counter() - start
+                except Exception as exc:
+                    failures.append((0, f"{type(exc).__name__}: {exc}".encode()))
+                    conn.close()  # reconnect on the next ticket
+                    break
                 if response.status == 200:
                     latencies.append(elapsed)
-                else:
-                    failures.append((response.status, payload[:200]))
-            except Exception as exc:
-                failures.append((0, f"{type(exc).__name__}: {exc}".encode()))
-                conn.close()  # reconnect on the next ticket
+                    break
+                if response.status == 429:
+                    sheds.append(ticket)
+                    if attempt < _RETRY_LIMIT:
+                        time.sleep(_retry_delay_s(payload, attempt))
+                        attempt += 1
+                        continue
+                    break  # shed for good; counted, not a failure
+                if response.status == 504:
+                    deadline_exceeded.append(ticket)
+                    break
+                failures.append((response.status, payload[:200]))
+                break
     finally:
         conn.close()
 
@@ -213,6 +255,7 @@ def _run_scenario(
     requests: int,
     concurrency: int,
     fast: bool,
+    deadline_ms: "float | None" = None,
 ) -> dict[str, Any]:
     bodies = [
         json.dumps(body, sort_keys=True).encode("utf-8") for body in scenario.mix
@@ -221,10 +264,18 @@ def _run_scenario(
     tickets = _Counter(requests)
     latencies: list[float] = []  # list.append is atomic: no lock needed
     failures: list = []
+    sheds: list = []
+    deadline_exceeded: list = []
+    headers = (
+        {"X-Repro-Deadline-Ms": str(deadline_ms)}
+        if deadline_ms is not None
+        else None
+    )
     threads = [
         threading.Thread(
             target=_worker,
-            args=(host, port, path, bodies, tickets, latencies, failures),
+            args=(host, port, path, bodies, tickets, latencies, failures,
+                  sheds, deadline_exceeded, headers),
             daemon=True,
         )
         for _ in range(concurrency)
@@ -241,6 +292,8 @@ def _run_scenario(
         "nodes": scenario.size(fast) + 1,  # +1: the root above the spine/fan
         "requests": len(latencies),
         "errors": len(failures),
+        "shed": len(sheds),
+        "deadline_exceeded": len(deadline_exceeded),
         "error_samples": [
             [status, body.decode("utf-8", "replace")]
             for status, body in failures[:5]
@@ -262,6 +315,9 @@ def run_load(
     columns: "str | None" = None,
     host: str = "127.0.0.1",
     record: bool = True,
+    max_concurrency: "int | None" = None,
+    queue_limit: int = 16,
+    deadline_ms: "float | None" = None,
 ) -> dict[str, Any]:
     """Run the load harness; returns the full report payload (unwritten).
 
@@ -269,6 +325,12 @@ def run_load(
     each scenario's fixture as a store (index pre-built, so latencies
     measure query service, not first-touch indexing), replays the mix
     from ``concurrency`` worker threads, and tears the server down.
+
+    ``max_concurrency``/``queue_limit`` configure the server's
+    admission control (for overload testing — sheds land in the
+    ``shed`` column, not ``errors``); ``deadline_ms`` stamps every
+    request with an ``X-Repro-Deadline-Ms`` header, so expirations land
+    in ``deadline_exceeded``.
     """
     names = list(scenarios) if scenarios else sorted(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
@@ -277,7 +339,9 @@ def run_load(
             f"unknown scenario(s): {', '.join(unknown)}; "
             f"options: {', '.join(sorted(SCENARIOS))}"
         )
-    service = QueryService(columns=columns)
+    service = QueryService(
+        columns=columns, max_concurrency=max_concurrency, queue_limit=queue_limit
+    )
     server = make_server(service, host=host, port=0)
     port = server.server_address[1]
     runner = threading.Thread(target=server.serve_forever, daemon=True)
@@ -290,7 +354,10 @@ def run_load(
             db.index  # warm: pay indexing at ingest, not under load
             service.stores.put(name, db, source="loadgen")
             scorecards.append(
-                _run_scenario(scenario, host, port, requests, concurrency, fast)
+                _run_scenario(
+                    scenario, host, port, requests, concurrency, fast,
+                    deadline_ms=deadline_ms,
+                )
             )
             service.stores.delete(name)
     finally:
@@ -302,6 +369,9 @@ def run_load(
         "requests_per_scenario": requests,
         "concurrency": concurrency,
         "columns": columns or "off",
+        "max_concurrency": max_concurrency,
+        "queue_limit": queue_limit,
+        "deadline_ms": deadline_ms,
         "scenarios": {card["scenario"]: card for card in scorecards},
     }
     if record:
@@ -315,10 +385,11 @@ def _record(report: dict[str, Any]) -> None:
 
     RECORDER.record_table(
         "service load scorecard",
-        ["scenario", "nodes", "requests", "errors", "rps",
-         "p50_ms", "p95_ms", "p99_ms"],
+        ["scenario", "nodes", "requests", "errors", "shed",
+         "deadline_exceeded", "rps", "p50_ms", "p95_ms", "p99_ms"],
         [
             [c["scenario"], c["nodes"], c["requests"], c["errors"],
+             c.get("shed", 0), c.get("deadline_exceeded", 0),
              c["rps"], c["p50_ms"], c["p95_ms"], c["p99_ms"]]
             for c in report["scenarios"].values()
         ],
@@ -378,16 +449,24 @@ def load_report(path: str) -> dict[str, Any]:
 
 
 def compare_report(
-    baseline: dict[str, Any], current: dict[str, Any], rps_drop_warn: float = 0.5
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    rps_drop_warn: float = 0.5,
+    shed_tolerance: float = 0.0,
 ) -> "tuple[list[str], list[str]]":
     """Compare a fresh report against a committed baseline.
 
     Returns ``(failures, warnings)``.  Failures are structural — a
     baseline scenario missing from the current run, or any failed
     requests: the service must never drop queries under this load.
-    Raw-throughput changes only *warn* (and only past ``rps_drop_warn``,
-    a halving by default), mirroring the bench comparator's stance that
-    wall-clock across environments is advisory (docs/OBSERVABILITY.md).
+    Typed refusals (429 sheds, 504 deadline expirations) are tallied
+    *separately* from errors and fail only past ``shed_tolerance``
+    (fraction of all attempts, default zero) — so overload experiments
+    can declare their expected shed rate instead of tripping the error
+    gate.  Raw-throughput changes only *warn* (and only past
+    ``rps_drop_warn``, a halving by default), mirroring the bench
+    comparator's stance that wall-clock across environments is advisory
+    (docs/OBSERVABILITY.md).
     """
     failures: list[str] = []
     warnings: list[str] = []
@@ -402,6 +481,22 @@ def compare_report(
                 f"{name}: {card['errors']} failed request(s) "
                 f"(e.g. {(card.get('error_samples') or [['?', '?']])[0]})"
             )
+        shed = card.get("shed", 0) + card.get("deadline_exceeded", 0)
+        attempts = card.get("requests", 0) + card.get("errors", 0) + shed
+        if shed and attempts:
+            rate = shed / attempts
+            if rate > shed_tolerance:
+                failures.append(
+                    f"{name}: shed rate {rate:.1%} "
+                    f"({card.get('shed', 0)} shed + "
+                    f"{card.get('deadline_exceeded', 0)} deadline-exceeded of "
+                    f"{attempts}) exceeds the {shed_tolerance:.1%} tolerance"
+                )
+            else:
+                warnings.append(
+                    f"{name}: shed rate {rate:.1%} within the "
+                    f"{shed_tolerance:.1%} tolerance"
+                )
         base = old.get(name)
         if not base:
             continue
@@ -423,12 +518,15 @@ def format_scorecard(report: dict[str, Any]) -> str:
         f"requests/scenario={report['requests_per_scenario']} "
         f"columns={report.get('columns', 'off')}",
         f"  {'scenario':<12} {'nodes':>8} {'req':>6} {'err':>4} "
+        f"{'shed':>5} {'dl':>4} "
         f"{'rps':>9} {'p50ms':>9} {'p95ms':>9} {'p99ms':>9}",
     ]
     for name, card in sorted(report["scenarios"].items()):
         lines.append(
             f"  {name:<12} {card['nodes']:>8} {card['requests']:>6} "
-            f"{card['errors']:>4} {card['rps']:>9.2f} {card['p50_ms']:>9.3f} "
+            f"{card['errors']:>4} {card.get('shed', 0):>5} "
+            f"{card.get('deadline_exceeded', 0):>4} "
+            f"{card['rps']:>9.2f} {card['p50_ms']:>9.3f} "
             f"{card['p95_ms']:>9.3f} {card['p99_ms']:>9.3f}"
         )
     return "\n".join(lines)

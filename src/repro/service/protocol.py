@@ -31,7 +31,12 @@ other EvaluationError          500     ``evaluation-failed``
 other ReproError               500     ``internal-error``
 =============================  ======  =======================
 
-(*) a ServiceError carries its own status; 400 is the default.
+(*) a ServiceError carries its own status; 400 is the default.  The
+resilience layer (:mod:`repro.service.resilience`) adds its own typed
+refusals on top — 429 ``overloaded``, 504 ``deadline-exceeded``, 503
+``circuit-open`` and 503 ``draining`` — which may carry a
+``retry_after`` hint rendered as both a JSON field and the HTTP
+``Retry-After`` header.
 """
 
 from __future__ import annotations
@@ -70,12 +75,25 @@ _POLICIES = ("raise", "fallback", "partial")
 
 class ServiceError(ReproError):
     """A request the service refuses: carries the HTTP status and a
-    machine-readable code alongside the human message."""
+    machine-readable code alongside the human message.
 
-    def __init__(self, message: str, status: int = 400, code: str = "bad-request"):
+    ``retry_after`` (seconds, optional) marks refusals the client
+    should simply retry later — overload sheds, open circuits, drains.
+    The HTTP layer renders it as a ``Retry-After`` header and the
+    load generator's backoff honors it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        code: str = "bad-request",
+        retry_after: "float | None" = None,
+    ):
         super().__init__(message)
         self.status = int(status)
         self.code = code
+        self.retry_after = retry_after
 
 
 # ---------------------------------------------------------------------------
@@ -263,10 +281,12 @@ def error_status(exc: BaseException) -> "tuple[int, str]":
 def error_payload(exc: BaseException) -> "tuple[int, dict]":
     """The full (status, JSON body) of an error response."""
     status, code = error_status(exc)
-    return status, {
-        "error": {
-            "code": code,
-            "type": type(exc).__name__,
-            "message": str(exc),
-        }
+    error: dict = {
+        "code": code,
+        "type": type(exc).__name__,
+        "message": str(exc),
     }
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        error["retry_after"] = round(float(retry_after), 3)
+    return status, {"error": error}

@@ -1,0 +1,549 @@
+"""Overload protection and lifecycle for the query service.
+
+PR 6 made the engine a long-lived server; this module makes it a
+*survivable* one.  Four mechanisms, each a named decision point with
+its own fault-injection site (docs/ROBUSTNESS.md):
+
+- :class:`AdmissionController` — a bounded in-flight gauge plus a
+  bounded wait queue.  Work beyond ``max_concurrency`` queues; work
+  beyond ``max_concurrency + queue_limit`` is **shed** immediately with
+  a 429 ``overloaded`` and a computed ``Retry-After`` — the service
+  degrades by refusing cheaply, never by falling over.  Site:
+  ``service.admission``.
+- **Deadline propagation** — :class:`DeadlineClock` carries one
+  absolute deadline (from ``X-Repro-Deadline-Ms`` or a body
+  ``deadline_ms``) through admission into the engine's
+  :class:`~repro.obs.budget.ResourceBudget`.  Already-expired requests
+  are refused up front (504 ``deadline-exceeded``), and queue-wait
+  time is subtracted before the engine runs, so slow admission can
+  never silently eat the evaluation budget.
+- :class:`CircuitBreaker` — per-store consecutive-failure tracking
+  with the classic closed → open → half-open state machine.  An open
+  breaker answers 503 ``circuit-open`` in O(1) instead of burning
+  retries against a store whose document or index reliably faults;
+  after a seeded-jitter cooldown exactly one probe request is let
+  through (half-open), and its outcome closes or re-opens the circuit.
+  Site: ``service.breaker``.
+- **Graceful drain** — :meth:`AdmissionController.drain` flips the
+  controller into draining (new work refused as 503 ``draining``),
+  then waits for in-flight requests up to a drain deadline.  Site:
+  ``service.drain``; a fault there degrades to an immediate close,
+  never a hang.
+
+Every refusal is *typed* (a :class:`~repro.service.protocol.ServiceError`
+subclass carrying ``retry_after``) and counted under its own metric —
+``service.shed`` / ``service.deadline_exceeded`` /
+``service.breaker_open`` / ``service.drain_refused`` — separately from
+``service.errors``, so overload is visible as overload, not as failure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+import zlib
+
+from repro.errors import (
+    AllStrategiesFailedError,
+    EvaluationError,
+    ReproError,
+    StorageError,
+    TransientError,
+)
+from repro.faults import faultpoint, register_site
+from repro.obs.metrics import METRICS
+from repro.service.protocol import ServiceError
+
+__all__ = [
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineClock",
+    "DeadlineExceededError",
+    "DrainingError",
+    "OverloadedError",
+    "counts_against_breaker",
+    "parse_deadline_ms",
+]
+
+register_site("service.admission", "admission-control decision (admit/queue/shed)")
+register_site("service.breaker", "circuit-breaker state check before store work")
+register_site("service.drain", "graceful-drain wait on shutdown")
+
+
+# ---------------------------------------------------------------------------
+# the typed refusals
+# ---------------------------------------------------------------------------
+
+
+class OverloadedError(ServiceError):
+    """The in-flight gauge and the wait queue are both full: shed."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(
+            message, status=429, code="overloaded", retry_after=retry_after
+        )
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline passed before the engine could run it."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status=504, code="deadline-exceeded")
+
+
+class CircuitOpenError(ServiceError):
+    """The store's circuit breaker is open: fail fast, retry later."""
+
+    def __init__(self, store: str, retry_after: float, failures: int):
+        super().__init__(
+            f"store {store!r} circuit is open after {failures} consecutive "
+            f"failures; probe in ~{retry_after:.2f}s",
+            status=503,
+            code="circuit-open",
+            retry_after=retry_after,
+        )
+
+
+class DrainingError(ServiceError):
+    """The service is draining for shutdown: refuse new work cleanly."""
+
+    def __init__(self, retry_after: float = 1.0):
+        super().__init__(
+            "service is draining; no new work accepted",
+            status=503,
+            code="draining",
+            retry_after=retry_after,
+        )
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+# ---------------------------------------------------------------------------
+
+
+class DeadlineClock:
+    """One absolute deadline carried across admission into the engine.
+
+    Built once when the request arrives, so queue wait, breaker checks
+    and per-item batch execution all charge against the *same* window —
+    ``remaining()`` shrinks monotonically and the engine receives only
+    what is left.
+    """
+
+    __slots__ = ("deadline_at", "_clock")
+
+    def __init__(self, deadline_s: "float | None", clock=time.monotonic):
+        self._clock = clock
+        self.deadline_at = None if deadline_s is None else clock() + deadline_s
+
+    def remaining(self) -> "float | None":
+        """Seconds left, or None for an unbounded request."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - self._clock()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def check(self, where: str) -> None:
+        """Refuse (504) when the window is already spent."""
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0:
+            METRICS.add("service.deadline_exceeded")
+            raise DeadlineExceededError(
+                f"deadline exceeded {where} ({-remaining:.3f}s past)"
+            )
+
+    def engine_deadline(self, body_deadline_s: "float | None") -> "float | None":
+        """The per-call engine budget: the tighter of what the request
+        body asked for and what the service-level window has left."""
+        remaining = self.remaining()
+        if remaining is None:
+            return body_deadline_s
+        remaining = max(remaining, 0.0)
+        if body_deadline_s is None:
+            return remaining
+        return min(body_deadline_s, remaining)
+
+
+def parse_deadline_ms(value: "str | float | None") -> "float | None":
+    """``X-Repro-Deadline-Ms`` header value -> seconds (None if absent)."""
+    if value is None or value == "":
+        return None
+    try:
+        ms = float(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"X-Repro-Deadline-Ms must be a non-negative number, got {value!r}",
+            code="bad-deadline",
+        ) from None
+    if ms < 0 or not math.isfinite(ms):
+        raise ServiceError(
+            f"X-Repro-Deadline-Ms must be a non-negative number, got {value!r}",
+            code="bad-deadline",
+        )
+    return ms / 1000.0
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+
+class AdmissionController:
+    """A bounded in-flight gauge plus a bounded wait queue.
+
+    ``max_concurrency=None`` admits everything (the PR 6 behaviour) but
+    still counts in-flight work — the gauge is what graceful drain
+    waits on.  With a limit set, a request either takes a slot
+    immediately, waits in the queue (bounded by ``queue_limit`` and by
+    its own deadline), or is shed with :class:`OverloadedError`.
+
+    ``retry_after_s()`` estimates how long a shed client should back
+    off: queue depth × observed mean request latency ÷ concurrency,
+    clamped to [1, 30] seconds — a crude but monotone signal that grows
+    with the backlog.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: "int | None" = None,
+        queue_limit: int = 16,
+        queue_timeout_s: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1 (or None)")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.max_concurrency = max_concurrency
+        self.queue_limit = queue_limit
+        self.queue_timeout_s = queue_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slot_free = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self.in_flight = 0
+        self.queued = 0
+        self.draining = False
+
+    # -- the admit/release pair -------------------------------------------
+
+    def admit(self, deadline: "DeadlineClock | None" = None) -> float:
+        """Take an execution slot; returns seconds spent queued.
+
+        Raises :class:`DrainingError` while draining,
+        :class:`OverloadedError` when the queue is full (or the queue
+        wait times out), and :class:`DeadlineExceededError` when the
+        request's own deadline expires while queued.
+        """
+        faultpoint("service.admission")
+        start = self._clock()
+        with self._lock:
+            if self.draining:
+                METRICS.add("service.drain_refused")
+                raise DrainingError()
+            if self.max_concurrency is None or self.in_flight < self.max_concurrency:
+                self.in_flight += 1
+                METRICS.add("service.admitted")
+                return 0.0
+            if self.queued >= self.queue_limit:
+                METRICS.add("service.shed")
+                raise OverloadedError(
+                    f"at capacity: {self.in_flight} in flight, "
+                    f"{self.queued} queued (limits {self.max_concurrency}"
+                    f"+{self.queue_limit})",
+                    retry_after=self._retry_after_locked(),
+                )
+            self.queued += 1
+            try:
+                while True:
+                    budget = self.queue_timeout_s - (self._clock() - start)
+                    remaining = deadline.remaining() if deadline is not None else None
+                    if remaining is not None:
+                        budget = min(budget, remaining)
+                    if budget <= 0:
+                        if remaining is not None and remaining <= 0:
+                            METRICS.add("service.deadline_exceeded")
+                            raise DeadlineExceededError(
+                                "deadline exceeded while queued for admission "
+                                f"({self._clock() - start:.3f}s waited)"
+                            )
+                        METRICS.add("service.shed")
+                        raise OverloadedError(
+                            f"queue wait exceeded {self.queue_timeout_s}s",
+                            retry_after=self._retry_after_locked(),
+                        )
+                    self._slot_free.wait(timeout=budget)
+                    if self.draining:
+                        METRICS.add("service.drain_refused")
+                        raise DrainingError()
+                    if (
+                        self.max_concurrency is None
+                        or self.in_flight < self.max_concurrency
+                    ):
+                        self.in_flight += 1
+                        METRICS.add("service.admitted")
+                        waited = self._clock() - start
+                        METRICS.observe_duration("service.queue_wait", waited)
+                        return waited
+            finally:
+                self.queued -= 1
+
+    def release(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self._slot_free.notify()
+            if self.in_flight == 0:
+                self._idle.notify_all()
+
+    # -- load signals ------------------------------------------------------
+
+    def _retry_after_locked(self) -> float:
+        hist = METRICS.duration("service.request")
+        mean = hist.mean if hist is not None and hist.count else 0.1
+        width = self.max_concurrency or 1
+        estimate = (self.queued + 1) * mean / width
+        return min(max(estimate, 1.0), 30.0)
+
+    def retry_after_s(self) -> float:
+        with self._lock:
+            return self._retry_after_locked()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "max_concurrency": self.max_concurrency,
+                "queue_limit": self.queue_limit,
+                "in_flight": self.in_flight,
+                "queued": self.queued,
+                "draining": self.draining,
+            }
+
+    # -- graceful drain ----------------------------------------------------
+
+    def drain(self, drain_s: float = 5.0) -> bool:
+        """Stop admitting, wait for in-flight work, return cleanliness.
+
+        Returns True when every in-flight request finished inside the
+        drain window; False when stragglers were abandoned at the
+        deadline (the caller closes the server either way — drain
+        bounds shutdown latency, it never blocks it).  The wait is the
+        ``service.drain`` fault site: an injected fault there degrades
+        to an immediate (dirty) close instead of a hang.
+        """
+        with self._lock:
+            already = self.draining
+            self.draining = True
+            self._slot_free.notify_all()  # wake queued waiters to refuse them
+        if not already:
+            METRICS.add("service.drains")
+        try:
+            faultpoint("service.drain")
+        except ReproError:
+            METRICS.add("service.drain_faults")
+            return False
+        deadline_at = self._clock() + max(drain_s, 0.0)
+        with self._lock:
+            while self.in_flight > 0:
+                budget = deadline_at - self._clock()
+                if budget <= 0:
+                    METRICS.add("service.drain_stragglers", self.in_flight)
+                    return False
+                self._idle.wait(timeout=budget)
+            return True
+
+    def resume(self) -> None:
+        """Leave draining mode (tests and probe tooling)."""
+        with self._lock:
+            self.draining = False
+
+
+# ---------------------------------------------------------------------------
+# circuit breakers
+# ---------------------------------------------------------------------------
+
+
+def counts_against_breaker(exc: BaseException) -> bool:
+    """Whether a failure indicts the *store* (and should trip its
+    breaker) rather than the client.
+
+    Server-side faults — transient or injected failures, storage and
+    evaluation errors, an exhausted fallback chain — count.  Client
+    errors (bad queries, validation refusals) and budget exhaustion
+    (the client chose the budget) never do.
+    """
+    if isinstance(exc, ServiceError):
+        return False
+    return isinstance(
+        exc,
+        (
+            TransientError,
+            StorageError,
+            EvaluationError,  # includes InjectedFault
+            AllStrategiesFailedError,
+        ),
+    )
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one store.
+
+    State machine::
+
+        closed --[threshold consecutive failures]--> open
+        open   --[cooldown + seeded jitter elapses]--> half-open (one probe)
+        half-open --[probe succeeds]--> closed
+        half-open --[probe fails]----> open (fresh jittered cooldown)
+
+    The jitter (up to +50% of the cooldown) comes from a seeded RNG, so
+    a board of breakers re-probes staggered rather than in lockstep —
+    and deterministically so under test.  Transitions are counted
+    (``breaker.opened`` / ``breaker.reclosed`` / ``breaker.probes``)
+    and exposed via :meth:`state` on ``/healthz`` and ``/readyz``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        threshold: int = 5,
+        cooldown_s: float = 5.0,
+        seed: int = 0,
+        clock=time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.name = name
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        # crc32, not hash(): string hashing is salted per process and
+        # the jitter schedule must be reproducible for a given seed
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")) ^ (seed or 0))
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._probe_at = 0.0
+        self._probing = False
+        self.opened_total = 0
+
+    # -- the request path --------------------------------------------------
+
+    def check(self) -> None:
+        """Gate one unit of store work; raises :class:`CircuitOpenError`.
+
+        In the open state the first caller past the probe time becomes
+        *the* probe (state moves to half-open); every other caller is
+        refused until the probe reports back.
+        """
+        faultpoint("service.breaker")
+        with self._lock:
+            if self._state == "closed":
+                return
+            now = self._clock()
+            if self._state == "open" and now >= self._probe_at and not self._probing:
+                self._state = "half-open"
+                self._probing = True
+                METRICS.add("breaker.probes")
+                return  # this caller carries the probe
+            retry_after = max(self._probe_at - now, 0.05)
+            METRICS.add("service.breaker_open")
+            raise CircuitOpenError(self.name, retry_after, self._failures)
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state != "closed":
+                METRICS.add("breaker.reclosed")
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            was = self._state
+            if was == "half-open" or (
+                was == "closed" and self._failures >= self.threshold
+            ):
+                self._open_locked()
+            self._probing = False
+
+    def _open_locked(self) -> None:
+        self._state = "open"
+        self.opened_total += 1
+        jitter = 1.0 + self._rng.random() * 0.5
+        self._probe_at = self._clock() + self.cooldown_s * jitter
+        METRICS.add("breaker.opened")
+
+    # -- introspection -----------------------------------------------------
+
+    def state(self) -> dict:
+        with self._lock:
+            payload = {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "opened_total": self.opened_total,
+            }
+            if self._state == "open":
+                payload["probe_in_s"] = round(
+                    max(self._probe_at - self._clock(), 0.0), 3
+                )
+            return payload
+
+    @property
+    def is_open(self) -> bool:
+        with self._lock:
+            return self._state == "open"
+
+
+class BreakerBoard:
+    """Per-store breakers behind one lock, sharing threshold/cooldown.
+
+    A store PUT resets its breaker (a replaced document deserves a
+    fresh circuit); a DELETE drops it.  ``storming()`` is the readiness
+    signal: at least one breaker exists and at least half of them are
+    open — the service is alive (``/healthz``) but should not receive
+    new traffic (``/readyz``).
+    """
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 5.0, seed: int = 0):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def lease(self, name: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = CircuitBreaker(
+                    name,
+                    threshold=self.threshold,
+                    cooldown_s=self.cooldown_s,
+                    seed=self.seed,
+                )
+            return breaker
+
+    def reset(self, name: str) -> None:
+        with self._lock:
+            self._breakers.pop(name, None)
+
+    def states(self) -> dict[str, dict]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: breaker.state() for name, breaker in sorted(breakers.items())}
+
+    def storming(self) -> bool:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        if not breakers:
+            return False
+        open_count = sum(1 for b in breakers if b.is_open)
+        return open_count * 2 >= len(breakers) and open_count > 0

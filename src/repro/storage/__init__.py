@@ -20,7 +20,13 @@ from repro.storage.labeling import (
     OrdpathLabeling,
     DietzLabeling,
 )
-from repro.storage.diskstore import dump_tree, dumps_tree, load_tree, loads_tree
+from repro.storage.diskstore import (
+    dump_tree,
+    dumps_tree,
+    load_tree,
+    loads_tree,
+    verify_store,
+)
 
 __all__ = [
     "Table",
@@ -38,4 +44,5 @@ __all__ = [
     "dumps_tree",
     "load_tree",
     "loads_tree",
+    "verify_store",
 ]

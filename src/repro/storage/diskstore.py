@@ -18,25 +18,52 @@ Format (little-endian, version 1)::
 
 Multi-labeled nodes fall back to a JSON side table appended at the end
 (rare in practice; absent for single-label trees).
+
+**Crash safety.**  Since the resilience PR the on-disk file carries a
+12-byte checksum trailer — ``b"RCRC"`` + CRC32(payload) + payload
+length, little-endian — and :func:`dump_tree` writes atomically: the
+bytes go to ``path + ".tmp"``, are fsynced, and land via
+``os.replace``, so a crash (even ``kill -9``) between write and rename
+leaves the *previous* version intact and loadable.  On load a present
+trailer is verified and any mismatch raises a typed
+:class:`~repro.errors.StorageError` naming the path and byte offset;
+files written before the trailer existed still load (the parser has
+always ignored trailing bytes, so the formats are mutually
+compatible).  :func:`verify_store` checks a file without building the
+tree — the ``repro store verify`` command.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
 import struct
+import zlib
 from array import array
 
 from repro.errors import ParseError, StorageError
 from repro.faults import faultpoint, register_site
 from repro.trees.tree import Tree
 
-__all__ = ["dump_tree", "load_tree", "dumps_tree", "loads_tree"]
+__all__ = [
+    "dump_tree",
+    "load_tree",
+    "dumps_tree",
+    "loads_tree",
+    "verify_store",
+]
 
 _MAGIC = b"RTRE"
 _VERSION = 1
 
+#: checksum trailer: magic + CRC32(payload) + len(payload), 12 bytes
+_TRAILER_MAGIC = b"RCRC"
+_TRAILER_LEN = 12
+
 register_site("disk.read", "document bytes read from disk")
+register_site("disk.write", "atomic store write (tmp + fsync + replace)")
+register_site("disk.verify", "store checksum verification")
 
 
 def _truncate_bytes(data: bytes, rng) -> bytes:
@@ -44,6 +71,51 @@ def _truncate_bytes(data: bytes, rng) -> bytes:
     if len(data) < 2:
         return b""
     return data[: rng.randrange(1, len(data))]
+
+
+def _make_trailer(payload: bytes) -> bytes:
+    return _TRAILER_MAGIC + struct.pack(
+        "<II", zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    )
+
+
+def _check_trailer(
+    data: bytes, path: "str | None" = None, strict: bool = False
+) -> "tuple[bytes, bool]":
+    """Detect and verify the checksum trailer; returns (payload, had_trailer).
+
+    A well-formed trailer whose CRC disagrees with the payload raises a
+    typed :class:`~repro.errors.StorageError` naming the path and the
+    byte offset of the trailer.  Data without a trailer passes through
+    untouched (files written before the trailer existed) unless
+    ``strict`` — the write-side readback check, where a missing trailer
+    means the write itself was mangled.  Verification is the
+    ``disk.verify`` fault-injection site.
+    """
+    where = f" in tree store {path!r}" if path else ""
+    if (
+        len(data) >= _TRAILER_LEN
+        and data[-_TRAILER_LEN:-8] == _TRAILER_MAGIC
+    ):
+        expected, length = struct.unpack("<II", data[-8:])
+        if length == len(data) - _TRAILER_LEN:
+            data = faultpoint("disk.verify", data, mutator=_truncate_bytes)
+            payload = data[:-_TRAILER_LEN]
+            actual = zlib.crc32(payload) & 0xFFFFFFFF
+            if actual != expected:
+                raise StorageError(
+                    f"checksum mismatch{where}: CRC32 of {len(payload)} "
+                    f"payload bytes is {actual:#010x} but the trailer at "
+                    f"offset {len(data) - _TRAILER_LEN} says {expected:#010x}"
+                )
+            return payload, True
+    if strict:
+        raise StorageError(
+            f"missing or malformed checksum trailer{where} "
+            f"(expected {_TRAILER_MAGIC!r} at offset "
+            f"{max(len(data) - _TRAILER_LEN, 0)})"
+        )
+    return data, False
 
 
 def _read_exact(buf: io.BytesIO, n: int, what: str) -> bytes:
@@ -92,16 +164,21 @@ def dumps_tree(tree: Tree) -> bytes:
     blob = json.dumps(extras).encode("utf-8") if extras else b""
     out.write(struct.pack("<I", len(blob)))
     out.write(blob)
-    return out.getvalue()
+    payload = out.getvalue()
+    return payload + _make_trailer(payload)
 
 
-def loads_tree(data: bytes) -> Tree:
+def loads_tree(data: bytes, path: "str | None" = None) -> Tree:
     """Deserialize the compact binary format back into a Tree.
 
     Any truncation or corruption surfaces as a typed
-    :class:`~repro.errors.ParseError` — never a raw ``struct.error`` or
-    an array size mismatch.
+    :class:`~repro.errors.ParseError` (structure) or
+    :class:`~repro.errors.StorageError` (checksum) — never a raw
+    ``struct.error`` or an array size mismatch.  Data carrying the
+    checksum trailer is verified first; trailer-less data (pre-trailer
+    files) parses as before.
     """
+    data, _ = _check_trailer(data, path)
     buf = io.BytesIO(data)
     if buf.read(4) != _MAGIC:
         raise ParseError("not a repro tree store (bad magic)")
@@ -151,11 +228,42 @@ def loads_tree(data: bytes) -> Tree:
 
 
 def dump_tree(tree: Tree, path: str) -> int:
-    """Write the store file; returns the byte size."""
+    """Write the store file atomically; returns the byte size.
+
+    The bytes (payload + checksum trailer) go to ``path + ".tmp"``,
+    are flushed and fsynced, read back and checksum-verified, and only
+    then moved into place with ``os.replace`` — so a crash at *any*
+    point (even ``kill -9`` between write and rename) leaves either
+    the previous version or the new one, never a torn file.  A write
+    that comes back corrupted (the ``disk.write`` fault site chops the
+    buffer) is caught by the readback check and raises a typed
+    :class:`~repro.errors.StorageError` with the destination
+    untouched.
+    """
     data = dumps_tree(tree)
-    with open(path, "wb") as fh:
-        fh.write(data)
-    return len(data)
+    blob = faultpoint("disk.write", data, mutator=_truncate_bytes)
+    tmp = path + ".tmp"
+    try:
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            with open(tmp, "rb") as fh:
+                written = fh.read()
+            _check_trailer(written, path, strict=True)
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot write tree store {path!r}: {exc}"
+            ) from exc
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(blob)
 
 
 def load_tree(path: str) -> Tree:
@@ -163,8 +271,10 @@ def load_tree(path: str) -> Tree:
 
     I/O failures surface as :class:`~repro.errors.StorageError` with the
     path in the message; corrupt content as
-    :class:`~repro.errors.ParseError`.  The read is a ``disk.read``
-    fault-injection site.
+    :class:`~repro.errors.ParseError` (structure) or
+    :class:`~repro.errors.StorageError` (checksum, with the offending
+    offset).  The read is a ``disk.read`` fault-injection site and the
+    checksum check a ``disk.verify`` one.
     """
     try:
         with open(path, "rb") as fh:
@@ -173,6 +283,34 @@ def load_tree(path: str) -> Tree:
         raise StorageError(f"cannot read tree store {path!r}: {exc}") from exc
     data = faultpoint("disk.read", data, mutator=_truncate_bytes)
     try:
-        return loads_tree(data)
+        return loads_tree(data, path=path)
     except ParseError as exc:
         raise ParseError(f"tree store {path!r}: {exc}") from exc
+
+
+def verify_store(path: str) -> dict:
+    """Check a store file end to end without installing it anywhere.
+
+    Verifies the checksum trailer (when present) and fully parses the
+    payload; returns a summary dict.  ``checksum`` is ``"ok"`` for a
+    verified trailer and ``"legacy"`` for a pre-trailer file that still
+    parses.  Corruption raises the same typed errors as
+    :func:`load_tree` — this is what ``repro store verify`` prints.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise StorageError(f"cannot read tree store {path!r}: {exc}") from exc
+    _, had_trailer = _check_trailer(data, path)
+    try:
+        tree = loads_tree(data, path=path)
+    except ParseError as exc:
+        raise ParseError(f"tree store {path!r}: {exc}") from exc
+    return {
+        "path": path,
+        "bytes": len(data),
+        "checksum": "ok" if had_trailer else "legacy",
+        "nodes": tree.n,
+        "labels": len(set(tree.label)),
+    }

@@ -154,7 +154,10 @@ class TestFallbackDemos:
         engine_sites = {
             s for s in registered_sites()
             if s not in ("xml.parse", "stream.events", "disk.read",
-                         "service.decode", "service.handler")
+                         "disk.write", "disk.verify",
+                         "service.decode", "service.handler",
+                         "service.admission", "service.breaker",
+                         "service.drain")
         }
         assert set(demos) == engine_sites
 
@@ -240,11 +243,15 @@ class TestColumnsChaos:
 @pytest.mark.service
 class TestServiceChaos:
     """The chaos contract extended over the HTTP boundary: a fault in
-    the request handler yields a typed error response or the clean
-    answer — the ``service.*`` driver boots a live server per scenario
+    the request path yields a typed error response or the clean answer.
+    Request-path scenarios share one live server per sweep
+    (``ServiceHarness``); ``service.drain`` boots its own per scenario
     (docs/SERVICE.md)."""
 
-    SERVICE_SITES = ("service.decode", "service.handler")
+    SERVICE_SITES = (
+        "service.decode", "service.handler",
+        "service.admission", "service.breaker",
+    )
 
     def test_new_sites_are_registered(self):
         for site in self.SERVICE_SITES:
@@ -290,3 +297,101 @@ class TestServiceChaos:
         )
         assert outcome.status in ("recovered", "typed-error"), outcome.detail
         assert outcome.tripped
+
+    def test_scenarios_share_one_harness(self):
+        """A shared harness serves several scenarios back to back with
+        no state bleed: each still recovers or types independently."""
+        from repro.chaos import ServiceHarness
+
+        harness = ServiceHarness()
+        try:
+            for site in self.SERVICE_SITES:
+                for kind in ("error", "transient"):
+                    outcome = run_scenario(
+                        ChaosScenario(
+                            site, f"{site}:{kind}@nth=1",
+                            "tiny", "service", site, 0,
+                        ),
+                        harness=harness,
+                    )
+                    expected = (
+                        "typed-error" if kind == "error" else "recovered"
+                    )
+                    assert outcome.status == expected, (
+                        site, kind, outcome.detail,
+                    )
+                    assert outcome.tripped, (site, kind)
+        finally:
+            harness.close()
+
+
+@pytest.mark.service
+class TestDrainChaos:
+    """``service.drain`` faults degrade to an immediate close — never a
+    hang, never an untyped escape — and stragglers always get the typed
+    503 ``draining`` refusal."""
+
+    def test_drain_fault_degrades(self):
+        outcome = run_scenario(
+            ChaosScenario(
+                "service.drain", "service.drain:error@nth=1",
+                "tiny", "service", "service.drain", 0,
+            )
+        )
+        assert outcome.status == "degraded", outcome.detail
+        assert outcome.tripped
+
+    def test_drain_latency_still_clean(self):
+        outcome = run_scenario(
+            ChaosScenario(
+                "service.drain", "service.drain:latency@nth=1",
+                "tiny", "service", "service.drain", 0,
+            )
+        )
+        assert outcome.status == "recovered", outcome.detail
+        assert outcome.tripped
+
+
+class TestDiskCrashSafety:
+    """``disk.write`` / ``disk.verify`` chaos: a faulted write leaves
+    the previous version loadable; a corrupted verify raises the typed
+    checksum error — the crash-safety differential."""
+
+    def test_write_fault_preserves_previous_version(self):
+        for kind in ("error", "corrupt"):
+            outcome = run_scenario(
+                ChaosScenario(
+                    "disk.write", f"disk.write:{kind}@nth=1",
+                    "tiny", "ingest", "disk.write", 0,
+                )
+            )
+            assert outcome.status == "typed-error", (kind, outcome.detail)
+            assert outcome.tripped, kind
+
+    def test_write_transient_retries_to_new_version(self):
+        outcome = run_scenario(
+            ChaosScenario(
+                "disk.write", "disk.write:transient@nth=1",
+                "tiny", "ingest", "disk.write", 0,
+            )
+        )
+        assert outcome.status == "recovered", outcome.detail
+        assert outcome.tripped
+
+    def test_verify_corruption_is_typed(self):
+        outcome = run_scenario(
+            ChaosScenario(
+                "disk.verify", "disk.verify:corrupt@nth=1",
+                "tiny", "ingest", "disk.verify", 0,
+            )
+        )
+        assert outcome.status == "typed-error", outcome.detail
+        assert outcome.tripped
+
+
+@pytest.mark.service
+class TestThreadLeakCheck:
+    def test_sweep_reports_no_leaked_threads(self):
+        report = chaos_sweep(seed=0, sites=["service.*"], fast=True)
+        assert report.ok
+        assert report.leaked_threads == []

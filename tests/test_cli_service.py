@@ -69,6 +69,18 @@ EXIT_TABLE = [
      lambda doc: ["load", "--scenario", "nope"], 2),
     ("load-missing-baseline-exit-2",
      lambda doc: ["load", "--baseline", "/no/such/LOADTEST.json"], 2),
+    ("serve-zero-max-concurrency-exit-2",
+     lambda doc: ["serve", "--max-concurrency", "0"], 2),
+    ("serve-negative-queue-limit-exit-2",
+     lambda doc: ["serve", "--queue-limit", "-1"], 2),
+    ("serve-negative-drain-exit-2",
+     lambda doc: ["serve", "--drain-s", "-1"], 2),
+    ("load-zero-max-concurrency-exit-2",
+     lambda doc: ["load", "--max-concurrency", "0"], 2),
+    ("load-negative-shed-tolerance-exit-2",
+     lambda doc: ["load", "--shed-tolerance", "-0.5"], 2),
+    ("store-verify-missing-file-exit-1",
+     lambda doc: ["store", "verify", "/no/such/store.rtre"], 1),
 ]
 
 
@@ -79,6 +91,43 @@ EXIT_TABLE = [
 def test_exit_code_table(doc, capsys, argv_for, expected):
     assert cli_main(argv_for(doc)) == expected
     capsys.readouterr()  # drain
+
+
+class TestStoreVerifyCommand:
+    """``repro store verify``: exit 0 with a summary line per OK file,
+    exit 1 naming each corrupt or unreadable one."""
+
+    def _store(self, tmp_path, name="doc.rtre"):
+        from repro.storage import dump_tree
+        from repro.trees.xmlio import parse_xml
+
+        path = os.path.join(tmp_path, name)
+        dump_tree(parse_xml(DOC), path)
+        return path
+
+    def test_ok_store_exit_0(self, tmp_path, capsys):
+        path = self._store(tmp_path)
+        assert cli_main(["store", "verify", path]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "checksum ok" in out
+
+    def test_corrupt_store_exit_1_names_the_file(self, tmp_path, capsys):
+        path = self._store(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(10)
+            byte = fh.read(1)
+            fh.seek(10)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert cli_main(["store", "verify", path]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "doc.rtre" in out
+
+    def test_mixed_batch_exit_1_but_reports_both(self, tmp_path, capsys):
+        good = self._store(tmp_path, "good.rtre")
+        bad = os.path.join(tmp_path, "missing.rtre")
+        assert cli_main(["store", "verify", good, bad]) == 1
+        out = capsys.readouterr().out
+        assert "OK" in out and "FAIL" in out
 
 
 @pytest.mark.service

@@ -34,6 +34,8 @@ class TestRunLoad:
         card = report["scenarios"]["deep-tree"]
         assert card["requests"] == 16
         assert card["errors"] == 0
+        assert card["shed"] == 0
+        assert card["deadline_exceeded"] == 0
         assert card["concurrency"] == 2
         assert card["rps"] > 0
         assert 0 < card["p50_ms"] <= card["p95_ms"] <= card["p99_ms"]
@@ -99,6 +101,55 @@ class TestCompareReport:
         failures, warnings = compare_report(report, current)
         assert failures == []
         assert any("RPS dropped" in w for w in warnings)
+
+    def test_shed_rate_over_tolerance_fails(self, report):
+        current = copy.deepcopy(report)
+        current["scenarios"]["deep-tree"]["shed"] = 16  # 50% of attempts
+        failures, _ = compare_report(report, current, shed_tolerance=0.25)
+        assert any("shed" in f for f in failures)
+
+    def test_shed_rate_within_tolerance_warns(self, report):
+        current = copy.deepcopy(report)
+        current["scenarios"]["deep-tree"]["shed"] = 1
+        failures, warnings = compare_report(
+            report, current, shed_tolerance=0.5
+        )
+        assert failures == []
+        assert any("shed" in w for w in warnings)
+
+    def test_zero_tolerance_fails_any_shed(self, report):
+        current = copy.deepcopy(report)
+        current["scenarios"]["deep-tree"]["deadline_exceeded"] = 1
+        failures, _ = compare_report(report, current)
+        assert any("shed" in f for f in failures)
+
+
+class TestOverloadedRun:
+    """run_load against a capacity-limited service: sheds are counted
+    separately from errors, and the closed-loop workers retry 429s with
+    backoff so every request eventually lands."""
+
+    def test_constrained_run_sheds_without_errors(self):
+        report = run_load(
+            scenarios=["deep-tree"], fast=True, requests=24, concurrency=6,
+            record=False, max_concurrency=1, queue_limit=0,
+        )
+        card = report["scenarios"]["deep-tree"]
+        assert report["max_concurrency"] == 1
+        assert report["queue_limit"] == 0
+        assert card["errors"] == 0
+        assert card["requests"] == 24  # retries landed every ticket
+        text = format_scorecard(report)
+        assert "shed" in text and "dl" in text
+
+    def test_deadline_ms_threads_through(self):
+        report = run_load(
+            scenarios=["deep-tree"], fast=True, requests=8, concurrency=2,
+            record=False, deadline_ms=30000,
+        )
+        card = report["scenarios"]["deep-tree"]
+        assert report["deadline_ms"] == 30000
+        assert card["errors"] == 0 and card["deadline_exceeded"] == 0
 
 
 class TestPercentile:

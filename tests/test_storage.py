@@ -246,21 +246,38 @@ class TestDiskstoreHardening:
 
         return dumps_tree(Tree.from_tuple(("a", [("b", ["c"]), "d"])))
 
-    def test_every_truncation_is_a_parse_error(self):
+    def _payload(self, data=None):
+        """The serialized bytes without the 12-byte checksum trailer —
+        structure-corruption tests target the parse layer beneath the
+        CRC check (which would otherwise catch the damage first)."""
+        from repro.storage.diskstore import _TRAILER_LEN
+
+        return (data if data is not None else self._dumped())[:-_TRAILER_LEN]
+
+    def test_every_payload_truncation_is_a_parse_error(self):
         from repro.errors import ParseError
         from repro.storage import loads_tree
 
-        data = self._dumped()
-        for cut in range(len(data)):
+        payload = self._payload()
+        for cut in range(len(payload)):
             with pytest.raises(ParseError):
-                loads_tree(data[:cut])
+                loads_tree(payload[:cut])
+
+    def test_trailer_truncations_still_load_as_legacy(self):
+        # shaving only trailer bytes leaves a well-formed legacy blob —
+        # files written before the trailer existed must keep loading
+        from repro.storage import loads_tree
+
+        data = self._dumped()
+        for cut in range(len(self._payload(data)), len(data)):
+            assert loads_tree(data[:cut]) is not None
 
     def test_bad_magic(self):
         from repro.errors import ParseError
         from repro.storage import loads_tree
 
         with pytest.raises(ParseError, match="magic"):
-            loads_tree(b"NOPE" + self._dumped()[4:])
+            loads_tree(b"NOPE" + self._payload()[4:])
 
     def test_unsupported_version(self):
         import struct
@@ -268,7 +285,7 @@ class TestDiskstoreHardening:
         from repro.errors import ParseError
         from repro.storage import loads_tree
 
-        data = bytearray(self._dumped())
+        data = bytearray(self._payload())
         data[4:8] = struct.pack("<I", 99)
         with pytest.raises(ParseError, match="version"):
             loads_tree(bytes(data))
@@ -277,7 +294,9 @@ class TestDiskstoreHardening:
         from repro.errors import ParseError
         from repro.storage import dumps_tree, loads_tree
 
-        data = bytearray(dumps_tree(Tree.from_tuple(("aaaa", ["bbbb"]))))
+        data = bytearray(
+            self._payload(dumps_tree(Tree.from_tuple(("aaaa", ["bbbb"]))))
+        )
         # corrupt the first label's bytes into invalid UTF-8
         idx = data.index(b"aaaa")
         data[idx:idx + 4] = b"\xff\xfe\xfd\xfc"
@@ -307,3 +326,92 @@ class TestDiskstoreHardening:
         from repro.storage import dumps_tree, loads_tree
 
         assert loads_tree(dumps_tree(t)) == t
+
+
+class TestCrashSafeStore:
+    """The checksum trailer and atomic-write guarantees of dump_tree
+    (docs/ROBUSTNESS.md): torn or bit-flipped files fail typed with the
+    path and offset; pre-trailer files keep loading; a failed write
+    never clobbers the previous version."""
+
+    TREE = Tree.from_tuple(("a", [("b", ["c"]), "d"]))
+
+    def test_dump_carries_a_verifiable_trailer(self):
+        from repro.storage import dumps_tree
+        from repro.storage.diskstore import _TRAILER_LEN, _TRAILER_MAGIC
+
+        data = dumps_tree(self.TREE)
+        assert data[-_TRAILER_LEN:-8] == _TRAILER_MAGIC
+
+    def test_bitflip_raises_checksum_error_with_path_and_offset(self, tmp_path):
+        from repro.errors import StorageError
+        from repro.storage import dump_tree, load_tree
+        from repro.storage.diskstore import _TRAILER_LEN
+
+        path = tmp_path / "doc.rtre"
+        dump_tree(self.TREE, str(path))
+        data = bytearray(path.read_bytes())
+        offset = len(data) - _TRAILER_LEN
+        data[10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError) as err:
+            load_tree(str(path))
+        message = str(err.value)
+        assert "doc.rtre" in message and "checksum" in message
+        assert f"offset {offset}" in message
+
+    def test_legacy_trailerless_file_still_loads(self, tmp_path):
+        from repro.storage import dump_tree, load_tree, verify_store
+        from repro.storage.diskstore import _TRAILER_LEN
+
+        path = tmp_path / "old.rtre"
+        dump_tree(self.TREE, str(path))
+        path.write_bytes(path.read_bytes()[:-_TRAILER_LEN])
+        assert load_tree(str(path)).label == self.TREE.label
+        assert verify_store(str(path))["checksum"] == "legacy"
+
+    def test_verify_store_summary(self, tmp_path):
+        from repro.storage import dump_tree, verify_store
+
+        path = tmp_path / "doc.rtre"
+        size = dump_tree(self.TREE, str(path))
+        summary = verify_store(str(path))
+        assert summary["checksum"] == "ok"
+        assert summary["nodes"] == self.TREE.n
+        assert summary["bytes"] == size
+        assert summary["path"] == str(path)
+
+    def test_failed_replace_keeps_previous_version(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.errors import StorageError
+        from repro.storage import dump_tree, load_tree
+        from repro.trees.tree import Tree as _Tree
+
+        path = tmp_path / "doc.rtre"
+        dump_tree(self.TREE, str(path))
+
+        def explode(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(_os, "replace", explode)
+        with pytest.raises(StorageError, match="doc.rtre"):
+            dump_tree(_Tree.from_tuple(("x", ["y"])), str(path))
+        monkeypatch.undo()
+        assert load_tree(str(path)).label == self.TREE.label
+        assert not (tmp_path / "doc.rtre.tmp").exists()
+
+    def test_corrupted_write_never_replaces_the_destination(self, tmp_path):
+        from repro.errors import StorageError
+        from repro.faults import FaultPlan
+        from repro.storage import dump_tree, load_tree
+        from repro.trees.tree import Tree as _Tree
+
+        path = tmp_path / "doc.rtre"
+        dump_tree(self.TREE, str(path))
+        with FaultPlan(["disk.write:corrupt@nth=1"], seed=3):
+            with pytest.raises(StorageError):
+                dump_tree(_Tree.from_tuple(("x", ["y"])), str(path))
+        # the readback check fired before os.replace: v1 survives
+        assert load_tree(str(path)).label == self.TREE.label
+        assert not (tmp_path / "doc.rtre.tmp").exists()
