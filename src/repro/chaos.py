@@ -122,6 +122,13 @@ _SERVICE_SITES = (
     "service.breaker", "service.drain",
 )
 
+# telemetry sites (trace sampling, the event-log writer) hold a
+# *stricter* contract than the request-path service sites: a tripped
+# fault must leave the response byte-identical to the clean run — even
+# a typed error would mean telemetry failure leaked into a request.
+# The only acceptable footprint is a counted drop.
+_TELEMETRY_SITES = ("obs.sample", "obs.eventlog")
+
 
 # ---------------------------------------------------------------------------
 # scenarios and outcomes
@@ -273,7 +280,7 @@ def generate_scenarios(
         columns = site.startswith("columns.")
         if site in _INGESTION_SITES:
             workloads = [("ingest", site)]
-        elif site in _SERVICE_SITES:
+        elif site in _SERVICE_SITES or site in _TELEMETRY_SITES:
             workloads = [("service", site)]
         elif columns:
             # the site only exists on the columnar backend; the chosen
@@ -299,9 +306,14 @@ def generate_scenarios(
             doc_names = doc_names[:1]
         for fault_kind in kinds:
             spec = f"{site}:{fault_kind}@nth=1"
-            # query.parse trips identically on every doc; service sites
-            # boot a live server per scenario — one doc keeps that cheap
-            single_doc = site == "query.parse" or site in _SERVICE_SITES
+            # query.parse trips identically on every doc; service and
+            # telemetry sites boot a live server per scenario — one doc
+            # keeps that cheap
+            single_doc = (
+                site == "query.parse"
+                or site in _SERVICE_SITES
+                or site in _TELEMETRY_SITES
+            )
             for doc in doc_names[:1] if single_doc else doc_names:
                 for kind, query in workloads:
                     scenarios.append(
@@ -345,6 +357,8 @@ def run_scenario(
     if scenario.kind == "service":
         if scenario.site == "service.drain":
             return _run_drain(scenario, text)
+        if scenario.site in _TELEMETRY_SITES:
+            return _run_telemetry(scenario, text)
         return _run_service(scenario, text, harness=harness)
     return _run_engine(scenario, text)
 
@@ -594,10 +608,10 @@ class ServiceHarness:
     meant for the scenario's request.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, service=None) -> None:
         from repro.service.app import QueryService, make_server
 
-        self.service = QueryService()
+        self.service = service if service is not None else QueryService()
         self.server = make_server(self.service)
         self.port = self.server.server_address[1]
         self.worker = threading.Thread(
@@ -777,6 +791,101 @@ def _run_drain(scenario: ChaosScenario, text: str) -> ChaosOutcome:
         harness.close()
 
 
+def _run_telemetry(scenario: ChaosScenario, text: str) -> ChaosOutcome:
+    """Drive an ``obs.*`` telemetry site — the *strictest* contract in
+    the sweep.
+
+    Request-path service faults may surface as typed errors; telemetry
+    faults may not surface **at all**: the faulted request must return
+    HTTP 200 with an answer byte-identical to the clean twin, and the
+    only permitted footprint is a counted drop (``obs.sample_dropped``
+    for sampler faults, ``eventlog.dropped`` for writer faults).  A
+    typed error here would mean observability failure leaked into a
+    request — scored ``wrong-answer``, a contract violation.
+
+    The driver boots its own harness with tracing fully enabled (an
+    always-on sampler and an event log on a temp file) so both sites
+    are actually reachable: the shared sweep harness runs with
+    ``event_log=None`` and would never exercise ``obs.eventlog``.  The
+    event log is flushed *inside* the armed plan — the write happens on
+    a background thread, and the fault must trip before the plan
+    disarms.
+    """
+    import json
+
+    from repro.obs.events import EventLogWriter
+    from repro.obs.metrics import METRICS
+    from repro.obs.sampling import TraceSampler
+    from repro.service.app import QueryService
+
+    fd, log_path = tempfile.mkstemp(suffix=".jsonl", prefix="repro-chaos-")
+    os.close(fd)
+    event_log = EventLogWriter(log_path, max_bytes=1 << 20)
+    harness = ServiceHarness(
+        service=QueryService(sampler=TraceSampler(), event_log=event_log)
+    )
+    body = json.dumps({"kind": "xpath", "query": "Child+[lab() = b]"})
+
+    def drops() -> int:
+        snapshot = METRICS.snapshot()
+        return (
+            snapshot.get("obs.sample_dropped", 0)
+            + snapshot.get("eventlog.dropped", 0)
+        )
+
+    try:
+        try:
+            store = harness.store_for(scenario.doc, text)
+        except RuntimeError as exc:
+            return ChaosOutcome(scenario, "skipped", str(exc))
+        status, clean = harness.post(store, body)
+        if status != 200:
+            return ChaosOutcome(
+                scenario, "skipped", f"clean request failed: {clean}"
+            )
+        event_log.flush()
+        drops_before = drops()
+        with FaultPlan([scenario.spec], seed=scenario.seed) as plan:
+            try:
+                status, payload = harness.post(store, body)
+            except Exception as exc:  # noqa: BLE001 - the contract check itself
+                return ChaosOutcome(
+                    scenario, "foreign-error", f"{type(exc).__name__}: {exc}",
+                    tripped=bool(plan.trips),
+                )
+            # the obs.eventlog faultpoint fires on the writer thread;
+            # drain it before the plan disarms
+            event_log.flush()
+            tripped = bool(plan.trips)
+        if status != 200 or not isinstance(payload, dict) \
+                or payload.get("answer") != clean["answer"]:
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                f"telemetry fault leaked into the response: "
+                f"HTTP {status} {payload!r} (clean answer {clean['answer']!r})",
+                tripped=tripped,
+            )
+        # latency faults merely stall the telemetry path; every other
+        # kind must be accounted for as a drop
+        if tripped and ":latency" not in scenario.spec and drops() <= drops_before:
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                "telemetry fault tripped but no drop was counted",
+                tripped=True,
+            )
+        return ChaosOutcome(
+            scenario, "recovered" if tripped else "match", tripped=tripped
+        )
+    finally:
+        harness.close()
+        event_log.close()
+        for stale in (log_path, log_path + ".1"):
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+
+
 # ---------------------------------------------------------------------------
 # the sweep and the fallback demos
 # ---------------------------------------------------------------------------
@@ -805,7 +914,11 @@ def chaos_sweep(
     harness: "ServiceHarness | None" = None
     try:
         for scenario in scenarios:
-            if scenario.kind == "service" and scenario.site != "service.drain":
+            if (
+                scenario.kind == "service"
+                and scenario.site != "service.drain"
+                and scenario.site not in _TELEMETRY_SITES
+            ):
                 if harness is None:
                     harness = ServiceHarness()
                 report.outcomes.append(run_scenario(scenario, harness=harness))
@@ -847,9 +960,14 @@ def fallback_demos(seed: int = 0) -> dict[str, ExecutionStats]:
     documents = default_documents()
     demos: dict[str, ExecutionStats] = {}
     for site in registered_sites():
-        # ingestion and HTTP-boundary sites have no engine attempt
-        # chain to demo; the sweep covers them with their own drivers
-        if site in _INGESTION_SITES or site in _SERVICE_SITES:
+        # ingestion, HTTP-boundary and telemetry sites have no engine
+        # attempt chain to demo; the sweep covers them with their own
+        # drivers
+        if (
+            site in _INGESTION_SITES
+            or site in _SERVICE_SITES
+            or site in _TELEMETRY_SITES
+        ):
             continue
         if site.startswith("strategy."):
             kind = _strategy_kind(site)

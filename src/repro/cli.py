@@ -332,6 +332,7 @@ def cmd_store_verify(args) -> int:
 
 def cmd_serve(args) -> int:
     """Boot the threaded HTTP query service (docs/SERVICE.md)."""
+    from repro.obs import EventLogWriter, TraceSampler
     from repro.service import QueryService, serve
 
     if not 0 <= args.port <= 65535:
@@ -351,11 +352,44 @@ def cmd_serve(args) -> int:
         print(f"serve: --drain-s must be >= 0, got {args.drain_s}",
               file=sys.stderr)
         return 2
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print(f"serve: --trace-sample must be in [0, 1], got {args.trace_sample}",
+              file=sys.stderr)
+        return 2
+    if args.slow_ms is not None and args.slow_ms < 0:
+        print(f"serve: --slow-ms must be >= 0, got {args.slow_ms}",
+              file=sys.stderr)
+        return 2
+    if args.event_log_max_bytes < 1024:
+        print(
+            f"serve: --event-log-max-bytes must be >= 1024, got "
+            f"{args.event_log_max_bytes}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace_buffer < 1:
+        print(f"serve: --trace-buffer must be >= 1, got {args.trace_buffer}",
+              file=sys.stderr)
+        return 2
+    sampler = TraceSampler(
+        head_rate=args.trace_sample,
+        slow_ms=args.slow_ms,  # a slow-log threshold is also a tail policy
+        keep_errors=True,
+    )
+    event_log = (
+        EventLogWriter(args.event_log, max_bytes=args.event_log_max_bytes)
+        if args.event_log is not None
+        else None
+    )
     service = QueryService(
         columns=args.columns,
         plan_cache=args.plan_cache,
         max_concurrency=args.max_concurrency,
         queue_limit=args.queue_limit,
+        sampler=sampler,
+        event_log=event_log,
+        slow_ms=args.slow_ms,
+        trace_capacity=args.trace_buffer,
     )
     for spec in args.store or ():
         name, sep, path = spec.partition("=")
@@ -369,13 +403,17 @@ def cmd_serve(args) -> int:
         service.stores.put(name, db, source=path)
         print(f"# store {name!r}: {db.tree.n} nodes from {path}", file=sys.stderr)
     print(f"# serving on http://{args.host}:{args.port}", file=sys.stderr)
-    serve(
-        service,
-        host=args.host,
-        port=args.port,
-        verbose=not args.quiet,
-        drain_s=args.drain_s,
-    )
+    try:
+        serve(
+            service,
+            host=args.host,
+            port=args.port,
+            verbose=not args.quiet,
+            drain_s=args.drain_s,
+        )
+    finally:
+        if event_log is not None:
+            event_log.close()
     return 0
 
 
@@ -461,6 +499,114 @@ def cmd_load(args) -> int:
     elif any(card["errors"] for card in report["scenarios"].values()):
         print("FAIL load run had failed requests", file=sys.stderr)
         return 1
+    return 0
+
+
+def _iter_event_records(path: str):
+    """Records from a JSONL event log, oldest first.
+
+    Reads the rotated generation (``<path>.1``) before the live file,
+    so ``last record wins`` semantics hold across a rotation.  Corrupt
+    lines (a crash mid-write) are skipped, not fatal — the log is
+    telemetry, not a ledger.
+    """
+    import json as _json
+    import os as _os
+
+    found = False
+    for candidate in (path + ".1", path):
+        if not _os.path.exists(candidate):
+            continue
+        found = True
+        with open(candidate, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = _json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+    if not found:
+        raise FileNotFoundError(f"no event log at {path!r} (or {path!r}.1)")
+
+
+def _trace_summary_line(record: dict) -> str:
+    tid = record.get("trace_id", "?")
+    extras = " ".join(
+        f"{key}={record[key]}"
+        for key in ("store", "kind", "strategy", "attempts", "retained_by",
+                    "error_code")
+        if key in record
+    )
+    return (
+        f"{tid:<34} {record.get('route', '?'):<14} "
+        f"{record.get('outcome', '?'):<8} "
+        f"{record.get('duration_ms', 0):>10.3f} ms"
+        + (f"  {extras}" if extras else "")
+    )
+
+
+def cmd_trace_list(args) -> int:
+    """Newest-last listing of event-log records."""
+    if args.limit < 1:
+        print(f"trace list: --limit must be >= 1, got {args.limit}",
+              file=sys.stderr)
+        return 2
+    try:
+        records = list(_iter_event_records(args.log))
+    except FileNotFoundError as exc:
+        print(f"trace list: {exc}", file=sys.stderr)
+        return 2
+    for record in records[-args.limit:]:
+        print(_trace_summary_line(record))
+    print(f"# {len(records)} record(s) in {args.log}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace_show(args) -> int:
+    """One trace: the summary line plus its span-tree waterfall."""
+    from repro.obs import render_pretty, span_from_dict
+
+    try:
+        records = list(_iter_event_records(args.log))
+    except FileNotFoundError as exc:
+        print(f"trace show: {exc}", file=sys.stderr)
+        return 2
+    matches = [r for r in records if r.get("trace_id") == args.id]
+    if not matches:
+        print(f"trace show: no record with trace id {args.id!r} in {args.log}",
+              file=sys.stderr)
+        return 1
+    record = matches[-1]  # a client-reused id: latest occurrence wins
+    print(_trace_summary_line(record))
+    spans = record.get("spans")
+    if spans:
+        print(render_pretty(span_from_dict(spans)))
+    else:
+        print("# no span tree retained for this trace (not sampled)",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_trace_top(args) -> int:
+    """The N slowest requests in the event log, slowest first."""
+    if args.slowest < 1:
+        print(f"trace top: --slowest must be >= 1, got {args.slowest}",
+              file=sys.stderr)
+        return 2
+    try:
+        records = list(_iter_event_records(args.log))
+    except FileNotFoundError as exc:
+        print(f"trace top: {exc}", file=sys.stderr)
+        return 2
+    ranked = sorted(
+        records, key=lambda r: r.get("duration_ms", 0.0), reverse=True
+    )
+    for record in ranked[: args.slowest]:
+        print(_trace_summary_line(record))
     return 0
 
 
@@ -651,7 +797,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission queue depth before shedding (default 16)")
     p.add_argument("--drain-s", type=float, default=5.0, metavar="S",
                    help="SIGTERM graceful-drain window in seconds (default 5)")
+    p.add_argument("--trace-sample", type=float, default=1.0, metavar="F",
+                   help="head-sample this fraction of request traces "
+                        "(default 1.0; errors are always kept)")
+    p.add_argument("--slow-ms", type=float, default=None, metavar="N",
+                   help="log (and always retain the trace of) requests "
+                        "at least this slow")
+    p.add_argument("--event-log", default=None, metavar="FILE",
+                   help="append one JSONL record per request to FILE "
+                        "(size-rotated; see repro trace)")
+    p.add_argument("--event-log-max-bytes", type=int,
+                   default=16 * 1024 * 1024, metavar="N",
+                   help="rotate the event log past this size (default 16 MiB)")
+    p.add_argument("--trace-buffer", type=int, default=256, metavar="N",
+                   help="in-memory retained-trace ring capacity behind "
+                        "/debug/traces (default 256)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect request traces from an event-log JSONL file",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    t = trace_sub.add_parser("list", help="list event-log records, newest last")
+    t.add_argument("--log", required=True, metavar="FILE",
+                   help="event-log JSONL file (the serve --event-log path)")
+    t.add_argument("--limit", type=int, default=50, metavar="N",
+                   help="show at most the newest N records (default 50)")
+    t.set_defaults(func=cmd_trace_list)
+    t = trace_sub.add_parser(
+        "show", help="one trace: summary plus its span-tree waterfall"
+    )
+    t.add_argument("id", metavar="TRACE_ID")
+    t.add_argument("--log", required=True, metavar="FILE",
+                   help="event-log JSONL file to search")
+    t.set_defaults(func=cmd_trace_show)
+    t = trace_sub.add_parser("top", help="the slowest requests on record")
+    t.add_argument("--log", required=True, metavar="FILE",
+                   help="event-log JSONL file to rank")
+    t.add_argument("--slowest", type=int, default=10, metavar="N",
+                   help="how many to show (default 10)")
+    t.set_defaults(func=cmd_trace_top)
 
     p = sub.add_parser(
         "load", help="replay the load scenarios; print an RPS/P50/P95/P99 scorecard"

@@ -58,7 +58,7 @@ from repro.errors import (
 )
 from repro.faults import active_plan, faultpoint, register_site
 from repro.obs.budget import ResourceBudget
-from repro.obs.context import Observation, observed
+from repro.obs.context import Observation, current, observed
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import Tracer
 from repro.trees.tree import Tree
@@ -445,12 +445,19 @@ class Database:
         if retries < 0:
             raise QueryError("retries must be >= 0")
         text = query if isinstance(query, str) else str(query)
+        # the ambient tracing gate: one ContextVar read + an attribute
+        # check (pinned near-zero by benchmarks/bench_tracing.py).  A
+        # request whose sampler decided to record spans carries a tracer
+        # on the active Observation; this call must execute supervised
+        # so its spans land in the request's trace.
+        ambient = current()
         if (
             trace
             or deadline is not None
             or max_visited is not None
             or retries
             or on_error != "raise"
+            or (ambient is not None and ambient.tracer is not None)
         ):
             return self._execute_supervised(
                 kind, text, query, strategy, query_pred,
@@ -484,6 +491,7 @@ class Database:
             index_hits=index.hits - hits_before,
             nodes_streamed=index.nodes_streamed - streamed_before,
             faults=_tripped_since(plan_active, trips_before),
+            trace_id=ambient.trace_id if ambient is not None else None,
         )
         self.history.append(stats)
         return Result(answer, stats)
@@ -525,8 +533,17 @@ class Database:
         inapplicable explicit strategy) always propagates — no policy
         can repair a caller error.
         """
-        tracer = Tracer() if trace else None
-        obs = Observation(tracer=tracer)
+        # inherit the request's tracer and trace id when this call runs
+        # under an observed context (the service middleware path): the
+        # engine's spans then nest under the open request root instead
+        # of starting a disconnected tree
+        parent = current()
+        if parent is not None and parent.tracer is not None:
+            tracer = parent.tracer
+        else:
+            tracer = Tracer() if trace else None
+        trace_id = parent.trace_id if parent is not None else None
+        obs = Observation(tracer=tracer, trace_id=trace_id)
         plan_active = active_plan()
         trips_before = len(plan_active.trips) if plan_active is not None else 0
         may_fall_back = strategy in ("auto", None)
@@ -557,7 +574,7 @@ class Database:
             raise exc
 
         with observed(obs):
-            with obs.span("query:" + kind, query=text):
+            with obs.span("query:" + kind, query=text) as qspan:
                 # ---- setup: parse, index, plan (transients retryable) ----
                 setup_tries = 0
                 while True:
@@ -591,6 +608,7 @@ class Database:
                                 "(setup)",
                                 "transient" if transient else "error",
                                 f"{type(exc).__name__}: {exc}",
+                                trace_id=obs.trace_id,
                             )
                         )
                         causes.append(exc)
@@ -632,6 +650,7 @@ class Database:
                                     Attempt(
                                         plan.strategy, "ok", None,
                                         time.perf_counter() - attempt_start,
+                                        trace_id=obs.trace_id,
                                     )
                                 )
                                 final_plan = plan
@@ -643,6 +662,7 @@ class Database:
                                     Attempt(
                                         plan.strategy, "budget", str(exc),
                                         time.perf_counter() - attempt_start,
+                                        trace_id=obs.trace_id,
                                     )
                                 )
                                 causes.append(exc)
@@ -663,6 +683,7 @@ class Database:
                                         "transient" if transient else "error",
                                         f"{type(exc).__name__}: {exc}",
                                         time.perf_counter() - attempt_start,
+                                        trace_id=obs.trace_id,
                                     )
                                 )
                                 causes.append(exc)
@@ -704,8 +725,12 @@ class Database:
         # per-strategy latency stays queryable after the call is gone
         METRICS.observe_duration("query." + kind, elapsed)
         METRICS.observe_duration("strategy." + final_plan.strategy, elapsed)
-        if tracer is not None and tracer.root is not None:
-            for span in tracer.root.iter_spans():
+        # fold this call's own span subtree (``qspan``), not
+        # ``tracer.root``: with an inherited tracer the root is the
+        # still-open request span — folding it would double-count spans
+        # of earlier calls in the same request (e.g. a batch)
+        if qspan is not None:
+            for span in qspan.iter_spans():
                 METRICS.observe_duration("span." + span.name, span.duration_s)
         stats = ExecutionStats(
             kind=kind,
@@ -722,11 +747,12 @@ class Database:
                 else 0
             ),
             counters=dict(obs.counters),
-            trace=tracer.root if tracer is not None else None,
+            trace=qspan,
             fallback_from=tuple(fallback_from),
             attempts=tuple(attempts),
             faults=_tripped_since(plan_active, trips_before),
             degraded=degraded,
+            trace_id=obs.trace_id,
         )
         self.history.append(stats)
         return Result(answer, stats)

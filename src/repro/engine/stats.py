@@ -36,6 +36,8 @@ class Attempt:
     outcome: str  # "ok" | "transient" | "error" | "budget"
     error: "str | None" = None
     elapsed_s: float = 0.0
+    #: the request trace id active when the attempt ran (service path)
+    trace_id: "str | None" = None
 
     def __str__(self) -> str:
         detail = f": {self.error}" if self.error else ""
@@ -74,6 +76,9 @@ class ExecutionStats:
     #: True when ``on_error="partial"`` degraded the call to an empty
     #: answer after every strategy failed
     degraded: bool = False
+    #: the request trace id this call executed under, when one was
+    #: active (set by the service middleware; None for direct calls)
+    trace_id: "str | None" = None
 
     @property
     def elapsed_ms(self) -> float:

@@ -60,8 +60,6 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from repro.errors import InjectedFault, QueryError, TransientError
-from repro.obs.context import current as _obs_current
-from repro.obs.metrics import METRICS
 
 __all__ = [
     "FAULT_KINDS",
@@ -323,6 +321,13 @@ class FaultPlan:
         )
 
     def _record(self, site: str, kind: str, count: int) -> None:
+        # imported here, not at module level: instrumented modules under
+        # repro.obs (sampling, the event log) are themselves fault sites
+        # and import this module, so a top-level obs import would be a
+        # cycle.  Only armed trips pay the (cached) import lookup.
+        from repro.obs.context import current as _obs_current
+        from repro.obs.metrics import METRICS
+
         self.trips.append(FaultTrip(site, kind, count))
         METRICS.add("fault.trips")
         METRICS.add(f"fault.{site}")

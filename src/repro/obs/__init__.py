@@ -17,18 +17,24 @@ The instrumentation contract, in one line::
 
 from repro.errors import ResourceBudgetExceeded
 from repro.obs.budget import ResourceBudget
-from repro.obs.context import Observation, current, observed
+from repro.obs.context import Observation, current, current_trace_id, observed
+from repro.obs.events import EVENT_SCHEMA, EventLogWriter, TraceBuffer
 from repro.obs.export import (
+    lint_openmetrics,
     render_openmetrics,
     render_pretty,
+    span_from_dict,
     trace_json,
     trace_to_dict,
     write_trace,
 )
 from repro.obs.metrics import METRICS, DurationHistogram, MetricsRegistry
+from repro.obs.sampling import TraceSampler, head_decision, new_trace_id
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
+    "EVENT_SCHEMA",
+    "EventLogWriter",
     "METRICS",
     "DurationHistogram",
     "MetricsRegistry",
@@ -36,11 +42,18 @@ __all__ = [
     "ResourceBudget",
     "ResourceBudgetExceeded",
     "Span",
+    "TraceBuffer",
+    "TraceSampler",
     "Tracer",
     "current",
+    "current_trace_id",
+    "head_decision",
+    "lint_openmetrics",
+    "new_trace_id",
     "observed",
     "render_openmetrics",
     "render_pretty",
+    "span_from_dict",
     "trace_json",
     "trace_to_dict",
     "write_trace",

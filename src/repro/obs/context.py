@@ -39,7 +39,7 @@ from typing import Any, Iterator
 from repro.obs.budget import ResourceBudget
 from repro.obs.tracer import Span, Tracer
 
-__all__ = ["Observation", "current", "observed"]
+__all__ = ["Observation", "current", "current_trace_id", "observed"]
 
 # one shared, reentrant no-op context manager for span() without a tracer
 _NULL_SPAN = nullcontext()
@@ -53,20 +53,48 @@ def current() -> "Observation | None":
     return _active.get()
 
 
-class Observation:
-    """Tracing + governance state for one engine call."""
+def current_trace_id() -> "str | None":
+    """The trace id of the active observation context, if any.
 
-    __slots__ = ("tracer", "budget", "counters")
+    The service's per-request middleware stamps its trace id on the
+    request's Observation; every engine call, attempt record and error
+    payload produced under it reads the id back through this one
+    function — the whole correlation story is this ContextVar hop.
+    """
+    ctx = _active.get()
+    return ctx.trace_id if ctx is not None else None
+
+
+class Observation:
+    """Tracing + governance state for one engine call (or one service
+    request — the middleware wraps each request in its own Observation,
+    carrying the request's trace id for everything nested under it)."""
+
+    __slots__ = ("tracer", "budget", "counters", "trace_id", "meta")
 
     def __init__(
         self,
         tracer: "Tracer | None" = None,
         budget: "ResourceBudget | None" = None,
+        trace_id: "str | None" = None,
     ):
         self.tracer = tracer
         self.budget = budget
+        #: the request-scoped trace id, if one was issued (service path)
+        self.trace_id = trace_id
+        #: request-level annotations (store, kind, strategy) the service
+        #: folds into the event-log record; None until first annotate()
+        self.meta: "dict[str, Any] | None" = None
         #: flat counter totals for the whole call (all attempts)
         self.counters: dict[str, int] = {}
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach event-log fields (store, kind, strategy, ...) to this
+        context; later values win.  Lazy dict: unannotated contexts
+        never pay the allocation."""
+        if self.meta is None:
+            self.meta = {}
+        self.meta.update(fields)
 
     # -- spans -------------------------------------------------------------
 

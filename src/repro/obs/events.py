@@ -1,0 +1,257 @@
+"""The structured event log and the recent-trace ring buffer.
+
+One record per request — trace id, route, store, strategy, attempt
+count, outcome, duration, and (when the sampler retained it) the whole
+span tree — appended as one JSON line to a size-rotated file.  The
+schema is ``repro.obs.event/1``; ``repro trace top``/``list``/``show``
+read these files back, and the ``service-smoke`` CI job uploads them as
+a build artifact.
+
+Two invariants shape the implementation:
+
+- **The request path never blocks on telemetry.**
+  :meth:`EventLogWriter.submit` puts the record on a bounded queue and
+  returns; a dedicated background thread drains it.  When the queue is
+  full (a stalled disk, a flood of requests) the record is **dropped
+  and counted** (``eventlog.dropped`` in :data:`repro.obs.metrics.METRICS`)
+  — backpressure turns into visible data loss, never into latency.
+- **Telemetry failure never fails a request.**  The write itself is the
+  ``obs.eventlog`` fault-injection site; any exception there (injected
+  or real — a full disk, a permission flip) is swallowed into the same
+  drop counter.  The chaos sweep's telemetry driver proves faulted
+  telemetry leaves answers byte-identical.
+
+:class:`TraceBuffer` is the in-memory sibling: a fixed-capacity ring of
+the most recent retained traces behind ``GET /debug/traces`` — the
+"what just happened" view that needs no file at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+from typing import Any
+
+from repro.faults import faultpoint, register_site
+from repro.obs.metrics import METRICS
+
+__all__ = ["EVENT_SCHEMA", "EventLogWriter", "TraceBuffer"]
+
+EVENT_SCHEMA = "repro.obs.event/1"
+
+register_site("obs.eventlog", "background event-log write")
+
+#: sentinel the writer thread interprets as "flush and exit"
+_STOP = object()
+
+
+class EventLogWriter:
+    """Bounded, non-blocking JSONL appender with size rotation.
+
+    ::
+
+        writer = EventLogWriter("events.jsonl", max_bytes=1 << 20)
+        writer.submit({"trace_id": ..., "route": ..., ...})   # never blocks
+        ...
+        writer.close()
+
+    ``queue_size`` bounds the in-flight backlog; a full queue drops the
+    new record (count in :meth:`stats` and ``METRICS``).  When the file
+    would exceed ``max_bytes`` it is rotated to ``<path>.1`` (one
+    backup generation, the previous ``.1`` is replaced), so the pair
+    never holds more than ~2× ``max_bytes``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 16 * 1024 * 1024,
+        queue_size: int = 1024,
+    ):
+        if max_bytes < 1024:
+            raise ValueError(f"max_bytes must be >= 1024, got {max_bytes}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.path = path
+        self.max_bytes = int(max_bytes)
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
+        self._lock = threading.Lock()  # guards the counters below
+        self._submitted = 0
+        self._written = 0
+        self._dropped = 0
+        self._rotations = 0
+        self._closed = False
+        self._fh = None
+        self._size = 0
+        self._worker = threading.Thread(
+            target=self._drain, name="repro-eventlog", daemon=True
+        )
+        self._worker.start()
+
+    # -- the request-path side (never blocks) ------------------------------
+
+    def submit(self, record: "dict[str, Any]") -> bool:
+        """Enqueue one record; True if accepted, False if dropped.
+
+        Safe from any thread.  Never blocks, never raises: a full
+        queue or a closed writer turns into a counted drop.
+        """
+        with self._lock:
+            self._submitted += 1
+            if self._closed:
+                self._dropped += 1
+                METRICS.add("eventlog.dropped")
+                return False
+        try:
+            self._queue.put_nowait(record)
+            return True
+        except queue.Full:
+            with self._lock:
+                self._dropped += 1
+            METRICS.add("eventlog.dropped")
+            return False
+
+    def stats(self) -> "dict[str, int]":
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "written": self._written,
+                "dropped": self._dropped,
+                "rotations": self._rotations,
+                "queued": self._queue.qsize(),
+            }
+
+    # -- the background side -----------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._close_file()
+                return
+            self._write_one(item)
+
+    def _write_one(self, record: "dict[str, Any]") -> None:
+        try:
+            # the telemetry fault boundary: an injected error/transient
+            # here (or a real disk failure below) must degrade to a
+            # counted drop, never escape this thread or touch a request
+            faultpoint("obs.eventlog", record)
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            encoded = line.encode("utf-8") + b"\n"
+            if self._fh is None:
+                self._open_file()
+            if self._size + len(encoded) > self.max_bytes and self._size > 0:
+                self._rotate()
+            self._fh.write(encoded)
+            self._fh.flush()
+            self._size += len(encoded)
+            with self._lock:
+                self._written += 1
+        except Exception:
+            with self._lock:
+                self._dropped += 1
+            METRICS.add("eventlog.dropped")
+            try:  # a failed write may leave a wedged handle: reopen lazily
+                self._close_file()
+            except Exception:
+                pass
+
+    def _open_file(self) -> None:
+        self._fh = open(self.path, "ab")
+        self._size = self._fh.tell()
+
+    def _close_file(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            fh.close()
+
+    def _rotate(self) -> None:
+        self._close_file()
+        os.replace(self.path, self.path + ".1")
+        with self._lock:
+            self._rotations += 1
+        self._open_file()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Best-effort wait for the backlog to hit disk (tests only).
+
+        Waits for full accounting — every submitted record written or
+        dropped — not just an empty queue, since ``qsize() == 0`` can be
+        observed while the last record is still mid-write."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                done = (
+                    self._written + self._dropped >= self._submitted
+                    and self._queue.qsize() == 0
+                )
+            if done:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting records, flush the backlog, join the thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_STOP)  # unbounded block is fine: capacity >= 1 slot
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TraceBuffer:
+    """A fixed-capacity ring of the most recent retained trace records.
+
+    Records are the same dicts the event log writes (``EVENT_SCHEMA``).
+    Lookup is by trace id; listing returns newest-first summaries.  All
+    operations are lock-guarded — the service appends from worker
+    threads while ``/debug/traces`` reads from others.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._records: "list[dict[str, Any]]" = []
+        self._lock = threading.Lock()
+
+    def add(self, record: "dict[str, Any]") -> None:
+        with self._lock:
+            self._records.append(record)
+            if len(self._records) > self.capacity:
+                del self._records[: len(self._records) - self.capacity]
+
+    def get(self, trace_id: str) -> "dict[str, Any] | None":
+        with self._lock:
+            for record in reversed(self._records):
+                if record.get("trace_id") == trace_id:
+                    return dict(record)
+        return None
+
+    def list(self, limit: int = 50) -> "list[dict[str, Any]]":
+        """Newest-first summaries (no span trees — those stay behind
+        the per-id lookup, so the listing is small)."""
+        with self._lock:
+            recent = self._records[-max(limit, 0):][::-1]
+        return [
+            {k: v for k, v in record.items() if k != "spans"}
+            for record in recent
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

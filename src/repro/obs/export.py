@@ -14,6 +14,8 @@ processes (the benchmark-run sibling is
 from __future__ import annotations
 
 import json
+import math
+import re
 from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
@@ -22,15 +24,38 @@ from repro.obs.tracer import Span
 __all__ = [
     "trace_to_dict",
     "trace_json",
+    "span_from_dict",
     "write_trace",
     "render_pretty",
     "render_openmetrics",
+    "lint_openmetrics",
 ]
 
 
 def trace_to_dict(span: Span) -> dict[str, Any]:
     """The JSON-serializable view of a span tree."""
     return span.to_dict()
+
+
+def span_from_dict(payload: "dict[str, Any]") -> Span:
+    """Rebuild a span tree from its :meth:`Span.to_dict` form.
+
+    The JSON form keeps only durations, not absolute clock readings, so
+    the rebuilt tree is anchored at zero (``start_s=0``, ``end_s`` the
+    recorded duration) — exactly enough for :func:`render_pretty`
+    waterfalls and counter inspection, which is what ``repro trace
+    show`` and ``GET /debug/traces/<id>`` need.
+    """
+    if not isinstance(payload, dict) or "name" not in payload:
+        raise ValueError(f"not a span document: {payload!r}")
+    span = Span(str(payload["name"]), dict(payload.get("meta") or {}))
+    span.start_s = 0.0
+    span.end_s = float(payload.get("duration_ms", 0.0)) / 1e3
+    span.counters = {
+        str(k): int(v) for k, v in (payload.get("counters") or {}).items()
+    }
+    span.children = [span_from_dict(c) for c in payload.get("children") or []]
+    return span
 
 
 def trace_json(span: Span, indent: "int | None" = 2) -> str:
@@ -77,10 +102,16 @@ def _om_escape(value: str) -> str:
 def render_openmetrics(registry: MetricsRegistry) -> str:
     """The registry in OpenMetrics text format.
 
-    Counters become ``repro_counter_total{name="..."}`` samples;
-    duration histograms become a summary family
-    ``repro_duration_seconds`` with p50/p90/p99 quantile samples plus
-    the ``_count``/``_sum`` pair per name.
+    Counters become ``repro_counter_total{name="..."}`` samples.
+    Duration histograms are exposed twice:
+
+    - ``repro_duration_seconds`` — a native **histogram** family with
+      cumulative ``_bucket{...,le="..."}`` samples (terminated by the
+      mandatory ``le="+Inf"`` bucket) plus ``_count``/``_sum``, so
+      external scrapers can aggregate latency distributions across
+      processes (bucket counts add; pre-computed quantiles don't).
+    - ``repro_duration_quantiles`` — the process-local p50/p90/p99
+      estimates as a **summary** family, for humans reading the page.
     """
     lines: list[str] = []
     lines.append("# TYPE repro_queries_observed counter")
@@ -88,15 +119,138 @@ def render_openmetrics(registry: MetricsRegistry) -> str:
     lines.append("# TYPE repro_counter counter")
     for name, total in registry.snapshot().items():
         lines.append(f'repro_counter_total{{name="{_om_escape(name)}"}} {total}')
-    lines.append("# TYPE repro_duration_seconds summary")
-    for name, summary in registry.durations().items():
+    summaries = registry.durations()
+    lines.append("# TYPE repro_duration_seconds histogram")
+    for name, summary in summaries.items():
         label = f'name="{_om_escape(name)}"'
-        for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+        hist = registry.duration(name)
+        buckets = hist.buckets() if hist is not None else []
+        for bound, cumulative in buckets:
+            le = "+Inf" if math.isinf(bound) else f"{bound:.9g}"
             lines.append(
-                f'repro_duration_seconds{{{label},quantile="{quantile}"}} '
-                f"{summary[key]:.9g}"
+                f'repro_duration_seconds_bucket{{{label},le="{le}"}} {cumulative}'
+            )
+        if not buckets or not math.isinf(buckets[-1][0]):
+            lines.append(
+                f'repro_duration_seconds_bucket{{{label},le="+Inf"}} '
+                f"{summary['count']}"
             )
         lines.append(f"repro_duration_seconds_count{{{label}}} {summary['count']}")
         lines.append(f"repro_duration_seconds_sum{{{label}}} {summary['sum']:.9g}")
+    lines.append("# TYPE repro_duration_quantiles summary")
+    for name, summary in summaries.items():
+        label = f'name="{_om_escape(name)}"'
+        for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            lines.append(
+                f'repro_duration_quantiles{{{label},quantile="{quantile}"}} '
+                f"{summary[key]:.9g}"
+            )
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+# one sample line: name, optional {labels}, a float value (no timestamp
+# — the exposition never emits one), nothing trailing
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"'
+)
+
+
+def _parse_labels(raw: str) -> "dict[str, str] | None":
+    """Label pairs from the text between braces; None when malformed
+    (unescaped quote, bad key, stray characters)."""
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_RE.match(raw, pos)
+        if match is None:
+            return None
+        labels[match.group("key")] = match.group("value")
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                return None
+            pos += 1
+    return labels
+
+
+def lint_openmetrics(text: str) -> "list[str]":
+    """Problems found in an OpenMetrics exposition; empty means clean.
+
+    The checks a scraper would trip on first: a missing (or
+    non-terminal) ``# EOF``, malformed sample lines, broken label
+    escaping, unparseable values, histogram bucket counts that are not
+    monotone in ``le`` order, and a final ``+Inf`` bucket disagreeing
+    with the series ``_count``.  This is what the CI scrape-lint step
+    (and ``tests/test_tracing.py``) runs against ``GET /metrics``.
+    """
+    problems: list[str] = []
+    if not text.endswith("# EOF\n"):
+        problems.append("exposition does not end with '# EOF\\n'")
+    lines = text.splitlines()
+    if "# EOF" in lines[:-1]:
+        problems.append("'# EOF' appears before the final line")
+    # (series name, frozenset of non-le labels) -> [(le, count), ...]
+    buckets: dict[tuple, list[tuple[float, int]]] = {}
+    counts: dict[tuple, float] = {}
+    for n, line in enumerate(lines, 1):
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {n}: malformed sample {line!r}")
+            continue
+        labels_raw = match.group("labels")
+        labels = _parse_labels(labels_raw) if labels_raw is not None else {}
+        if labels is None:
+            problems.append(f"line {n}: malformed labels {labels_raw!r}")
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {n}: unparseable value {match.group('value')!r}"
+            )
+            continue
+        name = match.group("name")
+        series = frozenset(
+            (k, v) for k, v in labels.items() if k != "le"
+        )
+        if name.endswith("_bucket") and "le" in labels:
+            le_raw = labels["le"]
+            le = math.inf if le_raw == "+Inf" else None
+            if le is None:
+                try:
+                    le = float(le_raw)
+                except ValueError:
+                    problems.append(f"line {n}: unparseable le {le_raw!r}")
+                    continue
+            buckets.setdefault((name[: -len("_bucket")], series), []).append(
+                (le, int(value))
+            )
+        elif name.endswith("_count"):
+            counts[(name[: -len("_count")], series)] = value
+    for (family, series), pairs in buckets.items():
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(series))
+        in_order = sorted(pairs)  # judge monotonicity in le order
+        cumulative = [c for _, c in in_order]
+        if any(prev > nxt for prev, nxt in zip(cumulative, cumulative[1:])):
+            problems.append(
+                f"{family}{{{label_text}}}: bucket counts not monotone: "
+                f"{cumulative}"
+            )
+        if not in_order or not math.isinf(in_order[-1][0]):
+            problems.append(f"{family}{{{label_text}}}: no le=\"+Inf\" bucket")
+        else:
+            total = counts.get((family, series))
+            if total is not None and in_order[-1][1] != total:
+                problems.append(
+                    f"{family}{{{label_text}}}: +Inf bucket "
+                    f"{in_order[-1][1]} != _count {total:g}"
+                )
+    return problems

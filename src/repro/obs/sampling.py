@@ -1,0 +1,158 @@
+"""Trace identity and sampling policies (docs/OBSERVABILITY.md).
+
+Every request through the query service gets a **trace id** — accepted
+from the client via the ``X-Repro-Trace`` header or generated here —
+that rides the :class:`~repro.obs.context.Observation` ContextVar into
+every engine span, supervisor attempt and error payload produced on the
+request's behalf.  Whether the request's *span tree* is retained (ring
+buffer, event log) is the :class:`TraceSampler`'s call, made from three
+composable policies:
+
+- **head sampling** — keep a ``head_rate`` fraction of requests.  The
+  decision is a pure function of the trace id (top 8 hex digits against
+  a threshold, the TraceIdRatioBased construction), so every process
+  observing the same distributed trace id reaches the same verdict and
+  a client-supplied id makes the retention decision reproducible.
+- **tail sampling** — keep any request slower than ``slow_ms``,
+  regardless of the head draw.  Tail retention needs the span tree to
+  already exist when the latency is known, so a tail-enabled sampler
+  records **all** requests and discards the unlucky ones at the end
+  (record-all, retain-sampled).
+- **always-on-error** — keep any request that failed, same mechanics
+  as tail sampling.
+
+The cost contract mirrors :func:`repro.faults.faultpoint`: the per-call
+engine gate is one ContextVar read plus an attribute check, and
+:func:`TraceSampler.head_decision` is a string slice and an integer
+compare — both pinned under the faultpoint-style near-zero ceiling by
+``benchmarks/bench_tracing.py``.
+
+``obs.sample`` is a registered fault-injection site: a fault tripped in
+the sampling decision must never fail the request — the service
+swallows it and degrades to "not sampled" with a counted drop
+(``tests/test_tracing.py``, the chaos telemetry driver).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.faults import register_site
+
+__all__ = ["TraceSampler", "head_decision", "new_trace_id"]
+
+register_site("obs.sample", "trace retention sampling decision")
+
+#: head_decision keeps ids whose top-32-bit value falls under
+#: rate * 2^32; 8 hex digits carry exactly those 32 bits
+_HEAD_SPACE = 1 << 32
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex digits.
+
+    ``os.urandom`` rather than ``random``: ids must stay unique across
+    the service's worker threads and across processes without any
+    shared state, and must not perturb seeded RNG streams (the fault
+    plans and workload generators own those).
+    """
+    return os.urandom(16).hex()
+
+
+def head_decision(trace_id: str, rate: float) -> bool:
+    """The deterministic head-sampling verdict for one trace id.
+
+    A pure function of (id, rate): the same id sampled at the same rate
+    always lands the same way, in any process.  Malformed ids hash to a
+    verdict instead of raising — sampling must never fail a request.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    try:
+        draw = int(trace_id[:8], 16)
+    except (ValueError, TypeError):
+        draw = hash(trace_id) & 0xFFFFFFFF
+    return draw < int(rate * _HEAD_SPACE)
+
+
+class TraceSampler:
+    """Composable retention policy: head rate, tail latency, errors.
+
+    ``head_rate`` — fraction of requests whose traces are kept
+    unconditionally (1.0 keeps everything, 0.0 nothing).
+    ``slow_ms`` — keep any request at least this slow (None disables).
+    ``keep_errors`` — keep any failed request.
+
+    :meth:`record` says whether a request should carry a tracer at all
+    (cheap to answer up front); :meth:`retain` makes the final keep
+    decision once the outcome and latency are known.
+    """
+
+    __slots__ = ("head_rate", "slow_ms", "keep_errors")
+
+    def __init__(
+        self,
+        head_rate: float = 1.0,
+        slow_ms: "float | None" = None,
+        keep_errors: bool = True,
+    ):
+        if not 0.0 <= head_rate <= 1.0:
+            raise ValueError(f"head_rate must be in [0, 1], got {head_rate}")
+        if slow_ms is not None and slow_ms < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
+        self.head_rate = float(head_rate)
+        self.slow_ms = slow_ms
+        self.keep_errors = bool(keep_errors)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any policy can ever retain a trace."""
+        return (
+            self.head_rate > 0.0
+            or self.slow_ms is not None
+            or self.keep_errors
+        )
+
+    def record(self, trace_id: str) -> bool:
+        """Whether this request should record spans at all.
+
+        Tail and error retention only know their verdict *after* the
+        request, so either policy forces record-all; with head sampling
+        alone the head draw already settles retention and unlucky
+        requests skip span recording entirely.
+        """
+        if self.slow_ms is not None or self.keep_errors:
+            return True
+        return head_decision(trace_id, self.head_rate)
+
+    def retain(
+        self, trace_id: str, duration_s: float, failed: bool
+    ) -> "str | None":
+        """The final keep decision; returns the winning policy or None.
+
+        Policies compose as a union, checked cheapest-story-first:
+        errors, then the tail threshold, then the head draw.
+        """
+        if failed and self.keep_errors:
+            return "error"
+        if self.slow_ms is not None and duration_s * 1e3 >= self.slow_ms:
+            return "slow"
+        if head_decision(trace_id, self.head_rate):
+            return "head"
+        return None
+
+    def describe(self) -> dict:
+        """The policy configuration, for /debug/traces and the docs."""
+        return {
+            "head_rate": self.head_rate,
+            "slow_ms": self.slow_ms,
+            "keep_errors": self.keep_errors,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceSampler(head_rate={self.head_rate}, "
+            f"slow_ms={self.slow_ms}, keep_errors={self.keep_errors})"
+        )

@@ -31,6 +31,7 @@ errors rather than wrong answers.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -41,12 +42,17 @@ from urllib.parse import parse_qs, urlsplit
 from repro.engine import Database
 from repro.errors import ReproError
 from repro.faults import faultpoint, register_site
-from repro.obs.context import Observation, observed
+from repro.obs.context import Observation, current, observed
+from repro.obs.events import EVENT_SCHEMA, EventLogWriter, TraceBuffer
+from repro.obs.export import trace_to_dict
 from repro.obs.metrics import METRICS
+from repro.obs.sampling import TraceSampler, new_trace_id
+from repro.obs.tracer import Tracer
 from repro.service.protocol import (
     ServiceError,
     encode_answer,
     error_payload,
+    error_status,
     stats_payload,
     validate_query_request,
 )
@@ -80,6 +86,24 @@ MAX_BATCH = 1024
 _NAME_OK = frozenset(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
 )
+
+#: characters a client-supplied ``X-Repro-Trace`` id may use; anything
+#: else (or an unreasonable length) is ignored and a fresh id issued —
+#: the id is echoed in response headers, so it must never carry CR/LF
+#: or other header-splitting material
+_TRACE_ID_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+)
+
+
+def _clean_trace_id(raw: "str | None") -> "str | None":
+    """A client trace id, or None when absent/unusable."""
+    if not raw:
+        return None
+    raw = raw.strip()
+    if not 8 <= len(raw) <= 128 or not set(raw) <= _TRACE_ID_OK:
+        return None
+    return raw
 
 
 def _check_store_name(name: str) -> str:
@@ -189,6 +213,10 @@ class QueryService:
         breaker_threshold: int = 5,
         breaker_cooldown_s: float = 5.0,
         breaker_seed: int = 0,
+        sampler: "TraceSampler | None" = None,
+        event_log: "EventLogWriter | None" = None,
+        slow_ms: "float | None" = None,
+        trace_capacity: int = 256,
     ):
         self.stores = stores if stores is not None else StoreRegistry()
         self.default_columns = columns
@@ -202,32 +230,65 @@ class QueryService:
             cooldown_s=breaker_cooldown_s,
             seed=breaker_seed,
         )
+        #: retention policy for request traces (head/tail/error sampling)
+        self.sampler = sampler if sampler is not None else TraceSampler()
+        #: most recent retained traces, behind GET /debug/traces
+        self.traces = TraceBuffer(trace_capacity)
+        #: optional JSONL event log (one record per request)
+        self.event_log = event_log
+        #: log requests at least this slow to stderr (None disables)
+        self.slow_ms = slow_ms
 
     # -- middleware --------------------------------------------------------
 
     @contextmanager
-    def observe(self, route: str):
+    def observe(self, route: str, trace_id: "str | None" = None):
         """Per-request observability: a fresh Observation context for
         the request thread, latency folded into ``service.request`` and
         ``service.<route>`` histograms, request/error counters.
 
-        Engine calls made inside push their own per-call Observation
-        (nested via :func:`repro.obs.context.observed`), so per-query
-        counters flush through the engine exactly as without a server;
-        this context catches only request-level instrumentation.
+        This is also the tracing middleware: the request gets a trace
+        id (the client's via ``X-Repro-Trace``, or a fresh one) and —
+        when the sampler says to record — a :class:`Tracer` whose open
+        ``request:<route>`` root the engine's supervised path nests its
+        spans under.  On exit the sampler makes the final retention
+        call; retained traces land in the in-memory ring
+        (``/debug/traces``) and every request emits one summary record
+        to the event log when one is configured.  Telemetry failures
+        (including injected ``obs.sample`` faults) degrade to counted
+        drops, never to request failures.
         """
-        obs = Observation()
+        if trace_id is None:
+            trace_id = new_trace_id()
+        tracer = None
+        try:
+            # the sampling fault boundary: an injected fault here must
+            # cost at most the trace (degrade to "not recorded")
+            faultpoint("obs.sample", trace_id)
+            if self.sampler.record(trace_id):
+                tracer = Tracer()
+        except Exception:
+            METRICS.add("obs.sample_dropped")
+        obs = Observation(tracer=tracer, trace_id=trace_id)
         start = time.perf_counter()
         outcome = "error"
         try:
             with observed(obs):
-                yield obs
+                with obs.span("request:" + route):
+                    yield obs
             outcome = "ok"
         except _REFUSALS:
             # a typed refusal (shed / deadline / open circuit / drain)
             # is the service *working as designed* under pressure, not
             # a failure — it gets its own counter, never service.errors
             outcome = "refused"
+            raise
+        except Exception as exc:
+            # the same machine-readable code the error payload carries,
+            # so event-log records join cleanly against client reports
+            obs.annotate(
+                error=type(exc).__name__, error_code=error_status(exc)[1]
+            )
             raise
         finally:
             elapsed = time.perf_counter() - start
@@ -240,6 +301,55 @@ class QueryService:
                 METRICS.add("service.errors")
             elif outcome == "refused":
                 METRICS.add("service.refusals")
+            try:
+                self._finish_request(trace_id, route, outcome, elapsed, obs)
+            except Exception:  # telemetry must never fail a request
+                METRICS.add("obs.telemetry_dropped")
+
+    def _finish_request(
+        self,
+        trace_id: str,
+        route: str,
+        outcome: str,
+        elapsed: float,
+        obs: Observation,
+    ) -> None:
+        """Retention decision + event record for one finished request."""
+        retained_by = None
+        try:
+            faultpoint("obs.sample", trace_id)
+            retained_by = self.sampler.retain(
+                trace_id, elapsed, failed=outcome == "error"
+            )
+        except Exception:
+            METRICS.add("obs.sample_dropped")
+        record: dict[str, Any] = {
+            "schema": EVENT_SCHEMA,
+            "trace_id": trace_id,
+            "route": route,
+            "outcome": outcome,
+            "duration_ms": round(elapsed * 1e3, 3),
+            "sampled": retained_by is not None,
+        }
+        if retained_by is not None:
+            record["retained_by"] = retained_by
+        if obs.meta:
+            record.update(obs.meta)
+        tracer = obs.tracer
+        if retained_by is not None and tracer is not None and tracer.root is not None:
+            record["spans"] = trace_to_dict(tracer.root)
+        if retained_by is not None:
+            self.traces.add(record)
+        if self.event_log is not None:
+            self.event_log.submit(record)
+        if self.slow_ms is not None and elapsed * 1e3 >= self.slow_ms:
+            METRICS.add("service.slow_requests")
+            print(
+                f"[repro.service] slow request trace={trace_id} "
+                f"route={route} {elapsed * 1e3:.1f} ms "
+                f"(threshold {self.slow_ms:g} ms)",
+                file=sys.stderr,
+            )
 
     @contextmanager
     def _admitted(self, deadline: "DeadlineClock | None"):
@@ -323,6 +433,28 @@ class QueryService:
 
         return 200, render_openmetrics(METRICS)
 
+    def traces_list(self, limit: int = 50) -> "tuple[int, dict]":
+        """GET /debug/traces — recent retained traces, newest first."""
+        payload = {
+            "traces": self.traces.list(limit),
+            "sampler": self.sampler.describe(),
+        }
+        if self.event_log is not None:
+            payload["event_log"] = self.event_log.stats()
+        return 200, payload
+
+    def trace_get(self, trace_id: str) -> "tuple[int, dict]":
+        """GET /debug/traces/{id} — one retained trace, span tree and all."""
+        record = self.traces.get(trace_id)
+        if record is None:
+            raise ServiceError(
+                f"no retained trace {trace_id!r} (expired from the ring "
+                "buffer, or never sampled)",
+                status=404,
+                code="trace-not-found",
+            )
+        return 200, {"trace": record}
+
     def list_stores(self) -> "tuple[int, dict]":
         return 200, {"stores": [self.stores.info(n) for n in self.stores.names()]}
 
@@ -384,6 +516,14 @@ class QueryService:
             if deadline is not None:
                 spec = dict(spec, deadline=deadline.engine_deadline(spec["deadline"]))
             result = self._breaker_run(name, lambda: self._run(db, spec))
+        ctx = current()
+        if ctx is not None:  # event-log fields for the request record
+            ctx.annotate(
+                store=name,
+                kind=spec["kind"],
+                strategy=result.stats.strategy,
+                attempts=len(result.stats.attempts),
+            )
         return 200, {
             "kind": spec["kind"],
             "answer": encode_answer(result.answer),
@@ -473,6 +613,8 @@ class _Handler(BaseHTTPRequestHandler):
     ``GET  /readyz``                    readiness (503 while draining or
                                         under a breaker storm)
     ``GET  /metrics``                   OpenMetrics exposition of ``METRICS``
+    ``GET  /debug/traces``              recent retained traces (``?limit=``)
+    ``GET  /debug/traces/{id}``         one retained trace with its span tree
     ``GET  /stores``                    list stores with metadata
     ``PUT  /stores/{name}``             ingest XML body (``?columns=&plan_cache=
                                         &recover=&warm=``)
@@ -526,6 +668,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Repro-Trace", trace_id)
         if retry_after is not None:
             # RFC 9110 wants an integer number of seconds; round up so
             # "come back in 0.3s" never becomes "come back immediately"
@@ -548,12 +693,17 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in split.path.split("/") if p]
         params = {k: v[-1] for k, v in parse_qs(split.query).items()}
         route = "unknown"
+        # reset per request (handler instances persist across keep-alive
+        # requests); set before anything can raise so the error path
+        # always has this request's id, not the previous one's
+        self._trace_id = _clean_trace_id(self.headers.get("X-Repro-Trace"))
         try:
             self._deadline_s = parse_deadline_ms(
                 self.headers.get("X-Repro-Deadline-Ms")
             )
             route, handler = self._match(method, parts)
-            with self.service.observe(route):
+            with self.service.observe(route, trace_id=self._trace_id) as obs:
+                self._trace_id = obs.trace_id
                 faultpoint("service.handler")
                 status, payload = handler(params)
             if isinstance(payload, str):
@@ -563,9 +713,13 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 self._send_text(status, payload, content_type)
             else:
+                if isinstance(payload, dict) and "trace_id" not in payload:
+                    payload["trace_id"] = self._trace_id
                 self._send_json(status, payload)
         except Exception as exc:
-            status, payload = error_payload(exc)
+            status, payload = error_payload(
+                exc, trace_id=getattr(self, "_trace_id", None)
+            )
             if not isinstance(exc, (ServiceError, ReproError)):
                 METRICS.add("service.unexpected_errors")
             try:
@@ -583,6 +737,25 @@ class _Handler(BaseHTTPRequestHandler):
             return "readyz", lambda params: svc.readiness()
         if method == "GET" and parts == ["metrics"]:
             return "metrics", lambda params: svc.metrics_text()
+        if method == "GET" and parts == ["debug", "traces"]:
+            def traces(params):
+                try:
+                    limit = int(params.get("limit", "50"))
+                except ValueError:
+                    raise ServiceError(
+                        f"limit must be an integer, got {params['limit']!r}",
+                        code="bad-limit",
+                    )
+                return svc.traces_list(limit)
+            return "debug.traces", traces
+        if (
+            method == "GET"
+            and len(parts) == 3
+            and parts[0] == "debug"
+            and parts[1] == "traces"
+        ):
+            trace_id = parts[2]
+            return "debug.trace", lambda params: svc.trace_get(trace_id)
         if method == "GET" and parts == ["stores"]:
             return "stores.list", lambda params: svc.list_stores()
         if len(parts) == 2 and parts[0] == "stores":

@@ -188,6 +188,7 @@ def _worker(
     sheds: list,
     deadline_exceeded: list,
     headers: "dict[str, str] | None" = None,
+    traced: "list | None" = None,
 ) -> None:
     """One closed-loop client: take a ticket, send, time, repeat.
 
@@ -220,6 +221,18 @@ def _worker(
                     break
                 if response.status == 200:
                     latencies.append(elapsed)
+                    if traced is not None:
+                        # the response body echoes the request's trace
+                        # id; parsed after the clock stopped, so the
+                        # latency sample is untouched
+                        try:
+                            trace_id = json.loads(
+                                payload.decode("utf-8")
+                            ).get("trace_id")
+                        except Exception:
+                            trace_id = None
+                        if trace_id:
+                            traced.append((elapsed, trace_id))
                     break
                 if response.status == 429:
                     sheds.append(ticket)
@@ -266,6 +279,7 @@ def _run_scenario(
     failures: list = []
     sheds: list = []
     deadline_exceeded: list = []
+    traced: list = []  # (elapsed, trace_id) per 200, for the slowest-of
     headers = (
         {"X-Repro-Deadline-Ms": str(deadline_ms)}
         if deadline_ms is not None
@@ -275,7 +289,7 @@ def _run_scenario(
         threading.Thread(
             target=_worker,
             args=(host, port, path, bodies, tickets, latencies, failures,
-                  sheds, deadline_exceeded, headers),
+                  sheds, deadline_exceeded, headers, traced),
             daemon=True,
         )
         for _ in range(concurrency)
@@ -287,7 +301,12 @@ def _run_scenario(
         t.join()
     duration = time.perf_counter() - start
     ordered = sorted(latencies)
+    # tuples sort by elapsed first, so max() is the slowest observed
+    # request — its trace id points straight at /debug/traces/<id>
+    slowest = max(traced, default=None)
     return {
+        "slowest_ms": round(slowest[0] * 1e3, 3) if slowest else None,
+        "slowest_trace_id": slowest[1] if slowest else None,
         "scenario": scenario.name,
         "nodes": scenario.size(fast) + 1,  # +1: the root above the spine/fan
         "requests": len(latencies),
@@ -318,6 +337,7 @@ def run_load(
     max_concurrency: "int | None" = None,
     queue_limit: int = 16,
     deadline_ms: "float | None" = None,
+    service: "QueryService | None" = None,
 ) -> dict[str, Any]:
     """Run the load harness; returns the full report payload (unwritten).
 
@@ -330,7 +350,14 @@ def run_load(
     admission control (for overload testing — sheds land in the
     ``shed`` column, not ``errors``); ``deadline_ms`` stamps every
     request with an ``X-Repro-Deadline-Ms`` header, so expirations land
-    in ``deadline_exceeded``.
+    in ``deadline_exceeded``.  ``service`` substitutes a pre-configured
+    :class:`QueryService` (e.g. one with an event log or a custom
+    sampler — the tracing-under-load tests drive a tiny-queue writer
+    this way); when given, the admission/column kwargs are ignored.
+
+    Each scorecard reports ``slowest_ms``/``slowest_trace_id``: the
+    slowest observed request's latency and the trace id its response
+    echoed, ready to feed ``repro trace show`` or ``/debug/traces/<id>``.
     """
     names = list(scenarios) if scenarios else sorted(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
@@ -339,9 +366,12 @@ def run_load(
             f"unknown scenario(s): {', '.join(unknown)}; "
             f"options: {', '.join(sorted(SCENARIOS))}"
         )
-    service = QueryService(
-        columns=columns, max_concurrency=max_concurrency, queue_limit=queue_limit
-    )
+    if service is None:
+        service = QueryService(
+            columns=columns,
+            max_concurrency=max_concurrency,
+            queue_limit=queue_limit,
+        )
     server = make_server(service, host=host, port=0)
     port = server.server_address[1]
     runner = threading.Thread(target=server.serve_forever, daemon=True)
@@ -386,11 +416,13 @@ def _record(report: dict[str, Any]) -> None:
     RECORDER.record_table(
         "service load scorecard",
         ["scenario", "nodes", "requests", "errors", "shed",
-         "deadline_exceeded", "rps", "p50_ms", "p95_ms", "p99_ms"],
+         "deadline_exceeded", "rps", "p50_ms", "p95_ms", "p99_ms",
+         "slowest_trace_id"],
         [
             [c["scenario"], c["nodes"], c["requests"], c["errors"],
              c.get("shed", 0), c.get("deadline_exceeded", 0),
-             c["rps"], c["p50_ms"], c["p95_ms"], c["p99_ms"]]
+             c["rps"], c["p50_ms"], c["p95_ms"], c["p99_ms"],
+             c.get("slowest_trace_id") or "-"]
             for c in report["scenarios"].values()
         ],
         module="service-loadgen",
@@ -529,4 +561,9 @@ def format_scorecard(report: dict[str, Any]) -> str:
             f"{card['rps']:>9.2f} {card['p50_ms']:>9.3f} "
             f"{card['p95_ms']:>9.3f} {card['p99_ms']:>9.3f}"
         )
+        if card.get("slowest_trace_id"):
+            lines.append(
+                f"    slowest: {card['slowest_ms']:.3f} ms "
+                f"trace={card['slowest_trace_id']}"
+            )
     return "\n".join(lines)

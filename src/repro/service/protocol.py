@@ -152,6 +152,8 @@ def stats_payload(stats: Any) -> dict:
         "index_hits": stats.index_hits,
         "degraded": stats.degraded,
     }
+    if getattr(stats, "trace_id", None) is not None:
+        payload["trace_id"] = stats.trace_id
     if stats.fallback_from:
         payload["fallback_from"] = list(stats.fallback_from)
     if stats.faults:
@@ -163,6 +165,7 @@ def stats_payload(stats: Any) -> dict:
                 "outcome": a.outcome,
                 "error": a.error,
                 "elapsed_ms": round(a.elapsed_s * 1e3, 3),
+                "trace_id": a.trace_id,
             }
             for a in stats.attempts
         ]
@@ -278,14 +281,23 @@ def error_status(exc: BaseException) -> "tuple[int, str]":
     return 500, "internal-error"
 
 
-def error_payload(exc: BaseException) -> "tuple[int, dict]":
-    """The full (status, JSON body) of an error response."""
+def error_payload(
+    exc: BaseException, trace_id: "str | None" = None
+) -> "tuple[int, dict]":
+    """The full (status, JSON body) of an error response.
+
+    ``trace_id`` (the request's id, when the HTTP layer knows it) rides
+    inside the error object so a failing client can quote exactly which
+    trace to pull from ``/debug/traces/<id>`` or ``repro trace show``.
+    """
     status, code = error_status(exc)
     error: dict = {
         "code": code,
         "type": type(exc).__name__,
         "message": str(exc),
     }
+    if trace_id is not None:
+        error["trace_id"] = trace_id
     retry_after = getattr(exc, "retry_after", None)
     if retry_after is not None:
         error["retry_after"] = round(float(retry_after), 3)

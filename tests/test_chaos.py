@@ -149,15 +149,15 @@ class TestFallbackDemos:
         return fallback_demos(seed=0)
 
     def test_every_engine_site_has_a_recovery_demo(self, demos):
-        # ingestion and HTTP-boundary sites have no engine attempt
-        # chain; the sweep covers them through dedicated drivers
+        # ingestion, HTTP-boundary and telemetry sites have no engine
+        # attempt chain; the sweep covers them through dedicated drivers
         engine_sites = {
             s for s in registered_sites()
             if s not in ("xml.parse", "stream.events", "disk.read",
                          "disk.write", "disk.verify",
                          "service.decode", "service.handler",
                          "service.admission", "service.breaker",
-                         "service.drain")
+                         "service.drain", "obs.sample", "obs.eventlog")
         }
         assert set(demos) == engine_sites
 

@@ -494,6 +494,15 @@ def test_render_openmetrics_exposition():
     assert "repro_queries_observed_total 1" in text
     assert 'repro_counter_total{name="sj.pairs"} 4' in text
     assert 'repro_counter_total{name="odd\\"name"} 2' in text
-    assert 'repro_duration_seconds{name="strategy.linear",quantile="0.5"}' in text
+    # native histogram family: cumulative buckets ending at +Inf
+    assert "# TYPE repro_duration_seconds histogram" in text
+    assert 'repro_duration_seconds_bucket{name="strategy.linear",le="+Inf"} 1' in text
     assert 'repro_duration_seconds_count{name="strategy.linear"} 1' in text
     assert 'repro_duration_seconds_sum{name="strategy.linear"} 0.01' in text
+    # quantile estimates live in their own summary family (a histogram
+    # family cannot carry quantile samples)
+    assert 'repro_duration_quantiles{name="strategy.linear",quantile="0.5"}' in text
+    # the exposition passes its own lint
+    from repro.obs import lint_openmetrics
+
+    assert lint_openmetrics(text) == []
