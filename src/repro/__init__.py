@@ -29,6 +29,7 @@ __version__ = "1.0.0"
 
 from repro.errors import (
     AllStrategiesFailedError,
+    CorpusError,
     EvaluationError,
     InjectedFault,
     IntractableSignatureError,
@@ -61,6 +62,7 @@ __all__ = [
     "IntractableSignatureError",
     "ResourceBudgetExceeded",
     "StorageError",
+    "CorpusError",
     "TransientError",
     "InjectedFault",
     "AllStrategiesFailedError",

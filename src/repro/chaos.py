@@ -48,6 +48,7 @@ from repro.engine.stats import ExecutionStats
 # sites register at the instrumented module's import; the sweep matrix
 # snapshots registered_sites(), so every instrumented module must be
 # imported before generation — not left to lazy, path-dependent imports
+import repro.corpus  # noqa: F401,E402
 import repro.engine.columns  # noqa: F401,E402
 import repro.engine.index  # noqa: F401,E402
 import repro.engine.planner  # noqa: F401,E402
@@ -128,6 +129,17 @@ _SERVICE_SITES = (
 # a typed error would mean telemetry failure leaked into a request.
 # The only acceptable footprint is a counted drop.
 _TELEMETRY_SITES = ("obs.sample", "obs.eventlog")
+
+# corpus-pipeline sites are driven through a whole run_corpus call over
+# a throwaway corpus built from default_documents(), compared byte-wise
+# against an unfaulted serial run of the same corpus.  Quarantine is the
+# one legitimate divergence ("degraded": recorded loss, never silent).
+# corpus.worker additionally gets the kill-a-worker differential — a
+# real SIGKILL mid-shard instead of an armed plan.
+_CORPUS_SITES = (
+    "corpus.split", "corpus.worker", "corpus.task", "corpus.merge",
+    "corpus.checkpoint",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -257,14 +269,17 @@ def generate_scenarios(
     if sites is None:
         all_sites = sorted(registered_sites())
     else:
-        # each entry is an exact site name or a glob over the registry
+        # each entry is an exact site name, a glob over the registry, or
+        # a dotted prefix ("corpus" selects every corpus.* site)
         known = registered_sites()
         selected: set[str] = set()
         for pattern in sites:
             matched = [
                 name
                 for name in known
-                if name == pattern or fnmatch.fnmatchcase(name, pattern)
+                if name == pattern
+                or fnmatch.fnmatchcase(name, pattern)
+                or name.startswith(pattern + ".")
             ]
             if not matched:
                 raise QueryError(
@@ -280,6 +295,8 @@ def generate_scenarios(
         columns = site.startswith("columns.")
         if site in _INGESTION_SITES:
             workloads = [("ingest", site)]
+        elif site in _CORPUS_SITES:
+            workloads = [("corpus", site)]
         elif site in _SERVICE_SITES or site in _TELEMETRY_SITES:
             workloads = [("service", site)]
         elif columns:
@@ -313,6 +330,7 @@ def generate_scenarios(
                 site == "query.parse"
                 or site in _SERVICE_SITES
                 or site in _TELEMETRY_SITES
+                or site in _CORPUS_SITES  # driver builds its own corpus
             )
             for doc in doc_names[:1] if single_doc else doc_names:
                 for kind, query in workloads:
@@ -322,6 +340,16 @@ def generate_scenarios(
                             columns,
                         )
                     )
+        if site == "corpus.worker":
+            # the kill differential: no armed plan — a real SIGKILL of a
+            # pool worker mid-shard, proving retry-on-a-fresh-worker
+            # reconverges to the byte-identical serial answer
+            scenarios.append(
+                ChaosScenario(
+                    site, "corpus.worker:kill", doc_names[0],
+                    "corpus-kill", site, seed,
+                )
+            )
     return scenarios
 
 
@@ -354,6 +382,10 @@ def run_scenario(
     text = default_documents()[scenario.doc]
     if scenario.kind == "ingest":
         return _run_ingestion(scenario, text)
+    if scenario.kind == "corpus":
+        return _run_corpus(scenario)
+    if scenario.kind == "corpus-kill":
+        return _run_corpus_kill(scenario)
     if scenario.kind == "service":
         if scenario.site == "service.drain":
             return _run_drain(scenario, text)
@@ -594,6 +626,143 @@ def _run_disk_write(scenario: ChaosScenario, text: str) -> ChaosOutcome:
             os.unlink(path + ".tmp")
         except OSError:
             pass
+
+
+def _chaos_corpus_dir(base: str) -> str:
+    """Materialize default_documents() as a small on-disk corpus."""
+    corpus = os.path.join(base, "corpus")
+    os.makedirs(corpus)
+    for name, text in sorted(default_documents().items()):
+        with open(os.path.join(corpus, f"{name}.xml"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(text)
+    return corpus
+
+
+_CORPUS_CHAOS_QUERY = ("xpath", "Child+[lab() = b]")
+
+
+def _corpus_oracle(base: str, corpus: str) -> bytes:
+    """The clean serial answer bytes for the chaos corpus."""
+    from repro.corpus import run_corpus
+
+    out = os.path.join(base, "clean.json")
+    kind, query = _CORPUS_CHAOS_QUERY
+    report = run_corpus(corpus, kind, query, out=out, workers=0,
+                        shard_size=2, retries=0)
+    if not report.ok:
+        raise ReproError(f"clean corpus run not complete: {report.status}")
+    with open(out, "rb") as fh:
+        return fh.read()
+
+
+def _run_corpus(scenario: ChaosScenario) -> ChaosOutcome:
+    """Whole-pipeline differential for the ``corpus.*`` sites.
+
+    Runs the full split→evaluate→checkpoint→merge pipeline inline
+    (``workers=0`` — the supervisor's retry/quarantine path is identical
+    and the armed plan's trips stay observable in-process) under the
+    scenario's fault, then compares output bytes against a clean serial
+    run.  ``degraded`` — a quarantined shard recorded in a ``partial``
+    report — is the one tolerated divergence: loss, but never silent."""
+    from repro.corpus import run_corpus
+
+    kind, query = _CORPUS_CHAOS_QUERY
+    with tempfile.TemporaryDirectory(prefix="chaos-corpus-") as base:
+        corpus = _chaos_corpus_dir(base)
+        clean = _corpus_oracle(base, corpus)
+        out = os.path.join(base, "faulted.json")
+
+        def action():
+            return run_corpus(corpus, kind, query, out=out, workers=0,
+                              shard_size=2, retries=1)
+
+        report, plan, failure = _retrying(scenario, action)
+        if failure is not None:
+            return failure
+        if not report.ok:
+            quarantined = sorted(
+                s.shard_id for s in report.shards
+                if s.status == "quarantined"
+            )
+            if plan.trips:
+                return ChaosOutcome(
+                    scenario, "degraded",
+                    f"shards {quarantined} quarantined (recorded, "
+                    "partial output)", tripped=True,
+                )
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                f"shards {quarantined} quarantined without any trip",
+            )
+        with open(out, "rb") as fh:
+            faulted = fh.read()
+        if faulted != clean:
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                "faulted corpus output differs from clean serial run",
+                tripped=bool(plan.trips),
+            )
+        status = "recovered" if plan.trips else "match"
+        return ChaosOutcome(scenario, status, tripped=bool(plan.trips))
+
+
+def _run_corpus_kill(scenario: ChaosScenario) -> ChaosOutcome:
+    """The kill-a-worker differential: SIGKILL the first pool worker the
+    moment it spawns, then require the supervisor to detect the death,
+    re-run the shard on a fresh worker, and converge on output bytes
+    identical to the clean serial run — with the death *counted*."""
+    import signal
+
+    from repro.corpus import run_corpus
+
+    kind, query = _CORPUS_CHAOS_QUERY
+    with tempfile.TemporaryDirectory(prefix="chaos-corpus-kill-") as base:
+        corpus = _chaos_corpus_dir(base)
+        clean = _corpus_oracle(base, corpus)
+        out = os.path.join(base, "killed.json")
+        killed: "list[int]" = []
+
+        def kill_first(shard_id: int, pid: int) -> None:
+            if not killed:
+                killed.append(pid)
+                os.kill(pid, signal.SIGKILL)
+
+        try:
+            report = run_corpus(
+                corpus, kind, query, out=out, workers=1, shard_size=2,
+                retries=1, on_worker_spawn=kill_first,
+            )
+        except ReproError as exc:
+            return ChaosOutcome(
+                scenario, "typed-error", f"{type(exc).__name__}: {exc}",
+                tripped=bool(killed),
+            )
+        except Exception as exc:  # noqa: BLE001 - the contract check itself
+            return ChaosOutcome(
+                scenario, "foreign-error", f"{type(exc).__name__}: {exc}",
+                tripped=bool(killed),
+            )
+        if report.worker_deaths < 1:
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                "SIGKILLed worker was never detected as dead",
+                tripped=bool(killed),
+            )
+        if not report.ok:
+            return ChaosOutcome(
+                scenario, "degraded",
+                f"run ended {report.status} after the kill", tripped=True,
+            )
+        with open(out, "rb") as fh:
+            survived = fh.read()
+        if survived != clean:
+            return ChaosOutcome(
+                scenario, "wrong-answer",
+                "post-kill corpus output differs from clean serial run",
+                tripped=True,
+            )
+        return ChaosOutcome(scenario, "recovered", tripped=True)
 
 
 class ServiceHarness:
@@ -960,13 +1129,14 @@ def fallback_demos(seed: int = 0) -> dict[str, ExecutionStats]:
     documents = default_documents()
     demos: dict[str, ExecutionStats] = {}
     for site in registered_sites():
-        # ingestion, HTTP-boundary and telemetry sites have no engine
-        # attempt chain to demo; the sweep covers them with their own
-        # drivers
+        # ingestion, HTTP-boundary, telemetry and corpus sites have no
+        # engine attempt chain to demo; the sweep covers them with
+        # their own drivers
         if (
             site in _INGESTION_SITES
             or site in _SERVICE_SITES
             or site in _TELEMETRY_SITES
+            or site in _CORPUS_SITES
         ):
             continue
         if site.startswith("strategy."):

@@ -47,6 +47,7 @@ OpenMetrics text.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections import Counter
 from contextlib import nullcontext
@@ -311,12 +312,32 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_store_verify(args) -> int:
-    """Checksum-verify .rtre store files (docs/ROBUSTNESS.md)."""
+    """Checksum-verify .rtre store files (docs/ROBUSTNESS.md).
+
+    A directory argument expands to every ``.rtre`` file under it
+    (recursively, sorted), so a whole corpus can be checked before a
+    ``repro corpus run``; a directory with none is itself a FAIL."""
     from repro.errors import ParseError, StorageError
     from repro.storage import verify_store
 
     failures = 0
+    targets: "list[str]" = []
     for path in args.paths:
+        if os.path.isdir(path):
+            found = sorted(
+                os.path.join(dirpath, name)
+                for dirpath, _dirnames, filenames in os.walk(path)
+                for name in filenames
+                if name.endswith(".rtre")
+            )
+            if not found:
+                print(f"FAIL {path}: directory contains no .rtre files")
+                failures += 1
+                continue
+            targets.extend(found)
+        else:
+            targets.append(path)
+    for path in targets:
         try:
             info = verify_store(path)
         except (StorageError, ParseError, OSError) as exc:
@@ -327,6 +348,110 @@ def cmd_store_verify(args) -> int:
             f"OK   {path}: {info['nodes']} nodes, {info['bytes']} bytes, "
             f"checksum {info['checksum']}"
         )
+    return 1 if failures else 0
+
+
+def cmd_corpus_run(args) -> int:
+    """Fan one query out over a corpus directory (docs/ROBUSTNESS.md)."""
+    from repro.corpus import run_corpus
+    from repro.errors import CorpusError
+
+    plan = _fault_plan(args)
+    try:
+        with plan if plan is not None else _NULL_PLAN:
+            report = run_corpus(
+                args.corpus,
+                args.kind,
+                args.query,
+                query_pred=args.query_pred,
+                out=args.out,
+                workdir=args.workdir,
+                workers=args.workers,
+                shard_size=args.shard_size,
+                retries=args.retries,
+                task_timeout_s=args.task_timeout_s,
+                resume=args.resume,
+                columns=args.columns,
+            )
+    except CorpusError as exc:
+        print(f"corpus: {exc}", file=sys.stderr)
+        return 2
+    print(report.scorecard())
+    print(f"# output: {report.out_path}  manifest: {report.manifest_path}")
+    return 0 if report.ok else 1
+
+
+def cmd_corpus_status(args) -> int:
+    """Summarize a run's checkpoint manifest (resumable or complete?)."""
+    from repro.corpus import CheckpointJournal
+
+    manifest = args.manifest
+    if os.path.isdir(manifest):
+        manifest = os.path.join(manifest, "manifest.jsonl")
+    state = CheckpointJournal.load(manifest)
+    header = state.header
+    n_shards = int(header.get("n_shards", 0))
+    print(f"manifest {manifest}")
+    print(f"  corpus: {header.get('n_docs')} docs in {n_shards} shards, "
+          f"fingerprint {str(header.get('fingerprint'))[:16]}…")
+    print(f"  query: {header.get('kind')} {header.get('query')!r}")
+    print(f"  completed {len(state.completed)}/{n_shards} shards, "
+          f"{len(state.quarantined)} quarantined, "
+          f"{state.skipped_lines} invalid journal lines")
+    for shard_id in sorted(state.quarantined):
+        record = state.quarantined[shard_id]
+        print(f"  shard {shard_id}: QUARANTINED after "
+              f"{record.get('attempts')} attempts — {record.get('error')}")
+    done = len(state.completed) == n_shards and not state.quarantined
+    print("  status: complete" if done else "  status: resumable (partial)")
+    return 0 if done else 1
+
+
+def cmd_corpus_verify(args) -> int:
+    """Integrity-check a corpus output file (and optionally its workdir)."""
+    from repro.corpus import CheckpointJournal, spill_path, verify_output
+    from repro.errors import ReproError
+    from repro.storage import read_blob
+    import zlib
+
+    failures = 0
+    try:
+        doc = verify_output(args.out)
+        print(f"OK   {args.out}: {doc['status']}, "
+              f"{len(doc['results'])} documents, crc32 {doc['crc32']}")
+    except ReproError as exc:
+        print(f"FAIL {args.out}: {exc}")
+        failures += 1
+    workdir = args.workdir
+    if workdir is None and os.path.isdir(args.out + ".work"):
+        workdir = args.out + ".work"
+    if workdir is not None:
+        manifest = os.path.join(workdir, "manifest.jsonl")
+        try:
+            state = CheckpointJournal.load(manifest)
+        except ReproError as exc:
+            print(f"FAIL {manifest}: {exc}")
+            return 1
+        if state.skipped_lines:
+            print(f"FAIL {manifest}: {state.skipped_lines} invalid "
+                  "journal lines")
+            failures += 1
+        else:
+            print(f"OK   {manifest}: {len(state.completed)} shard records")
+        for shard_id in sorted(state.completed):
+            record = state.completed[shard_id]
+            path = spill_path(workdir, shard_id)
+            try:
+                payload = read_blob(path)
+            except ReproError as exc:
+                print(f"FAIL {path}: {exc}")
+                failures += 1
+                continue
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != record.get("spill_crc"):
+                print(f"FAIL {path}: spill does not match manifest crc")
+                failures += 1
+            else:
+                print(f"OK   {path}: {len(payload)} bytes")
     return 1 if failures else 0
 
 
@@ -774,7 +899,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenarios", type=int, default=None, metavar="N",
                    help="cap the number of scenarios run")
     p.add_argument("--sites", nargs="+", default=None, metavar="SITE",
-                   help="restrict the sweep to these injection sites")
+                   help="restrict the sweep to these injection sites "
+                        "(exact name, glob, or dotted prefix: 'corpus' "
+                        "selects every corpus.* site)")
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -878,8 +1005,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="checksum-verify store files; exit 1 if any fails",
     )
     s.add_argument("paths", nargs="+", metavar="PATH",
-                   help=".rtre store file(s) to verify")
+                   help=".rtre store file(s) or directories to verify")
     s.set_defaults(func=cmd_store_verify)
+
+    p = sub.add_parser(
+        "corpus",
+        help="sharded corpus evaluation with supervision and resume "
+             "(docs/ROBUSTNESS.md)",
+    )
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+    c = corpus_sub.add_parser(
+        "run", help="fan one query out over a directory of documents"
+    )
+    c.add_argument("corpus", metavar="DIR",
+                   help="directory of .xml/.rtre documents")
+    c.add_argument("--kind", choices=("xpath", "twig", "cq", "datalog"),
+                   default="xpath", help="query language (default xpath)")
+    c.add_argument("--query", required=True, metavar="Q",
+                   help="the query, evaluated against every document")
+    c.add_argument("--query-pred", default=None, metavar="PRED",
+                   help="datalog query predicate")
+    c.add_argument("--out", required=True, metavar="FILE",
+                   help="merged canonical JSON output file")
+    c.add_argument("--workdir", default=None, metavar="DIR",
+                   help="checkpoint manifest + shard spills (default: OUT.work)")
+    c.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="worker processes; 0 = inline serial (default 2)")
+    c.add_argument("--shard-size", type=int, default=4, metavar="N",
+                   help="documents per shard (default 4)")
+    c.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="re-attempts per failed shard, fresh worker each "
+                        "(default 1)")
+    c.add_argument("--task-timeout-s", type=float, default=30.0, metavar="S",
+                   help="SIGKILL a worker after S seconds without a "
+                        "heartbeat (default 30)")
+    c.add_argument("--resume", action="store_true",
+                   help="skip shards already journaled in the workdir")
+    c.add_argument("--columns", choices=("off", "on", "numpy"), default=None,
+                   help="columnar backend for per-document evaluation")
+    c.add_argument("--fault", action="append", default=None, metavar="SPEC",
+                   help="arm a deterministic fault rule "
+                        "(SITE:KIND[:ARG][@TRIGGER], repeatable)")
+    c.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                   help="RNG seed for probabilistic fault triggers")
+    c.set_defaults(func=cmd_corpus_run)
+    c = corpus_sub.add_parser(
+        "status", help="summarize a run's checkpoint manifest"
+    )
+    c.add_argument("manifest", metavar="PATH",
+                   help="manifest.jsonl (or the workdir containing it)")
+    c.set_defaults(func=cmd_corpus_status)
+    c = corpus_sub.add_parser(
+        "verify", help="integrity-check an output file and its workdir"
+    )
+    c.add_argument("out", metavar="FILE", help="corpus output file")
+    c.add_argument("--workdir", default=None, metavar="DIR",
+                   help="also verify this workdir's manifest and spills "
+                        "(default: OUT.work if it exists)")
+    c.set_defaults(func=cmd_corpus_verify)
 
     p = sub.add_parser("classify", help="Theorem 6.8 verdict for an axis set")
     p.add_argument("axes", nargs="+")

@@ -1,0 +1,60 @@
+"""Sharded corpus evaluation: split → supervised fan-out → merge.
+
+One query over a *directory* of documents, evaluated per document (the
+unit of parallelism the Gottlob–Koch–Schulz complexity maps justify:
+answers over disjoint trees are independent) across a supervised
+``multiprocessing`` worker pool, with crash-safe resumable checkpoints
+and a deterministic merge — parallel degree never changes the output
+bytes.  See docs/ROBUSTNESS.md ("Corpus supervision & resume") and
+``repro corpus run/status/verify`` on the CLI.
+"""
+
+from repro.corpus.checkpoint import (
+    MANIFEST_SCHEMA,
+    CheckpointJournal,
+    ManifestState,
+    spill_path,
+)
+from repro.corpus.runner import (
+    RESULT_SCHEMA,
+    CorpusReport,
+    ShardStatus,
+    run_corpus,
+    verify_output,
+)
+from repro.corpus.sharding import (
+    CORPUS_SUFFIXES,
+    Shard,
+    ShardPlan,
+    corpus_fingerprint,
+    discover_corpus,
+    split_corpus,
+)
+from repro.corpus.worker import (
+    SPILL_SCHEMA,
+    ShardOutcome,
+    ShardTask,
+    evaluate_shard,
+)
+
+__all__ = [
+    "CORPUS_SUFFIXES",
+    "MANIFEST_SCHEMA",
+    "RESULT_SCHEMA",
+    "SPILL_SCHEMA",
+    "CheckpointJournal",
+    "CorpusReport",
+    "ManifestState",
+    "Shard",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardStatus",
+    "ShardTask",
+    "corpus_fingerprint",
+    "discover_corpus",
+    "evaluate_shard",
+    "run_corpus",
+    "spill_path",
+    "split_corpus",
+    "verify_output",
+]

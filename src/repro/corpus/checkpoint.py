@@ -1,0 +1,260 @@
+"""The crash-safe, resumable checkpoint manifest of a corpus run.
+
+The manifest is a JSONL journal (schema ``repro.corpus.manifest/1``):
+one header record pinning the run's identity — corpus fingerprint,
+query, shard geometry — then one record per *completed* shard and one
+per *quarantined* shard, appended as each outcome lands.  Three
+properties make it crash-safe:
+
+- **Every line carries its own CRC32** (of the canonical JSON without
+  the ``crc`` field), so a torn tail line — the process was SIGKILLed
+  mid-append — or a flipped byte is detected and *skipped*, never
+  trusted.  A skipped shard is simply recomputed on resume; corruption
+  degrades to lost work, not to wrong answers.
+- **Appends are flushed and fsynced** before the runner moves on, so a
+  shard recorded as done survives any later crash.
+- **The header is installed atomically** (the diskstore
+  tmp+fsync+replace pattern), so a manifest either exists with a valid
+  header or not at all.
+
+Shard *answers* do not live in the manifest: each completed shard's
+encoded answers are spilled to ``shard-NNNN.blob`` next to it, written
+with :func:`repro.storage.write_blob` (same CRC-trailer + atomic
+replace as ``.rtre`` stores) and re-verified on resume.  The manifest
+line stores the spill's CRC so a resumed run proves the spill it is
+about to trust is the one the journal recorded.
+
+``repro corpus status`` and ``--resume`` both start from
+:meth:`CheckpointJournal.load`; docs/ROBUSTNESS.md ("Corpus supervision
+& resume") walks the full lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CorpusError, StorageError
+from repro.faults import faultpoint, register_site
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "CheckpointJournal",
+    "ManifestState",
+    "spill_path",
+]
+
+MANIFEST_SCHEMA = "repro.corpus.manifest/1"
+
+register_site("corpus.checkpoint", "manifest journal append")
+
+
+def _canonical(record: "dict[str, Any]") -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _with_crc(record: "dict[str, Any]") -> str:
+    body = {k: v for k, v in record.items() if k != "crc"}
+    crc = zlib.crc32(_canonical(body).encode("utf-8")) & 0xFFFFFFFF
+    body["crc"] = crc
+    return _canonical(body)
+
+
+def _check_crc(record: "dict[str, Any]") -> bool:
+    if "crc" not in record:
+        return False
+    body = {k: v for k, v in record.items() if k != "crc"}
+    crc = zlib.crc32(_canonical(body).encode("utf-8")) & 0xFFFFFFFF
+    return crc == record["crc"]
+
+
+def spill_path(workdir: str, shard_id: int) -> str:
+    """Where shard ``shard_id``'s answers spill (attempt-independent:
+    retries atomically replace the same file)."""
+    return os.path.join(workdir, f"shard-{shard_id:04d}.blob")
+
+
+@dataclass
+class ManifestState:
+    """Everything a loaded manifest says about a prior (partial) run."""
+
+    header: "dict[str, Any]"
+    #: shard_id -> the completed-shard record (last valid line wins)
+    completed: "dict[int, dict[str, Any]]" = field(default_factory=dict)
+    #: shard_id -> the quarantine record (superseded by later completion)
+    quarantined: "dict[int, dict[str, Any]]" = field(default_factory=dict)
+    #: lines whose CRC or JSON did not check out (torn tail, bit rot)
+    skipped_lines: int = 0
+
+
+class CheckpointJournal:
+    """Appender/loader for one run's manifest file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    # -- writing -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, header: "dict[str, Any]") -> "CheckpointJournal":
+        """Start a fresh manifest whose first line is the header record.
+
+        Installed atomically: a crash during creation leaves either no
+        manifest or a complete, valid one-line manifest.
+        """
+        record = dict(header)
+        record["type"] = "header"
+        record["schema"] = MANIFEST_SCHEMA
+        line = _with_crc(record) + "\n"
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot create corpus manifest {path!r}: {exc}"
+            ) from exc
+        finally:
+            if os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        return cls(path)
+
+    def append(self, record: "dict[str, Any]") -> None:
+        """Durably append one shard/quarantine record.
+
+        The ``corpus.checkpoint`` faultpoint guards the append: injected
+        errors surface *before* the write, so a tripped checkpoint never
+        half-records an outcome.  The line is flushed and fsynced before
+        returning — once this method returns, the record survives
+        SIGKILL.
+        """
+        faultpoint("corpus.checkpoint", record)
+        line = _with_crc(record) + "\n"
+        try:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            raise StorageError(
+                f"cannot append to corpus manifest {self.path!r}: {exc}"
+            ) from exc
+
+    def record_shard(
+        self,
+        shard_id: int,
+        docs: "tuple[str, ...]",
+        spill_crc: int,
+        elapsed_ms: float,
+        trace_id: str,
+        attempts: int,
+    ) -> None:
+        self.append({
+            "type": "shard",
+            "shard": shard_id,
+            "docs": list(docs),
+            "spill_crc": spill_crc,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "trace_id": trace_id,
+            "attempts": attempts,
+        })
+
+    def record_quarantine(
+        self,
+        shard_id: int,
+        docs: "tuple[str, ...]",
+        error: str,
+        attempts: int,
+        trace_id: str,
+    ) -> None:
+        self.append({
+            "type": "quarantine",
+            "shard": shard_id,
+            "docs": list(docs),
+            "error": error,
+            "attempts": attempts,
+            "trace_id": trace_id,
+        })
+
+    def close(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            fh.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- loading -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> ManifestState:
+        """Parse a manifest, tolerating a torn or corrupt tail.
+
+        Invalid lines (bad JSON, failed CRC) are counted and skipped —
+        the shards they would have recorded are simply recomputed.  A
+        missing or invalid *header* is a :class:`CorpusError`: without
+        the run identity nothing else in the file can be trusted.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read corpus manifest {path!r}: {exc}"
+            ) from exc
+        header: "dict[str, Any] | None" = None
+        state: "ManifestState | None" = None
+        skipped = 0
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or not _check_crc(record):
+                skipped += 1
+                continue
+            kind = record.get("type")
+            if kind == "header":
+                if record.get("schema") != MANIFEST_SCHEMA:
+                    raise CorpusError(
+                        f"manifest {path!r} has schema "
+                        f"{record.get('schema')!r}, expected {MANIFEST_SCHEMA!r}"
+                    )
+                header = record
+                state = ManifestState(header=record)
+            elif state is None:
+                # shard record before any valid header: untrustworthy
+                skipped += 1
+            elif kind == "shard":
+                shard_id = int(record["shard"])
+                state.completed[shard_id] = record
+                state.quarantined.pop(shard_id, None)
+            elif kind == "quarantine":
+                shard_id = int(record["shard"])
+                if shard_id not in state.completed:
+                    state.quarantined[shard_id] = record
+            else:
+                skipped += 1
+        if header is None or state is None:
+            raise CorpusError(
+                f"manifest {path!r} has no valid header record"
+            )
+        state.skipped_lines = skipped
+        return state

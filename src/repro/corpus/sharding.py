@@ -1,0 +1,140 @@
+"""Corpus discovery and deterministic sharding.
+
+A *corpus* is a directory of documents — ``.xml`` text or ``.rtre``
+binary stores — evaluated independently (answers over disjoint trees
+are independent, which is what makes per-document fan-out sound; see
+the Gottlob–Koch–Schulz complexity maps in PAPERS.md).  This module
+turns the directory into a :class:`ShardPlan`: a **sorted** list of
+relative document paths chopped into fixed-size shards, plus a content
+fingerprint that pins a resumed run to the corpus it started on.
+
+Everything here is a pure function of the directory listing, so the
+same corpus always yields the same plan — shard ids, document order and
+fingerprint are identical across runs and across worker counts.  That
+stability is the first leg of the deterministic-merge contract
+(docs/ROBUSTNESS.md, "Corpus supervision & resume").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+from repro.errors import CorpusError, StorageError
+from repro.faults import faultpoint, register_site
+
+__all__ = [
+    "CORPUS_SUFFIXES",
+    "Shard",
+    "ShardPlan",
+    "corpus_fingerprint",
+    "discover_corpus",
+    "split_corpus",
+]
+
+#: document suffixes the corpus layer evaluates
+CORPUS_SUFFIXES = (".xml", ".rtre")
+
+register_site("corpus.split", "corpus discovery and shard planning")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of worker work: a contiguous slice of the sorted corpus."""
+
+    shard_id: int
+    docs: "tuple[str, ...]"  # relative paths, sorted
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full, deterministic decomposition of one corpus."""
+
+    root: str
+    docs: "tuple[str, ...]"
+    shards: "tuple[Shard, ...]"
+    fingerprint: str
+
+    @property
+    def n_docs(self) -> int:
+        return len(self.docs)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+def discover_corpus(root: str) -> "list[str]":
+    """Sorted relative paths of every corpus document under ``root``.
+
+    Recurses; hidden files and non-corpus suffixes are skipped.  Raises
+    :class:`~repro.errors.StorageError` if the directory is unreadable
+    and :class:`~repro.errors.CorpusError` if no documents are found.
+    """
+    if not os.path.isdir(root):
+        raise StorageError(f"corpus root {root!r} is not a directory")
+    found: "list[str]" = []
+    try:
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            for name in filenames:
+                if name.startswith("."):
+                    continue
+                if not name.endswith(CORPUS_SUFFIXES):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                found.append(rel.replace(os.sep, "/"))
+    except OSError as exc:
+        raise StorageError(f"cannot scan corpus {root!r}: {exc}") from exc
+    if not found:
+        raise CorpusError(
+            f"corpus {root!r} contains no documents "
+            f"(looked for {', '.join(CORPUS_SUFFIXES)})"
+        )
+    return sorted(found)
+
+
+def corpus_fingerprint(root: str, docs: "list[str] | tuple[str, ...]") -> str:
+    """A content identity for the corpus: sha256 over sorted
+    ``relpath NUL size`` entries.
+
+    Sizes (not mtimes) so that copying a corpus elsewhere resumes
+    cleanly, while adding, removing or rewriting a document invalidates
+    old manifests.
+    """
+    digest = hashlib.sha256()
+    for rel in sorted(docs):
+        try:
+            size = os.path.getsize(os.path.join(root, rel))
+        except OSError as exc:
+            raise StorageError(
+                f"cannot stat corpus document {rel!r}: {exc}"
+            ) from exc
+        digest.update(rel.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(str(size).encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def split_corpus(root: str, shard_size: int = 4) -> ShardPlan:
+    """Discover ``root`` and chop it into shards of ``shard_size`` docs.
+
+    The ``corpus.split`` faultpoint sits after discovery: an injected
+    error here fails the whole run *before* any work starts (the
+    supervisor retries transient ones), and there is deliberately no
+    corrupt mutator — a plan that silently dropped documents would be a
+    wrong answer, exactly what the chaos sweep forbids.
+    """
+    if shard_size < 1:
+        raise CorpusError(f"shard_size must be >= 1, got {shard_size}")
+    docs = tuple(discover_corpus(root))
+    faultpoint("corpus.split", docs)
+    fingerprint = corpus_fingerprint(root, docs)
+    shards = tuple(
+        Shard(shard_id=i // shard_size, docs=docs[i:i + shard_size])
+        for i in range(0, len(docs), shard_size)
+    )
+    return ShardPlan(root=root, docs=docs, shards=shards,
+                     fingerprint=fingerprint)

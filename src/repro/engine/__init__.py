@@ -8,7 +8,7 @@ and docs/ROBUSTNESS.md for the retry/fallback supervisor
 """
 
 from repro.engine.columns import ColumnStore, resolve_mode
-from repro.engine.database import Database
+from repro.engine.database import Database, evaluate_document
 from repro.engine.index import DocumentIndex
 from repro.engine.planner import Plan, PlanCache, Planner
 from repro.engine.stats import Attempt, ExecutionStats, Result
@@ -35,5 +35,6 @@ __all__ = [
     "get_strategy",
     "strategies_for",
     "strategy_names",
+    "evaluate_document",
     "resolve_mode",
 ]

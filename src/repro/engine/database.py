@@ -67,7 +67,7 @@ from repro.engine.planner import Plan, Planner
 from repro.engine.stats import Attempt, ExecutionStats, Result
 from repro.engine.strategies import get_strategy, strategies_for
 
-__all__ = ["Database"]
+__all__ = ["Database", "evaluate_document"]
 
 register_site("query.parse", "concrete query syntax -> AST parsing")
 
@@ -760,6 +760,46 @@ class Database:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "indexed" if self._index is not None else "no index"
         return f"Database(n={self._tree.n}, {state}, {len(self.history)} queries)"
+
+
+def evaluate_document(
+    path: str,
+    kind: str,
+    query: str,
+    *,
+    query_pred: "str | None" = None,
+    columns: "str | bool | None" = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    deadline: "float | None" = None,
+    max_visited: "int | None" = None,
+    attributes_as_labels: bool = False,
+) -> Result:
+    """Load one document and evaluate one query against it.
+
+    This is the per-document unit of work the corpus layer
+    (:mod:`repro.corpus`) fans out to worker processes: answers over
+    disjoint trees are independent, so each call is self-contained —
+    fresh :class:`Database`, no shared caches — and safe to retry on a
+    different process after a crash.  ``kind`` is xpath/twig/cq/datalog;
+    ``query_pred`` selects the datalog query predicate.  All supervisor
+    knobs (``retries``/``on_error``) and budgets pass straight through
+    to :meth:`Database.run`.
+    """
+    db = Database.from_file(
+        path, attributes_as_labels=attributes_as_labels, columns=columns
+    )
+    if kind == "datalog":
+        return db.datalog(
+            query, query_pred=query_pred,
+            deadline=deadline, max_visited=max_visited,
+            retries=retries, on_error=on_error,
+        )
+    return db.run(
+        kind, query,
+        deadline=deadline, max_visited=max_visited,
+        retries=retries, on_error=on_error,
+    )
 
 
 def _truncate_text(text: str, rng) -> str:

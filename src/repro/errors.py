@@ -17,6 +17,7 @@ __all__ = [
     "IntractableSignatureError",
     "ResourceBudgetExceeded",
     "StorageError",
+    "CorpusError",
     "TransientError",
     "InjectedFault",
     "AllStrategiesFailedError",
@@ -92,6 +93,15 @@ class StorageError(ReproError):
     layer (missing file, permission denied, undecodable bytes).  Wraps
     the underlying ``OSError`` so callers never see a raw one; the
     offending path is always in the message."""
+
+
+class CorpusError(ReproError):
+    """Raised when a corpus run cannot proceed as requested: the corpus
+    directory is empty, a resume manifest disagrees with the corpus or
+    the query it was started with, or a checkpoint/spill file fails its
+    integrity check.  Per-shard *evaluation* failures never raise this —
+    they are retried and, if exhausted, quarantined into a ``partial``
+    report instead (see docs/ROBUSTNESS.md)."""
 
 
 class TransientError(ReproError):

@@ -53,6 +53,7 @@ site).  Examples: ``strategy.linear:error``,
 from __future__ import annotations
 
 import fnmatch
+import os
 import random
 import threading
 import time
@@ -105,6 +106,21 @@ _PLAN: "FaultPlan | None" = None
 def active_plan() -> "FaultPlan | None":
     """The armed :class:`FaultPlan`, if any."""
     return _PLAN
+
+
+def _after_fork_in_child() -> None:
+    # A forked corpus worker inherits the armed plan *snapshot* — rules,
+    # seed, and per-site counts as of the fork — which is exactly what
+    # deterministic chaos wants: every fresh worker replays the same
+    # trip schedule.  But the inherited lock may have been held by a
+    # parent thread at the fork instant, so give the child a fresh one.
+    plan = _PLAN
+    if plan is not None:
+        plan._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; harmless no-op elsewhere
+    os.register_at_fork(after_in_child=_after_fork_in_child)
 
 
 def faultpoint(

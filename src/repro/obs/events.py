@@ -32,6 +32,7 @@ import json
 import os
 import queue
 import threading
+import weakref
 from typing import Any
 
 from repro.faults import faultpoint, register_site
@@ -45,6 +46,15 @@ register_site("obs.eventlog", "background event-log write")
 
 #: sentinel the writer thread interprets as "flush and exit"
 _STOP = object()
+
+#: every live writer, so the at-fork hook can re-initialize them all in
+#: the child (weak refs: registration must not keep closed writers alive)
+_WRITERS: "weakref.WeakSet[EventLogWriter]" = weakref.WeakSet()
+
+
+def _after_fork_in_child() -> None:
+    for writer in list(_WRITERS):
+        writer._after_fork()
 
 
 class EventLogWriter:
@@ -76,6 +86,7 @@ class EventLogWriter:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         self.path = path
         self.max_bytes = int(max_bytes)
+        self.queue_size = int(queue_size)
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
         self._lock = threading.Lock()  # guards the counters below
         self._submitted = 0
@@ -85,10 +96,38 @@ class EventLogWriter:
         self._closed = False
         self._fh = None
         self._size = 0
+        self._start_worker()
+        _WRITERS.add(self)
+
+    def _start_worker(self) -> None:
         self._worker = threading.Thread(
             target=self._drain, name="repro-eventlog", daemon=True
         )
         self._worker.start()
+
+    def _after_fork(self) -> None:
+        """Re-initialize in a forked child.
+
+        ``fork()`` copies this object's memory but not the parent's
+        background thread, so without intervention the child holds a
+        queue nothing drains (submits silently pile up then drop), a
+        possibly-held lock, and a duplicated file descriptor whose
+        writes would interleave with the parent's.  Reset all of it —
+        fresh lock, fresh empty queue, no file handle, zero counters —
+        and start a new drain thread so the child logs to ``self.path``
+        independently (appends are whole lines, so parent and child
+        interleave at line granularity at worst).
+        """
+        self._lock = threading.Lock()
+        self._queue = queue.Queue(maxsize=self.queue_size)
+        self._fh = None
+        self._size = 0
+        self._submitted = 0
+        self._written = 0
+        self._dropped = 0
+        self._rotations = 0
+        if not self._closed:
+            self._start_worker()
 
     # -- the request-path side (never blocks) ------------------------------
 
@@ -211,6 +250,10 @@ class EventLogWriter:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; harmless no-op elsewhere
+    os.register_at_fork(after_in_child=_after_fork_in_child)
 
 
 class TraceBuffer:

@@ -21,6 +21,7 @@ see :func:`repro.obs.export.render_openmetrics`.
 from __future__ import annotations
 
 import math
+import os
 import threading
 from typing import Mapping
 
@@ -210,6 +211,22 @@ class MetricsRegistry:
             self._durations.clear()
             self._queries = 0
 
+    def _after_fork(self) -> None:
+        """Re-initialize in a forked child.
+
+        The parent may have been holding ``_lock`` mid-``merge`` at the
+        instant of the fork, in which case the child inherits a lock
+        that can never be released — any later ``add`` would deadlock.
+        A fresh lock fixes that, and clearing the totals keeps a corpus
+        worker's scorecard from double-counting work the parent already
+        recorded (children report back explicitly, they don't share the
+        registry).
+        """
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._durations = {}
+        self._queries = 0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MetricsRegistry({len(self._counters)} counters, "
@@ -220,3 +237,6 @@ class MetricsRegistry:
 
 #: the process-wide registry observed engine calls merge into
 METRICS = MetricsRegistry()
+
+if hasattr(os, "register_at_fork"):  # POSIX only; harmless no-op elsewhere
+    os.register_at_fork(after_in_child=METRICS._after_fork)

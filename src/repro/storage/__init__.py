@@ -25,7 +25,9 @@ from repro.storage.diskstore import (
     dumps_tree,
     load_tree,
     loads_tree,
+    read_blob,
     verify_store,
+    write_blob,
 )
 
 __all__ = [
@@ -44,5 +46,7 @@ __all__ = [
     "dumps_tree",
     "load_tree",
     "loads_tree",
+    "read_blob",
     "verify_store",
+    "write_blob",
 ]

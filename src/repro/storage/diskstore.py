@@ -51,7 +51,9 @@ __all__ = [
     "load_tree",
     "dumps_tree",
     "loads_tree",
+    "read_blob",
     "verify_store",
+    "write_blob",
 ]
 
 _MAGIC = b"RTRE"
@@ -242,6 +244,18 @@ def dump_tree(tree: Tree, path: str) -> int:
     """
     data = dumps_tree(tree)
     blob = faultpoint("disk.write", data, mutator=_truncate_bytes)
+    return _install_blob(blob, path)
+
+
+def _install_blob(blob: bytes, path: str) -> int:
+    """The atomic landing sequence shared by every trailered file the
+    library writes (tree stores, corpus shard spills): write ``blob``
+    (payload + trailer) to ``path + ".tmp"``, flush, fsync, read it
+    back and verify the trailer, then ``os.replace`` into place.  A
+    failure at any point leaves the previous version of ``path``
+    intact and no temp litter (short of a hard kill mid-write, which
+    the next attempt's ``os.replace`` of the same temp path repairs).
+    """
     tmp = path + ".tmp"
     try:
         try:
@@ -264,6 +278,34 @@ def dump_tree(tree: Tree, path: str) -> int:
             pass
         raise
     return len(blob)
+
+
+def write_blob(path: str, payload: bytes) -> int:
+    """Atomically persist an arbitrary byte payload with a CRC trailer.
+
+    The corpus layer's primitive: shard spill files and any other
+    small artifact that needs the tree store's crash-safety story
+    (tmp + fsync + readback verify + ``os.replace``) without being a
+    tree.  Returns the bytes written (payload + 12-byte trailer).
+    """
+    return _install_blob(payload + _make_trailer(payload), path)
+
+
+def read_blob(path: str) -> bytes:
+    """Read back a :func:`write_blob` file; returns the verified payload.
+
+    A missing trailer, a checksum mismatch, or an I/O failure all
+    surface as typed errors (:class:`~repro.errors.StorageError`)
+    naming the path — a torn or tampered blob can never be mistaken
+    for a short-but-valid one.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise StorageError(f"cannot read blob {path!r}: {exc}") from exc
+    payload, _ = _check_trailer(data, path, strict=True)
+    return payload
 
 
 def load_tree(path: str) -> Tree:

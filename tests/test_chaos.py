@@ -61,8 +61,10 @@ class TestScenarioGeneration:
         kinds = {s.kind for s in scenarios}
         fault_kinds = {s.spec.split(":")[1].split("@")[0] for s in scenarios}
         assert docs == set(default_documents())
-        assert kinds == {"xpath", "twig", "cq", "datalog", "ingest", "service"}
-        assert fault_kinds == {"error", "transient", "latency", "corrupt"}
+        assert kinds == {"xpath", "twig", "cq", "datalog", "ingest",
+                         "service", "corpus", "corpus-kill"}
+        assert fault_kinds == {"error", "transient", "latency", "corrupt",
+                               "kill"}
 
     def test_every_registered_site_has_scenarios(self):
         scenarios = generate_scenarios(seed=0)
@@ -149,8 +151,9 @@ class TestFallbackDemos:
         return fallback_demos(seed=0)
 
     def test_every_engine_site_has_a_recovery_demo(self, demos):
-        # ingestion, HTTP-boundary and telemetry sites have no engine
-        # attempt chain; the sweep covers them through dedicated drivers
+        # ingestion, HTTP-boundary, telemetry and corpus sites have no
+        # engine attempt chain; the sweep covers them through dedicated
+        # drivers
         engine_sites = {
             s for s in registered_sites()
             if s not in ("xml.parse", "stream.events", "disk.read",
@@ -158,6 +161,7 @@ class TestFallbackDemos:
                          "service.decode", "service.handler",
                          "service.admission", "service.breaker",
                          "service.drain", "obs.sample", "obs.eventlog")
+            and not s.startswith("corpus.")
         }
         assert set(demos) == engine_sites
 
